@@ -1,0 +1,37 @@
+"""Scale knobs and helpers shared by the benchmark harness.
+
+Every benchmark regenerates one paper artefact at a reduced-but-meaningful
+scale; a single edit here trades fidelity against runtime.  The full-scale
+sweeps are available through the ``rept-experiment`` CLI (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+#: Datasets used by the per-figure benchmarks (a covariance-heavy Chung-Lu
+#: analogue and a milder Barabasi-Albert analogue).
+BENCH_DATASETS = ["flickr-sim", "youtube-sim"]
+
+#: Stream truncation applied by the accuracy benchmarks.
+BENCH_MAX_EDGES = 4000
+
+#: Independent trials per (dataset, method, c) cell.
+BENCH_TRIALS = 3
+
+#: Reduced processor grids that still span the paper's ranges.
+BENCH_C_VALUES_P001 = (20, 160, 320)
+BENCH_C_VALUES_P01 = (2, 16, 32)
+
+#: Runtime benchmark (Figure 7/8) parameters.
+BENCH_INV_P_VALUES = (2, 8, 32)
+BENCH_RUNTIME_MAX_EDGES = 6000
+
+
+def record_result(benchmark, result) -> None:
+    """Attach an ExperimentResult's headline data to the benchmark record."""
+    benchmark.extra_info["experiment_id"] = result.experiment_id
+    benchmark.extra_info["description"] = result.description
+    benchmark.extra_info["metadata"] = {
+        key: value for key, value in result.metadata.items() if not isinstance(value, dict)
+    }
+    print()
+    print(result.text)

@@ -1,0 +1,17 @@
+"""Pytest fixtures for the benchmark harness."""
+
+from __future__ import annotations
+
+import pytest
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _warm_dataset_cache():
+    """Generate the benchmark datasets once so timings exclude generation."""
+    from _config import BENCH_DATASETS
+
+    from repro.generators.datasets import load_dataset
+
+    for name in BENCH_DATASETS:
+        load_dataset(name)
+    yield

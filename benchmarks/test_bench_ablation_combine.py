@@ -1,0 +1,36 @@
+"""Benchmark A2 — value of the Graybill–Deal combination when c mod m != 0.
+
+Compares the NRMSE of the combined estimate against using only the complete
+groups (τ̂⁽¹⁾) or only the partial group (τ̂⁽²⁾).  Expected shape: the
+combination is never worse than the worse ingredient and usually close to
+(or better than) the better one.
+"""
+
+from _config import record_result
+
+from repro.experiments.ablations import ablation_combination
+
+
+def test_bench_ablation_combine(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_combination(
+            dataset="youtube-sim",
+            m=8,
+            c_values=(10, 12, 20, 28),
+            num_trials=25,
+            max_edges=4000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    for row in result.rows:
+        _, combined, complete_only, partial_only = row[:4]
+        assert combined <= max(complete_only, partial_only) + 1e-9
+        assert combined >= 0
+    # The partial group alone (few processors, full covariance term) should
+    # generally be the weakest ingredient.
+    worst_partial = max(row[3] for row in result.rows)
+    best_combined = min(row[1] for row in result.rows)
+    assert best_combined < worst_partial

@@ -1,0 +1,30 @@
+"""Benchmark A3 — hash-family ablation (splitmix vs tabulation).
+
+REPT's analysis only needs the partition hash to be uniform; accuracy must
+not depend on which concrete family implements it.
+"""
+
+from _config import record_result
+
+from repro.experiments.ablations import ablation_hash_family
+
+
+def test_bench_ablation_hash(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_hash_family(
+            dataset="web-google-sim",
+            m=10,
+            c=10,
+            num_trials=30,
+            max_edges=4000,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    nrmse = {row[0]: row[1] for row in result.rows}
+    assert set(nrmse) == {"splitmix", "tabulation"}
+    assert all(value < 0.5 for value in nrmse.values())
+    ratio = nrmse["splitmix"] / nrmse["tabulation"]
+    assert 0.33 < ratio < 3.0

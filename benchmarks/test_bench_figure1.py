@@ -1,0 +1,31 @@
+"""Benchmark E1 — Figure 1: τ vs η and the MASCOT variance terms.
+
+Regenerates, for every registered dataset, the exact τ and η values and the
+two terms of MASCOT's variance at p ∈ {0.1, 0.05, 0.01}.  The paper's claim
+to check: the covariance term ``2η(p⁻¹−1)`` exceeds the self term
+``τ(p⁻²−1)`` at p = 0.1 on the covariance-heavy graphs, and the gap narrows
+as p decreases.
+"""
+
+from _config import record_result
+
+from repro.experiments.figures import figure1
+from repro.generators.datasets import available_datasets
+
+
+def test_bench_figure1(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure1(datasets=available_datasets()),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    # Shape check: on the dense Chung-Lu analogues the covariance term
+    # dominates at p = 0.1 (Figure 1(b)).
+    for dataset in ("flickr-sim", "twitter-sim"):
+        series = result.series[dataset]
+        assert series["cov_term"][0] > series["tau_term"][0]
+    # And every dataset has eta > 0 (pairs of triangles sharing an edge exist).
+    for dataset in available_datasets():
+        assert result.series[dataset]["eta"][0] > 0

@@ -1,0 +1,38 @@
+"""Benchmark E4 — Figure 4: global-count NRMSE vs c at p = 0.1.
+
+Same sweep as Figure 3 with a ten-times larger sampling probability and the
+correspondingly smaller processor counts (2–32).
+"""
+
+from _config import (
+    BENCH_C_VALUES_P01,
+    BENCH_DATASETS,
+    BENCH_MAX_EDGES,
+    BENCH_TRIALS,
+    record_result,
+)
+
+from repro.experiments.figures import figure4
+
+
+def test_bench_figure4(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure4(
+            datasets=BENCH_DATASETS,
+            c_values=BENCH_C_VALUES_P01,
+            num_trials=BENCH_TRIALS,
+            max_edges=BENCH_MAX_EDGES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    for dataset in BENCH_DATASETS:
+        series = result.series[dataset]
+        for values in series.values():
+            assert len(values) == len(BENCH_C_VALUES_P01)
+    # Ordering check on the covariance-heavy dataset, summed across the
+    # sweep to smooth the small trial count.
+    heavy = result.series["flickr-sim"]
+    assert sum(heavy["REPT"]) <= 1.25 * sum(heavy["MASCOT"])

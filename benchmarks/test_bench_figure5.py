@@ -1,0 +1,37 @@
+"""Benchmark E5 — Figure 5: local-count NRMSE vs c at p = 0.01.
+
+The paper omits GPS from the local-count comparison; so do we.  Shape to
+reproduce: REPT's aggregated local NRMSE stays below parallel MASCOT and
+TRIÈST across the processor-count axis.
+"""
+
+from _config import BENCH_DATASETS, BENCH_TRIALS, record_result
+
+from repro.experiments.figures import figure5
+
+# Local tracking is the expensive part; keep the streams a little smaller.
+LOCAL_MAX_EDGES = 3000
+LOCAL_C_VALUES = (20, 160, 320)
+
+
+def test_bench_figure5(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure5(
+            datasets=BENCH_DATASETS,
+            c_values=LOCAL_C_VALUES,
+            num_trials=BENCH_TRIALS,
+            max_edges=LOCAL_MAX_EDGES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    for dataset in BENCH_DATASETS:
+        series = result.series[dataset]
+        assert set(series) == {"REPT", "MASCOT", "TRIEST"}
+        for values in series.values():
+            assert len(values) == len(LOCAL_C_VALUES)
+            assert all(value >= 0 for value in values)
+    heavy = result.series["flickr-sim"]
+    assert sum(heavy["REPT"]) <= 1.25 * sum(heavy["MASCOT"])

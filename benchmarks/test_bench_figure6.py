@@ -1,0 +1,31 @@
+"""Benchmark E6 — Figure 6: local-count NRMSE vs c at p = 0.1."""
+
+from _config import BENCH_DATASETS, BENCH_TRIALS, record_result
+
+from repro.experiments.figures import figure6
+
+LOCAL_MAX_EDGES = 3000
+LOCAL_C_VALUES = (2, 16, 32)
+
+
+def test_bench_figure6(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure6(
+            datasets=BENCH_DATASETS,
+            c_values=LOCAL_C_VALUES,
+            num_trials=BENCH_TRIALS,
+            max_edges=LOCAL_MAX_EDGES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    for dataset in BENCH_DATASETS:
+        series = result.series[dataset]
+        assert set(series) == {"REPT", "MASCOT", "TRIEST"}
+        for values in series.values():
+            assert len(values) == len(LOCAL_C_VALUES)
+    # Ordering check on the covariance-heavy dataset, summed across the sweep.
+    heavy = result.series["flickr-sim"]
+    assert sum(heavy["REPT"]) <= 1.25 * sum(heavy["MASCOT"])

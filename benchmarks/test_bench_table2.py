@@ -1,0 +1,25 @@
+"""Benchmark E2 — Table II: dataset statistics.
+
+Regenerates the node / edge / triangle counts of every registered synthetic
+analogue next to the original sizes the paper reports, making the scale
+substitution explicit.
+"""
+
+from _config import record_result
+
+from repro.experiments.tables import table2
+from repro.generators.datasets import available_datasets
+
+
+def test_bench_table2(benchmark):
+    result = benchmark.pedantic(lambda: table2(), rounds=1, iterations=1)
+    record_result(benchmark, result)
+
+    assert len(result.rows) == len(available_datasets())
+    for row in result.rows:
+        name, nodes, edges, triangles = row[0], row[1], row[2], row[3]
+        assert nodes > 0 and edges > 0
+        assert triangles > 0, f"{name} should contain triangles"
+    # Size ordering mirrors the paper: the Twitter analogue is the largest.
+    edges_by_name = {row[0]: row[2] for row in result.rows}
+    assert edges_by_name["twitter-sim"] == max(edges_by_name.values())

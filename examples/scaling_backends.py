@@ -1,0 +1,53 @@
+"""Execution backends: the same REPT estimate from serial, thread and process drivers.
+
+REPT's accuracy is a property of its counters, not of the scheduling of the
+``c`` processors.  This example runs the same configuration through the
+three drivers, checks the estimates agree bit-for-bit, and reports the
+wall-clock time of each backend so the GIL's effect on the thread backend is
+visible and honest (see DESIGN.md for the runtime-reproduction caveats).
+
+Run with::
+
+    python examples/scaling_backends.py
+"""
+
+from __future__ import annotations
+
+from repro.core import ReptConfig, run_rept
+from repro.generators.datasets import load_dataset
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+
+
+def main() -> None:
+    stream = load_dataset("livejournal-sim")
+    edges = stream.edges()
+    config = ReptConfig(m=8, c=24, seed=2024, track_local=False)
+    print(f"Stream: {stream!r}")
+    print(f"Configuration: {config.describe()}")
+
+    rows = []
+    estimates = {}
+    for backend in ("serial", "thread", "process"):
+        with Timer() as timer:
+            estimate = run_rept(edges, config, backend=backend)
+        estimates[backend] = estimate.global_count
+        rows.append([backend, round(timer.elapsed, 3), estimate.global_count,
+                     estimate.edges_stored])
+
+    print()
+    print(format_table(
+        ["backend", "seconds", "global estimate", "edges stored"],
+        rows,
+        title="Same configuration, three execution backends",
+    ))
+    print()
+    agree = len({round(value, 6) for value in estimates.values()}) == 1
+    print(f"Estimates identical across backends: {agree}")
+    print("Note: the thread backend shows little speedup under CPython's GIL;")
+    print("the process backend pays a start-up and serialisation cost that only")
+    print("amortises on long streams.  Accuracy is unaffected either way.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,104 @@
+"""Local triangle counts for suspicious-account screening.
+
+Local triangle counts (and the clustering coefficients derived from them)
+are a standard feature for spam / sybil screening: genuine accounts embed in
+tightly-knit neighbourhoods (high local triangle count relative to degree),
+while spam accounts that mass-follow victims have many neighbours but almost
+no triangles among them.
+
+This example:
+
+1. builds a social graph with organic communities (high triangle density)
+   and injects a handful of "spammer" nodes that attach to many random
+   victims without closing triangles;
+2. streams the graph through REPT with local tracking enabled;
+3. ranks nodes by estimated clustering coefficient (estimated local count
+   over possible neighbour pairs) and reports how many of the true spammers
+   appear in the bottom of the ranking.
+
+Run with::
+
+    python examples/spam_detection_local_counts.py
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+from repro import ReptConfig, ReptEstimator
+from repro.generators.random_graphs import barabasi_albert_stream
+from repro.streaming.edge_stream import EdgeStream
+from repro.streaming.transforms import shuffle_stream
+from repro.utils.rng import as_random_source
+from repro.utils.tables import format_table
+
+
+def build_social_graph_with_spammers(
+    num_users: int = 2000,
+    num_spammers: int = 12,
+    links_per_spammer: int = 60,
+    seed: int = 5,
+) -> Tuple[EdgeStream, Set[int]]:
+    """Organic BA community graph + spammer nodes with triangle-free links."""
+    organic = barabasi_albert_stream(num_users, 6, triad_closure=0.6, seed=seed)
+    rng = as_random_source(seed + 1)
+    edges = organic.edges()
+    spammers = set(range(num_users, num_users + num_spammers))
+    for spammer in spammers:
+        victims = set()
+        while len(victims) < links_per_spammer:
+            victims.add(int(rng.integers(0, num_users)))
+        for victim in victims:
+            edges.append((spammer, victim))
+    stream = EdgeStream(edges, name="social+spam", validate=False)
+    return shuffle_stream(stream, seed=seed + 2), spammers
+
+
+def estimated_clustering(
+    local_counts: Dict, degrees: Dict, minimum_degree: int = 20
+) -> Dict:
+    """Estimated clustering coefficient for nodes above a degree floor."""
+    scores = {}
+    for node, degree in degrees.items():
+        if degree < minimum_degree:
+            continue
+        pairs = degree * (degree - 1) / 2
+        scores[node] = local_counts.get(node, 0.0) / pairs
+    return scores
+
+
+def main() -> None:
+    stream, spammers = build_social_graph_with_spammers()
+    print(f"Stream: {stream!r} with {len(spammers)} planted spammers")
+
+    estimator = ReptEstimator(ReptConfig(m=5, c=5, seed=11, track_local=True))
+    estimate = estimator.run(stream)
+
+    degrees = stream.to_graph().degree_sequence()
+    scores = estimated_clustering(estimate.local_counts, degrees)
+
+    # Rank from most suspicious (lowest clustering) upward.
+    ranked: List = sorted(scores, key=scores.get)
+    suspects = ranked[: 2 * len(spammers)]
+    caught = [node for node in suspects if node in spammers]
+
+    rows = [
+        [node, degrees[node], round(estimate.local_count(node), 1),
+         f"{scores[node]:.4f}", "SPAMMER" if node in spammers else ""]
+        for node in suspects[:20]
+    ]
+    print()
+    print(format_table(
+        ["node", "degree", "estimated tau_v", "est. clustering", "ground truth"],
+        rows,
+        title="Most suspicious accounts by estimated clustering coefficient",
+    ))
+    print()
+    print(
+        f"Planted spammers recovered in the top-{len(suspects)} suspect list: "
+        f"{len(caught)}/{len(spammers)}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+"""Per-interval triangle counting on a packet stream (anomaly detection).
+
+The paper motivates REPT with time-interval analysis: "Π is a network packet
+stream collected on a router in a time interval (e.g., one hour in a day),
+and one wants to compute global and local triangle counts for each
+interval."  A sudden jump in the triangle count of an interval is a classic
+signature of coordinated behaviour (botnet command bursts, scanning cliques,
+sybil rings).
+
+This example:
+
+1. synthesises a router trace — sparse benign background traffic plus a
+   coordinated clique burst in two intervals;
+2. slices it into 5-minute windows;
+3. estimates each window's triangle count with REPT (cheaply, using only a
+   fraction of each window's edges per processor);
+4. flags windows whose estimate exceeds a robust threshold (median + k·MAD).
+
+Run with::
+
+    python examples/traffic_anomaly_detection.py
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import List, Tuple
+
+from repro import ReptConfig, ReptEstimator
+from repro.generators.traffic import TrafficTraceSpec, synthetic_packet_trace
+from repro.streaming.windows import TimeWindowedStream
+from repro.utils.tables import format_table
+
+
+def detect_anomalies(estimates: List[float], sensitivity: float = 6.0) -> List[int]:
+    """Flag indices whose value exceeds median + sensitivity * MAD."""
+    median = statistics.median(estimates)
+    mad = statistics.median([abs(value - median) for value in estimates]) or 1.0
+    threshold = median + sensitivity * mad
+    return [index for index, value in enumerate(estimates) if value > threshold]
+
+
+def run_detector(seed: int = 7) -> Tuple[List[float], List[int], TrafficTraceSpec]:
+    """Generate the trace, estimate per-window counts, return flags."""
+    spec = TrafficTraceSpec(
+        num_hosts=600,
+        duration_seconds=3600.0,       # one hour of traffic
+        background_rate=15.0,          # benign flows per second
+        anomaly_intervals=(4, 9),      # two coordinated bursts
+        anomaly_clique_size=16,
+        window_seconds=300.0,          # 5-minute intervals
+    )
+    records = synthetic_packet_trace(spec, seed=seed)
+    windows = TimeWindowedStream(records, spec.window_seconds, name="router")
+
+    estimates: List[float] = []
+    for index, (start, end, stream) in enumerate(windows.windows()):
+        # One REPT instance per interval; p = 1/4 of the window's edges per
+        # processor, 4 processors.
+        estimator = ReptEstimator(ReptConfig(m=4, c=4, seed=1000 + index, track_local=False))
+        estimate = estimator.run(stream)
+        estimates.append(estimate.global_count)
+    flagged = detect_anomalies(estimates)
+    return estimates, flagged, spec
+
+
+def main() -> None:
+    estimates, flagged, spec = run_detector()
+    rows = []
+    for index, value in enumerate(estimates):
+        status = "ANOMALY" if index in flagged else ""
+        rows.append([index, f"{index * 5}-{index * 5 + 5} min", round(value, 1), status])
+    print(format_table(["window", "interval", "estimated triangles", "flag"], rows,
+                       title="Per-interval triangle count estimates (REPT, m=4, c=4)"))
+    print()
+    print(f"Planted anomalous intervals: {list(spec.anomaly_intervals)}")
+    print(f"Flagged intervals:           {flagged}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,13 @@
+"""Setuptools shim.
+
+The canonical project metadata lives in ``pyproject.toml``; this file exists
+so that the package can be installed in editable mode (``python setup.py
+develop`` or ``pip install -e .``) on environments whose setuptools
+tool-chain predates PEP 660 editable wheels (e.g. offline machines without
+the ``wheel`` package).
+"""
+
+from setuptools import setup
+
+if __name__ == "__main__":
+    setup()

@@ -1,0 +1,22 @@
+"""Closed-form analysis: the variance formulas the paper derives.
+
+These are the quantities behind Figure 1 and the accuracy comparison in
+Section III-C.  The experiment harness uses them both to *predict* the
+NRMSE curves and to sanity-check the empirical sweeps (ablation A1).
+"""
+
+from repro.analysis.variance import (
+    mascot_variance,
+    parallel_mascot_variance,
+    predicted_nrmse,
+    rept_variance,
+    variance_reduction_factor,
+)
+
+__all__ = [
+    "mascot_variance",
+    "parallel_mascot_variance",
+    "rept_variance",
+    "predicted_nrmse",
+    "variance_reduction_factor",
+]

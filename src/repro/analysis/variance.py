@@ -1,0 +1,85 @@
+"""The paper's closed-form variance formulas.
+
+Notation: ``τ`` is the exact global triangle count, ``η`` the covariance
+pair count (see :mod:`repro.graph.eta`), ``p = 1/m`` the per-processor
+sampling probability and ``c`` the number of processors.  All formulas are
+stated for the *global* count; the local-count versions are identical with
+``τ_v`` and ``η_v`` substituted, so callers simply pass those values.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.exceptions import ConfigurationError
+
+
+def _check(m: int, c: int) -> None:
+    if m < 1:
+        raise ConfigurationError("m must be >= 1")
+    if c < 1:
+        raise ConfigurationError("c must be >= 1")
+
+
+def mascot_variance(tau: float, eta: float, p: float) -> float:
+    """Variance of a single MASCOT instance: ``τ(p⁻²−1) + 2η(p⁻¹−1)``."""
+    if not 0 < p <= 1:
+        raise ConfigurationError("p must be in (0, 1]")
+    return tau * (p**-2 - 1.0) + 2.0 * eta * (p**-1 - 1.0)
+
+
+def parallel_mascot_variance(tau: float, eta: float, m: int, c: int) -> float:
+    """Variance of the direct parallelisation of MASCOT over ``c`` processors.
+
+    ``Var = (τ(m²−1) + 2η(m−1)) / c`` — the covariance term is divided by
+    ``c`` but never eliminated.
+    """
+    _check(m, c)
+    return (tau * (m * m - 1.0) + 2.0 * eta * (m - 1.0)) / c
+
+
+def rept_variance(tau: float, eta: float, m: int, c: int) -> float:
+    """Variance of REPT's estimate for any processor count ``c``.
+
+    * ``c ≤ m`` (Algorithm 1): ``(τ(m²−c) + 2η(m−c)) / c``;
+    * ``c = c₁·m`` (Algorithm 2, no partial group): ``τ(m−1)/c₁``;
+    * otherwise (Algorithm 2 with a partial group of ``c₂`` processors):
+      the Graybill–Deal combination of the two independent estimates,
+      ``V₁V₂/(V₁+V₂)`` with ``V₁ = τ(m−1)/c₁`` and
+      ``V₂ = (τ(m²−c₂) + 2η(m−c₂))/c₂``.
+    """
+    _check(m, c)
+    if c <= m:
+        return (tau * (m * m - c) + 2.0 * eta * (m - c)) / c
+    c1, c2 = divmod(c, m)
+    variance_complete = tau * (m - 1.0) / c1
+    if c2 == 0:
+        return variance_complete
+    variance_partial = (tau * (m * m - c2) + 2.0 * eta * (m - c2)) / c2
+    if variance_complete <= 0 and variance_partial <= 0:
+        return 0.0
+    if variance_complete <= 0:
+        return 0.0
+    if variance_partial <= 0:
+        return 0.0
+    return (variance_complete * variance_partial) / (variance_complete + variance_partial)
+
+
+def predicted_nrmse(variance: float, truth: float) -> float:
+    """Convert a variance of an unbiased estimator into the NRMSE the figures plot."""
+    if truth == 0:
+        raise ConfigurationError("NRMSE prediction needs a non-zero true value")
+    return math.sqrt(max(0.0, variance)) / abs(truth)
+
+
+def variance_reduction_factor(tau: float, eta: float, m: int, c: int) -> float:
+    """Ratio ``Var(parallel MASCOT) / Var(REPT)`` — how many times REPT wins.
+
+    Returns ``inf`` when REPT's variance is zero (e.g. ``m = 1``) but the
+    baseline's is not.
+    """
+    baseline = parallel_mascot_variance(tau, eta, m, c)
+    ours = rept_variance(tau, eta, m, c)
+    if ours <= 0:
+        return float("inf") if baseline > 0 else 1.0
+    return baseline / ours

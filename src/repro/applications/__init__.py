@@ -1,0 +1,30 @@
+"""Application layer: the analyses the paper's introduction motivates.
+
+The introduction lists the downstream uses of (approximate) global and local
+triangle counts — spam/sybil screening, community and role analysis, and
+time-interval network monitoring.  This subpackage packages those uses as
+small, tested components on top of the estimator API:
+
+* :mod:`repro.applications.anomaly` — per-interval triangle-count monitoring
+  of a timestamped interaction stream with robust thresholding;
+* :mod:`repro.applications.clustering` — global / local clustering
+  coefficient estimation from triangle estimates;
+* :mod:`repro.applications.ranking` — top-k nodes by estimated local count
+  and low-clustering suspect screening.
+"""
+
+from repro.applications.anomaly import IntervalReport, TriangleAnomalyDetector
+from repro.applications.clustering import (
+    estimate_global_clustering,
+    estimate_local_clustering,
+)
+from repro.applications.ranking import rank_by_local_count, suspicious_low_clustering_nodes
+
+__all__ = [
+    "TriangleAnomalyDetector",
+    "IntervalReport",
+    "estimate_global_clustering",
+    "estimate_local_clustering",
+    "rank_by_local_count",
+    "suspicious_low_clustering_nodes",
+]

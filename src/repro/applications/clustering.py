@@ -1,0 +1,74 @@
+"""Clustering-coefficient estimation from triangle estimates.
+
+Global clustering (transitivity) and local clustering coefficients are the
+most common consumers of triangle counts; both are simple ratios of a
+triangle count to a wedge count, and the wedge counts are exact (they only
+need degrees, which a streaming system tracks cheaply).  These helpers
+combine a :class:`TriangleEstimate` with degree information into the derived
+coefficients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping
+
+from repro.baselines.base import TriangleEstimate
+from repro.types import NodeId
+
+
+def estimate_global_clustering(estimate: TriangleEstimate, num_wedges: int) -> float:
+    """Estimate the transitivity ``3·τ̂ / #wedges``.
+
+    Parameters
+    ----------
+    estimate:
+        A triangle estimate from any estimator in this library.
+    num_wedges:
+        The exact wedge count of the graph (``Σ_v C(d_v, 2)``), obtainable
+        from :func:`repro.graph.triangles.count_wedges` or from streamed
+        degree counters.
+
+    Returns
+    -------
+    float
+        The estimated transitivity, clamped to ``[0, 1]`` (sampling noise
+        can push the raw ratio slightly outside).
+    """
+    if num_wedges <= 0:
+        return 0.0
+    raw = 3.0 * estimate.global_count / num_wedges
+    return min(1.0, max(0.0, raw))
+
+
+def estimate_local_clustering(
+    estimate: TriangleEstimate,
+    degrees: Mapping[NodeId, int],
+    minimum_degree: int = 2,
+) -> Dict[NodeId, float]:
+    """Estimate every node's local clustering coefficient ``τ̂_v / C(d_v, 2)``.
+
+    Parameters
+    ----------
+    estimate:
+        A triangle estimate with local counts (``track_local=True``).
+    degrees:
+        Exact node degrees of the aggregate graph.
+    minimum_degree:
+        Nodes below this degree are skipped (their coefficient is undefined
+        or trivially zero).
+
+    Returns
+    -------
+    dict
+        Node -> estimated coefficient, clamped to ``[0, 1]``.
+    """
+    if minimum_degree < 2:
+        minimum_degree = 2
+    coefficients: Dict[NodeId, float] = {}
+    for node, degree in degrees.items():
+        if degree < minimum_degree:
+            continue
+        pairs = degree * (degree - 1) / 2.0
+        raw = estimate.local_count(node) / pairs
+        coefficients[node] = min(1.0, max(0.0, raw))
+    return coefficients

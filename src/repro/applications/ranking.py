@@ -1,0 +1,64 @@
+"""Node rankings built on estimated local triangle counts.
+
+Two rankings the literature uses local triangle counts for:
+
+* **top-k by local count** — the most embedded nodes (community cores,
+  influential accounts);
+* **low-clustering suspects** — high-degree nodes whose neighbourhoods close
+  almost no triangles, the classic spam / sybil signature.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Tuple
+
+from repro.baselines.base import TriangleEstimate
+from repro.applications.clustering import estimate_local_clustering
+from repro.types import NodeId
+
+
+def rank_by_local_count(estimate: TriangleEstimate, k: int = 10) -> List[Tuple[NodeId, float]]:
+    """Return the ``k`` nodes with the largest estimated local counts.
+
+    Ties are broken by the string form of the node id so the ranking is
+    deterministic for a given estimate.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    ordered = sorted(
+        estimate.local_counts.items(), key=lambda item: (-item[1], str(item[0]))
+    )
+    return ordered[:k]
+
+
+def suspicious_low_clustering_nodes(
+    estimate: TriangleEstimate,
+    degrees: Mapping[NodeId, int],
+    minimum_degree: int = 20,
+    max_results: int = 20,
+) -> List[Tuple[NodeId, float]]:
+    """Return high-degree nodes ranked by *ascending* estimated clustering.
+
+    Parameters
+    ----------
+    estimate:
+        Triangle estimate with local counts.
+    degrees:
+        Exact degrees of the aggregate graph.
+    minimum_degree:
+        Only nodes with at least this degree are considered — a low
+        clustering coefficient is only suspicious for well-connected nodes.
+    max_results:
+        Length of the returned suspect list.
+
+    Returns
+    -------
+    list of (node, estimated clustering coefficient), most suspicious first.
+    """
+    if max_results < 1:
+        raise ValueError("max_results must be >= 1")
+    coefficients: Dict[NodeId, float] = estimate_local_clustering(
+        estimate, degrees, minimum_degree=minimum_degree
+    )
+    ordered = sorted(coefficients.items(), key=lambda item: (item[1], str(item[0])))
+    return ordered[:max_results]

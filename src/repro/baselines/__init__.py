@@ -1,0 +1,51 @@
+"""Baseline streaming triangle-count estimators.
+
+The paper compares REPT against three state-of-the-art one-pass estimators
+run either on a single thread or "parallelised in a direct manner" (``c``
+independent trials whose estimates are averaged):
+
+* **MASCOT** (Lim & Kang, KDD 2015) — Bernoulli edge sampling, improved
+  variant that counts every arriving edge's semi-triangles before the
+  sampling decision;
+* **TRIÈST** (De Stefani et al., KDD 2016) — reservoir sampling with a fixed
+  edge budget, improved (IMPR) variant with weighted increments and no
+  decrements;
+* **GPS** (Ahmed et al., VLDB 2017) — graph priority sampling, In-Stream
+  variant.
+
+An exact streaming counter is also provided to produce ground truth through
+the same interface.
+"""
+
+from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
+from repro.baselines.exact import ExactStreamingCounter
+from repro.baselines.mascot import MascotEstimator
+from repro.baselines.triest import TriestImprEstimator
+from repro.baselines.triest_base import TriestBaseEstimator
+from repro.baselines.gps import GpsInStreamEstimator
+from repro.baselines.doulion import DoulionEstimator
+from repro.baselines.wedge_sampling import WedgeSamplingEstimator, WedgeSamplingResult
+from repro.baselines.parallel import IndependentEnsemble, parallelize
+from repro.baselines.single_threaded import (
+    make_single_threaded_gps,
+    make_single_threaded_mascot,
+    make_single_threaded_triest,
+)
+
+__all__ = [
+    "StreamingTriangleEstimator",
+    "TriangleEstimate",
+    "ExactStreamingCounter",
+    "MascotEstimator",
+    "TriestImprEstimator",
+    "TriestBaseEstimator",
+    "GpsInStreamEstimator",
+    "DoulionEstimator",
+    "WedgeSamplingEstimator",
+    "WedgeSamplingResult",
+    "IndependentEnsemble",
+    "parallelize",
+    "make_single_threaded_mascot",
+    "make_single_threaded_triest",
+    "make_single_threaded_gps",
+]

@@ -1,0 +1,92 @@
+"""Common interface for one-pass streaming triangle estimators.
+
+Every estimator in this library — the baselines and REPT itself — consumes
+the stream edge by edge through :meth:`StreamingTriangleEstimator.process_edge`
+and reports a :class:`TriangleEstimate` at any point via
+:meth:`StreamingTriangleEstimator.estimate`.  Keeping the interface uniform
+lets the experiment harness sweep methods without special cases.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping
+
+from repro.types import EdgeTuple, NodeId
+
+
+@dataclass
+class TriangleEstimate:
+    """A point-in-time estimate of global and local triangle counts.
+
+    Attributes
+    ----------
+    global_count:
+        The estimate ``τ̂`` of the global triangle count.
+    local_counts:
+        Mapping node -> ``τ̂_v``.  Nodes the estimator has never seen are
+        simply absent and should be treated as estimate 0.
+    edges_processed:
+        How many stream edges had been processed when the estimate was taken.
+    edges_stored:
+        How many edges the estimator currently stores (its memory footprint
+        in edges, summed over processors for parallel methods).
+    metadata:
+        Free-form method-specific extras (e.g. REPT's η̂ or the per-group
+        sub-estimates), useful for diagnostics and ablations.
+    """
+
+    global_count: float
+    local_counts: Dict[NodeId, float] = field(default_factory=dict)
+    edges_processed: int = 0
+    edges_stored: int = 0
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def local_count(self, node: NodeId) -> float:
+        """Return ``τ̂_v`` for ``node`` (0.0 when the node was never seen)."""
+        return self.local_counts.get(node, 0.0)
+
+
+class StreamingTriangleEstimator(abc.ABC):
+    """Abstract base class of all one-pass estimators.
+
+    Subclasses implement :meth:`process_edge` and :meth:`estimate`;
+    :meth:`process_stream` and :meth:`run` are shared conveniences.
+    """
+
+    #: Human-readable method name used in experiment reports.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.edges_processed = 0
+
+    @abc.abstractmethod
+    def process_edge(self, u: NodeId, v: NodeId) -> None:
+        """Consume the next stream edge ``(u, v)``."""
+
+    @abc.abstractmethod
+    def estimate(self) -> TriangleEstimate:
+        """Return the current estimate of global and local triangle counts."""
+
+    def process_stream(self, edges: Iterable[EdgeTuple]) -> None:
+        """Consume every edge of ``edges`` in order."""
+        for u, v in edges:
+            self.process_edge(u, v)
+
+    def run(self, edges: Iterable[EdgeTuple]) -> TriangleEstimate:
+        """Consume the whole stream and return the final estimate."""
+        self.process_stream(edges)
+        return self.estimate()
+
+    def _count_edge(self) -> None:
+        """Bookkeeping helper: subclasses call this once per processed edge."""
+        self.edges_processed += 1
+
+
+def merge_local_counts(
+    accumulator: Dict[NodeId, float], increment: Mapping[NodeId, float], scale: float = 1.0
+) -> None:
+    """Add ``scale * increment`` into ``accumulator`` in place."""
+    for node, value in increment.items():
+        accumulator[node] = accumulator.get(node, 0.0) + scale * value

@@ -1,0 +1,69 @@
+"""Single-threaded baselines with a *combined* memory budget.
+
+Section IV-E of the paper compares REPT on ``c`` processors against
+single-threaded MASCOT-S / TRIÈST-S / GPS-S given the *same total memory*:
+the single-threaded sampling probability becomes ``c · p`` (capped at 1) and
+the reservoir/priority budgets become ``c · p · |E|``.  These factories
+encode exactly that memory accounting so Figure 8 is a one-liner in the
+experiment harness.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.gps import GpsInStreamEstimator
+from repro.baselines.mascot import MascotEstimator
+from repro.baselines.triest import TriestImprEstimator
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike
+
+
+def _combined_probability(probability: float, num_processors: int) -> float:
+    if not 0 < probability <= 1:
+        raise ConfigurationError(f"probability must be in (0, 1], got {probability}")
+    if num_processors < 1:
+        raise ConfigurationError("num_processors must be >= 1")
+    return min(1.0, probability * num_processors)
+
+
+def make_single_threaded_mascot(
+    probability: float,
+    num_processors: int,
+    seed: SeedLike = None,
+    track_local: bool = True,
+) -> MascotEstimator:
+    """MASCOT-S: one instance with sampling probability ``min(1, c·p)``."""
+    estimator = MascotEstimator(
+        _combined_probability(probability, num_processors), seed=seed, track_local=track_local
+    )
+    estimator.name = "mascot-s"
+    return estimator
+
+
+def make_single_threaded_triest(
+    probability: float,
+    num_processors: int,
+    stream_length: int,
+    seed: SeedLike = None,
+    track_local: bool = True,
+) -> TriestImprEstimator:
+    """TRIÈST-S: one instance with budget ``min(|E|, c·p·|E|)`` edges."""
+    combined = _combined_probability(probability, num_processors)
+    budget = max(1, int(round(combined * stream_length)))
+    estimator = TriestImprEstimator(budget, seed=seed, track_local=track_local)
+    estimator.name = "triest-s"
+    return estimator
+
+
+def make_single_threaded_gps(
+    probability: float,
+    num_processors: int,
+    stream_length: int,
+    seed: SeedLike = None,
+    track_local: bool = True,
+) -> GpsInStreamEstimator:
+    """GPS-S: one instance with half the combined budget (weights cost memory)."""
+    combined = _combined_probability(probability, num_processors)
+    budget = max(1, int(round(combined * stream_length)) // 2)
+    estimator = GpsInStreamEstimator(budget, seed=seed, track_local=track_local)
+    estimator.name = "gps-s"
+    return estimator

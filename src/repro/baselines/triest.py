@@ -1,0 +1,96 @@
+"""TRIÈST-IMPR: reservoir-sampling triangle estimation with fixed memory.
+
+TRIÈST (De Stefani et al., KDD 2016) keeps a uniform reservoir of at most
+``k`` edges.  The improved (IMPR) variant:
+
+* updates the counters *before* the reservoir decision ("UpdateCounters is
+  called unconditionally for each element on the stream"),
+* weights each counted semi-triangle by
+  ``η_t = max(1, (t−1)(t−2) / (k(k−1)))`` — the inverse probability that
+  both earlier edges of the triangle are in the reservoir at time ``t``,
+* never decrements counters when edges are evicted.
+
+At the end of a stream of length ``|E|`` with ``k = p|E|`` it has accuracy
+comparable to MASCOT with probability ``p`` (as the REPT paper notes), while
+guaranteeing the memory budget exactly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
+from repro.graph.adjacency import AdjacencyGraph
+from repro.sampling.reservoir import EdgeReservoir
+from repro.types import NodeId
+from repro.utils.rng import SeedLike
+
+
+class TriestImprEstimator(StreamingTriangleEstimator):
+    """TRIÈST-IMPR with reservoir capacity ``budget`` edges.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of edges stored (the paper sets ``p·|E|`` per
+        processor when comparing against MASCOT at probability ``p``).
+    seed:
+        Seed-like value for the reservoir coin flips.
+    track_local:
+        Whether to maintain per-node estimates.
+    """
+
+    name = "triest"
+
+    def __init__(self, budget: int, seed: SeedLike = None, track_local: bool = True) -> None:
+        super().__init__()
+        self._reservoir = EdgeReservoir(budget, seed=seed)
+        self.budget = self._reservoir.capacity
+        self._sampled = AdjacencyGraph()
+        self._global = 0.0
+        self._track_local = track_local
+        self._local: Dict[NodeId, float] = {}
+
+    def _increment_weight(self, t: int) -> float:
+        """Return η_t = max(1, (t−1)(t−2) / (k(k−1))) for the t-th edge."""
+        k = self.budget
+        if k < 2:
+            # With a single-edge reservoir no wedge ever fits; weight the
+            # (impossible) counted triangles by the formula's limit of 1.
+            return 1.0
+        return max(1.0, (t - 1) * (t - 2) / (k * (k - 1)))
+
+    def process_edge(self, u: NodeId, v: NodeId) -> None:
+        self._count_edge()
+        if u == v:
+            return
+        t = self.edges_processed
+        weight = self._increment_weight(t)
+        common = self._sampled.common_neighbors(u, v)
+        if common:
+            increment = len(common) * weight
+            self._global += increment
+            if self._track_local:
+                self._local[u] = self._local.get(u, 0.0) + increment
+                self._local[v] = self._local.get(v, 0.0) + increment
+                for w in common:
+                    self._local[w] = self._local.get(w, 0.0) + weight
+        result = self._reservoir.offer((u, v))
+        if result.inserted:
+            if result.evicted is not None:
+                self._sampled.remove_edge(*result.evicted)
+            self._sampled.add_edge(u, v)
+
+    def estimate(self) -> TriangleEstimate:
+        return TriangleEstimate(
+            global_count=self._global,
+            local_counts=dict(self._local),
+            edges_processed=self.edges_processed,
+            edges_stored=self._sampled.num_edges,
+            metadata={"budget": float(self.budget)},
+        )
+
+    @property
+    def edges_stored(self) -> int:
+        """Number of edges currently retained in the reservoir."""
+        return self._sampled.num_edges

@@ -1,0 +1,104 @@
+"""TRIÈST-BASE: the unweighted reservoir variant.
+
+The REPT paper evaluates the *improved* variant (TRIÈST-IMPR, implemented in
+:mod:`repro.baselines.triest`) because it dominates the base version; the
+base version is included here for completeness and as a contrast case in
+tests and ablations.  Differences from IMPR:
+
+* counters are updated only from edges that are actually **in** the
+  reservoir (after the insertion decision), and are **decremented** when a
+  resident edge's triangles are broken by an eviction;
+* the raw counter is unbiased only after multiplying by
+  ``ξ(t) = max(1, t(t−1)(t−2) / (M(M−1)(M−2)))`` — the inverse probability
+  that the three edges of a triangle are all in the reservoir at time ``t``
+  — applied at estimate time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
+from repro.graph.adjacency import AdjacencyGraph
+from repro.sampling.reservoir import EdgeReservoir
+from repro.types import NodeId
+from repro.utils.rng import SeedLike
+
+
+class TriestBaseEstimator(StreamingTriangleEstimator):
+    """TRIÈST-BASE with reservoir capacity ``budget`` edges.
+
+    Parameters
+    ----------
+    budget:
+        Maximum number of edges stored.  Must be at least 3 for any
+        triangle to ever fit in the reservoir.
+    seed:
+        Seed-like value for the reservoir coin flips.
+    track_local:
+        Whether to maintain per-node counters.
+    """
+
+    name = "triest-base"
+
+    def __init__(self, budget: int, seed: SeedLike = None, track_local: bool = True) -> None:
+        super().__init__()
+        self._reservoir = EdgeReservoir(budget, seed=seed)
+        self.budget = self._reservoir.capacity
+        self._sampled = AdjacencyGraph()
+        self._global = 0
+        self._track_local = track_local
+        self._local: Dict[NodeId, int] = {}
+
+    def _update_counters(self, u: NodeId, v: NodeId, delta: int) -> None:
+        """Add ``delta`` for every triangle closed by edge (u, v) in the sample."""
+        common = self._sampled.common_neighbors(u, v)
+        if not common:
+            return
+        change = delta * len(common)
+        self._global += change
+        if self._track_local:
+            self._local[u] = self._local.get(u, 0) + change
+            self._local[v] = self._local.get(v, 0) + change
+            for w in common:
+                self._local[w] = self._local.get(w, 0) + delta
+
+    def process_edge(self, u: NodeId, v: NodeId) -> None:
+        self._count_edge()
+        if u == v:
+            return
+        result = self._reservoir.offer((u, v))
+        if not result.inserted:
+            return
+        if result.evicted is not None:
+            evicted_u, evicted_v = result.evicted
+            self._sampled.remove_edge(evicted_u, evicted_v)
+            self._update_counters(evicted_u, evicted_v, delta=-1)
+        self._update_counters(u, v, delta=+1)
+        self._sampled.add_edge(u, v)
+
+    def _scaling(self) -> float:
+        """Return ξ(t): the inverse sampling probability of a triangle."""
+        t = self.edges_processed
+        k = self.budget
+        if t <= k or k < 3:
+            return 1.0
+        return max(
+            1.0,
+            (t * (t - 1) * (t - 2)) / (k * (k - 1) * (k - 2)),
+        )
+
+    def estimate(self) -> TriangleEstimate:
+        scale = self._scaling()
+        return TriangleEstimate(
+            global_count=self._global * scale,
+            local_counts={node: value * scale for node, value in self._local.items()},
+            edges_processed=self.edges_processed,
+            edges_stored=self._sampled.num_edges,
+            metadata={"budget": float(self.budget), "scaling": scale},
+        )
+
+    @property
+    def edges_stored(self) -> int:
+        """Number of edges currently retained in the reservoir."""
+        return self._sampled.num_edges

@@ -1,0 +1,215 @@
+"""Per-processor state of REPT's Algorithms 1 and 2.
+
+A *processor* in the paper is an abstract worker: it owns a sampled edge
+set ``E(i)`` and a handful of counters.  :class:`ProcessorCounters` is that
+state; :class:`ProcessorGroup` owns the ``m`` (or fewer) processors that
+share one hash function and advances them edge by edge, implementing the
+``UpdateTriangleCNT`` / ``UpdateTrianglePairCNT`` procedures of the paper's
+pseudocode.
+
+Performance note
+----------------
+A literal transcription would, for every arriving edge, visit every
+processor and intersect its neighbor sets — O(c) dictionary probes per edge
+even though most processors store neither endpoint.  Because an update can
+only occur on a processor where *both* endpoints already have at least one
+stored edge, each group maintains a per-node index of the slots holding the
+node; per edge we only visit the slots in the intersection of the two
+endpoints' index sets.  This is an exact optimisation (identical counters),
+not an approximation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from repro.hashing.base import EdgeHashFunction
+from repro.types import EdgeTuple, NodeId, canonical_edge
+
+
+@dataclass
+class ProcessorCounters:
+    """Counters and sampled edge set of one processor ``i``.
+
+    Attributes mirror the paper's notation:
+
+    * ``adjacency`` — the graph formed by the stored edge set ``E(i)``;
+    * ``tau`` — ``τ(i)``, the number of semi-triangles observed;
+    * ``tau_local`` — ``τ_v(i)`` per node;
+    * ``edge_triangles`` — ``τ_(u,v)(i)``: for each stored edge, the number
+      of semi-triangles in ``Δ(i)`` containing that edge (used to maintain
+      the η counters);
+    * ``eta`` / ``eta_local`` — ``η(i)`` and ``η_v(i)``.
+    """
+
+    adjacency: Dict[NodeId, Set[NodeId]] = field(default_factory=dict)
+    tau: int = 0
+    tau_local: Dict[NodeId, int] = field(default_factory=dict)
+    edge_triangles: Dict[EdgeTuple, int] = field(default_factory=dict)
+    eta: int = 0
+    eta_local: Dict[NodeId, int] = field(default_factory=dict)
+    edges_stored: int = 0
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """Return the stored neighbor set of ``node`` (empty if absent)."""
+        return self.adjacency.get(node, _EMPTY)
+
+    def store_edge(self, u: NodeId, v: NodeId, closing_triangles: int) -> None:
+        """Insert edge ``(u, v)`` into ``E(i)``.
+
+        ``closing_triangles`` is ``|N_u,v(i)|`` at insertion time, which
+        initialises the per-edge triangle counter ``τ_(u,v)(i)``.
+        """
+        self.adjacency.setdefault(u, set()).add(v)
+        self.adjacency.setdefault(v, set()).add(u)
+        self.edge_triangles[canonical_edge(u, v)] = closing_triangles
+        self.edges_stored += 1
+
+
+_EMPTY: Set[NodeId] = frozenset()  # type: ignore[assignment]
+
+
+class ProcessorGroup:
+    """A group of processors sharing one edge-partition hash function.
+
+    Parameters
+    ----------
+    hash_function:
+        Maps each edge to a bucket in ``{0, ..., m-1}``.
+    group_size:
+        Number of processors (slots) actually present in this group; slots
+        ``group_size .. m-1`` exist only virtually (edges hashed there are
+        discarded), which is exactly the ``c ≤ m`` situation of Algorithm 1
+        and the partial group of Algorithm 2.
+    m:
+        The hash range (inverse sampling probability).
+    track_local:
+        Maintain the per-node counters ``τ_v(i)``.
+    track_eta:
+        Maintain the pair counters ``η(i)`` / ``η_v(i)`` and the per-edge
+        triangle counters they require.
+    """
+
+    def __init__(
+        self,
+        hash_function: EdgeHashFunction,
+        group_size: int,
+        m: int,
+        track_local: bool = True,
+        track_eta: bool = False,
+    ) -> None:
+        if group_size < 1:
+            raise ValueError("group_size must be >= 1")
+        if group_size > m:
+            raise ValueError("group_size cannot exceed the hash range m")
+        if hash_function.buckets != m:
+            raise ValueError(
+                f"hash function has {hash_function.buckets} buckets, expected m={m}"
+            )
+        self.hash_function = hash_function
+        self.group_size = group_size
+        self.m = m
+        self.track_local = track_local
+        self.track_eta = track_eta
+        self.processors: List[ProcessorCounters] = [
+            ProcessorCounters() for _ in range(group_size)
+        ]
+        # node -> set of slots where the node has at least one stored edge.
+        self._node_slots: Dict[NodeId, Set[int]] = {}
+
+    # -- per-edge update ----------------------------------------------------
+
+    def process_edge(self, u: NodeId, v: NodeId) -> None:
+        """Advance every processor of the group with the arriving edge."""
+        slots_u = self._node_slots.get(u)
+        slots_v = self._node_slots.get(v)
+        closing_at_store = 0
+        store_slot = self.hash_function.bucket(u, v)
+        storeable = store_slot < self.group_size
+
+        if slots_u and slots_v:
+            candidates = slots_u & slots_v
+            for slot in candidates:
+                closed = self._update_processor(self.processors[slot], u, v)
+                if storeable and slot == store_slot:
+                    closing_at_store = closed
+
+        if storeable:
+            processor = self.processors[store_slot]
+            already_stored = v in processor.neighbors(u)
+            if not already_stored:
+                processor.store_edge(u, v, closing_at_store if self.track_eta else 0)
+                self._node_slots.setdefault(u, set()).add(store_slot)
+                self._node_slots.setdefault(v, set()).add(store_slot)
+
+    def _update_processor(self, processor: ProcessorCounters, u: NodeId, v: NodeId) -> int:
+        """Apply UpdateTriangleCNT / UpdateTrianglePairCNT for one processor.
+
+        Returns the number of semi-triangles closed by ``(u, v)`` on this
+        processor, i.e. ``|N_u(i) ∩ N_v(i)|``.
+        """
+        neighbors_u = processor.neighbors(u)
+        neighbors_v = processor.neighbors(v)
+        if len(neighbors_u) > len(neighbors_v):
+            neighbors_u, neighbors_v = neighbors_v, neighbors_u
+        common = [w for w in neighbors_u if w in neighbors_v]
+        closed = len(common)
+        if not closed:
+            return 0
+
+        processor.tau += closed
+        if self.track_local:
+            local = processor.tau_local
+            local[u] = local.get(u, 0) + closed
+            local[v] = local.get(v, 0) + closed
+            for w in common:
+                local[w] = local.get(w, 0) + 1
+
+        if self.track_eta:
+            edge_triangles = processor.edge_triangles
+            eta_local = processor.eta_local
+            for w in common:
+                key_uw = canonical_edge(u, w)
+                key_vw = canonical_edge(v, w)
+                count_uw = edge_triangles.get(key_uw, 0)
+                count_vw = edge_triangles.get(key_vw, 0)
+                pair_increment = count_uw + count_vw
+                processor.eta += pair_increment
+                if self.track_local:
+                    eta_local[w] = eta_local.get(w, 0) + pair_increment
+                    eta_local[u] = eta_local.get(u, 0) + count_uw
+                    eta_local[v] = eta_local.get(v, 0) + count_vw
+                edge_triangles[key_uw] = count_uw + 1
+                edge_triangles[key_vw] = count_vw + 1
+        return closed
+
+    # -- aggregates ----------------------------------------------------------
+
+    def tau_values(self) -> List[int]:
+        """Return ``[τ(i)]`` for the processors of this group."""
+        return [processor.tau for processor in self.processors]
+
+    def eta_values(self) -> List[int]:
+        """Return ``[η(i)]`` for the processors of this group."""
+        return [processor.eta for processor in self.processors]
+
+    def total_edges_stored(self) -> int:
+        """Total number of edges stored across the group's processors."""
+        return sum(processor.edges_stored for processor in self.processors)
+
+    def local_tau_sums(self) -> Dict[NodeId, int]:
+        """Return ``Σ_i τ_v(i)`` over this group's processors, per node."""
+        sums: Dict[NodeId, int] = {}
+        for processor in self.processors:
+            for node, value in processor.tau_local.items():
+                sums[node] = sums.get(node, 0) + value
+        return sums
+
+    def local_eta_sums(self) -> Dict[NodeId, int]:
+        """Return ``Σ_i η_v(i)`` over this group's processors, per node."""
+        sums: Dict[NodeId, int] = {}
+        for processor in self.processors:
+            for node, value in processor.eta_local.items():
+                sums[node] = sums.get(node, 0) + value
+        return sums

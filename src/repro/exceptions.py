@@ -1,0 +1,42 @@
+"""Exception hierarchy for the REPT reproduction library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with a single ``except`` clause
+while still letting programming errors (``TypeError`` and friends)
+propagate unchanged.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigurationError(ReproError):
+    """An estimator or experiment was configured with invalid parameters.
+
+    Examples: a sampling probability outside ``(0, 1]``, a processor count
+    of zero, or a reservoir budget smaller than one edge.
+    """
+
+
+class StreamFormatError(ReproError):
+    """An edge-stream file or record could not be parsed."""
+
+
+class DatasetNotFoundError(ReproError):
+    """A dataset name was requested that is not present in the registry."""
+
+
+class EstimatorStateError(ReproError):
+    """An estimator was used in an invalid order.
+
+    For example requesting an estimate before any edge has been processed
+    when the estimator requires at least one observation, or feeding edges
+    after :meth:`finalize` has been called.
+    """
+
+
+class ExperimentError(ReproError):
+    """An experiment specification is inconsistent or failed to run."""

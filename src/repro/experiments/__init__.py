@@ -1,0 +1,47 @@
+"""Experiment harness: regenerate every table and figure of the paper.
+
+The harness has three layers:
+
+* :mod:`repro.experiments.runner` — run one (dataset, method, parameters)
+  cell for a number of independent trials and summarise the errors;
+* :mod:`repro.experiments.figures` / :mod:`repro.experiments.tables` — one
+  function per paper artefact (Figure 1, Table II, Figures 3–8) plus the
+  ablations listed in DESIGN.md, each returning a structured result and a
+  plain-text rendering of the same rows/series the paper reports;
+* :mod:`repro.experiments.cli` — ``rept-experiment`` command-line entry
+  point for running any of them from a shell.
+"""
+
+from repro.experiments.spec import ExperimentResult, MethodSpec, SweepSpec
+from repro.experiments.runner import (
+    default_method_specs,
+    run_global_trials,
+    run_local_trials,
+)
+from repro.experiments.figures import (
+    figure1,
+    figure3,
+    figure4,
+    figure5,
+    figure6,
+    figure7,
+    figure8,
+)
+from repro.experiments.tables import table2
+
+__all__ = [
+    "ExperimentResult",
+    "MethodSpec",
+    "SweepSpec",
+    "default_method_specs",
+    "run_global_trials",
+    "run_local_trials",
+    "figure1",
+    "figure3",
+    "figure4",
+    "figure5",
+    "figure6",
+    "figure7",
+    "figure8",
+    "table2",
+]

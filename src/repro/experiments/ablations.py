@@ -1,0 +1,171 @@
+"""Ablation experiments called out in DESIGN.md (A1–A3).
+
+* A1 — empirical variance of REPT vs the closed-form predictions, for the
+  three regimes ``c < m``, ``c = m`` and ``c = c₁·m``;
+* A2 — the value of the Graybill–Deal combination when ``c mod m ≠ 0``:
+  combined estimate vs using only the complete groups (τ̂⁽¹⁾) or only the
+  partial group (τ̂⁽²⁾);
+* A3 — hash-family choice (splitmix vs tabulation) does not change accuracy.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.variance import rept_variance
+from repro.core.config import ReptConfig
+from repro.core.rept import ReptEstimator
+from repro.experiments.spec import ExperimentResult
+from repro.generators.datasets import load_dataset
+from repro.graph.statistics import compute_statistics
+from repro.metrics.errors import empirical_variance, normalized_rmse
+from repro.utils.rng import derive_seed
+from repro.utils.tables import format_table
+
+
+def _truncated(dataset: str, max_edges: Optional[int]):
+    stream = load_dataset(dataset)
+    if max_edges is not None and len(stream) > max_edges:
+        stream = stream.prefix(max_edges)
+    return stream
+
+
+def ablation_variance(
+    dataset: str = "youtube-sim",
+    m: int = 10,
+    c_values: Sequence[int] = (2, 5, 10, 20, 30),
+    num_trials: int = 30,
+    seed: int = 11,
+    max_edges: Optional[int] = 4000,
+) -> ExperimentResult:
+    """A1: empirical variance of τ̂ against the paper's closed forms."""
+    stream = _truncated(dataset, max_edges)
+    edges = stream.edges()
+    stats = compute_statistics(edges, name=dataset)
+    headers = ["c", "regime", "empirical Var", "predicted Var", "ratio"]
+    rows: List[List] = []
+    series: Dict[str, Dict[str, List[float]]] = {dataset: {"empirical": [], "predicted": []}}
+    for c in c_values:
+        estimates = []
+        for trial in range(num_trials):
+            config = ReptConfig(
+                m=m, c=c, seed=derive_seed(seed, "A1", c, trial), track_local=False
+            )
+            estimates.append(ReptEstimator(config).run(edges).global_count)
+        empirical = empirical_variance(estimates)
+        predicted = rept_variance(stats.num_triangles, stats.eta, m, c)
+        regime = "c<m" if c < m else ("c=m" if c == m else ("c=k*m" if c % m == 0 else "c>m,c%m!=0"))
+        ratio = empirical / predicted if predicted > 0 else float("inf")
+        rows.append([c, regime, empirical, predicted, ratio])
+        series[dataset]["empirical"].append(empirical)
+        series[dataset]["predicted"].append(predicted)
+    text = format_table(
+        headers, rows, title=f"Ablation A1: REPT variance vs closed form ({dataset}, m={m})"
+    )
+    return ExperimentResult(
+        experiment_id="ablation_variance",
+        description="Empirical vs predicted variance of REPT",
+        axis_name="c",
+        axis_values=list(c_values),
+        series=series,
+        rows=rows,
+        headers=headers,
+        text=text,
+        metadata={"dataset": dataset, "m": m, "num_trials": num_trials, "seed": seed},
+    )
+
+
+def ablation_combination(
+    dataset: str = "youtube-sim",
+    m: int = 8,
+    c_values: Sequence[int] = (10, 12, 20, 28),
+    num_trials: int = 20,
+    seed: int = 12,
+    max_edges: Optional[int] = 4000,
+) -> ExperimentResult:
+    """A2: Graybill–Deal combination vs its two ingredients (c mod m != 0)."""
+    stream = _truncated(dataset, max_edges)
+    edges = stream.edges()
+    stats = compute_statistics(edges, name=dataset)
+    truth = float(stats.num_triangles)
+    headers = ["c", "NRMSE combined", "NRMSE complete-only", "NRMSE partial-only"]
+    rows: List[List] = []
+    series: Dict[str, Dict[str, List[float]]] = {
+        dataset: {"combined": [], "complete_only": [], "partial_only": []}
+    }
+    for c in c_values:
+        combined, complete_only, partial_only = [], [], []
+        for trial in range(num_trials):
+            config = ReptConfig(m=m, c=c, seed=derive_seed(seed, "A2", c, trial), track_local=False)
+            estimate = ReptEstimator(config).run(edges)
+            combined.append(estimate.global_count)
+            complete_only.append(estimate.metadata.get("tau_hat_complete", estimate.global_count))
+            partial_only.append(estimate.metadata.get("tau_hat_partial", estimate.global_count))
+        rows.append(
+            [
+                c,
+                normalized_rmse(combined, truth),
+                normalized_rmse(complete_only, truth),
+                normalized_rmse(partial_only, truth),
+            ]
+        )
+        series[dataset]["combined"].append(rows[-1][1])
+        series[dataset]["complete_only"].append(rows[-1][2])
+        series[dataset]["partial_only"].append(rows[-1][3])
+    text = format_table(
+        headers, rows, title=f"Ablation A2: Graybill-Deal combination ({dataset}, m={m})"
+    )
+    return ExperimentResult(
+        experiment_id="ablation_combination",
+        description="Combined estimate vs complete-only / partial-only estimates",
+        axis_name="c",
+        axis_values=list(c_values),
+        series=series,
+        rows=rows,
+        headers=headers,
+        text=text,
+        metadata={"dataset": dataset, "m": m, "num_trials": num_trials, "seed": seed},
+    )
+
+
+def ablation_hash_family(
+    dataset: str = "web-google-sim",
+    m: int = 10,
+    c: int = 10,
+    num_trials: int = 20,
+    seed: int = 13,
+    max_edges: Optional[int] = 4000,
+) -> ExperimentResult:
+    """A3: splitmix vs tabulation hashing — accuracy should be indistinguishable."""
+    stream = _truncated(dataset, max_edges)
+    edges = stream.edges()
+    stats = compute_statistics(edges, name=dataset)
+    truth = float(stats.num_triangles)
+    headers = ["hash family", "NRMSE", "mean estimate"]
+    rows: List[List] = []
+    series: Dict[str, Dict[str, List[float]]] = {dataset: {}}
+    for kind in ("splitmix", "tabulation"):
+        estimates = []
+        for trial in range(num_trials):
+            config = ReptConfig(
+                m=m, c=c, seed=derive_seed(seed, "A3", kind, trial),
+                hash_kind=kind, track_local=False,
+            )
+            estimates.append(ReptEstimator(config).run(edges).global_count)
+        nrmse = normalized_rmse(estimates, truth)
+        rows.append([kind, nrmse, sum(estimates) / len(estimates)])
+        series[dataset][kind] = [nrmse]
+    text = format_table(
+        headers, rows, title=f"Ablation A3: hash family comparison ({dataset}, m={m}, c={c})"
+    )
+    return ExperimentResult(
+        experiment_id="ablation_hash_family",
+        description="REPT accuracy under different edge-partition hash families",
+        axis_name="hash",
+        axis_values=["splitmix", "tabulation"],
+        series=series,
+        rows=rows,
+        headers=headers,
+        text=text,
+        metadata={"dataset": dataset, "m": m, "c": c, "num_trials": num_trials, "seed": seed},
+    )

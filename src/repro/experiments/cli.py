@@ -1,0 +1,132 @@
+"""Command-line entry point: ``rept-experiment <artefact> [options]``.
+
+Examples
+--------
+Run the Table II reproduction on every registered dataset::
+
+    rept-experiment table2
+
+Run Figure 3 on two datasets with 3 trials and truncated streams::
+
+    rept-experiment figure3 --datasets flickr-sim youtube-sim --trials 3 --max-edges 4000
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Optional
+
+from repro.experiments import figures, tables
+from repro.experiments import ablations
+from repro.experiments.spec import ExperimentResult
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="rept-experiment",
+        description="Regenerate a table or figure of the REPT paper",
+    )
+    parser.add_argument(
+        "artefact",
+        choices=sorted(_ARTEFACTS),
+        help="which paper artefact (or ablation) to regenerate",
+    )
+    parser.add_argument(
+        "--datasets",
+        nargs="*",
+        default=None,
+        help="registered dataset names (default: all)",
+    )
+    parser.add_argument("--trials", type=int, default=None, help="independent trials per cell")
+    parser.add_argument("--seed", type=int, default=None, help="master seed")
+    parser.add_argument(
+        "--max-edges",
+        type=int,
+        default=None,
+        help="truncate every stream to this many edges (smaller = faster)",
+    )
+    parser.add_argument(
+        "--c-values",
+        nargs="*",
+        type=int,
+        default=None,
+        help="override the processor-count axis for the accuracy figures",
+    )
+    return parser
+
+
+def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
+    kwargs: Dict[str, object] = {}
+    if args.max_edges is not None:
+        kwargs["max_edges"] = args.max_edges
+
+    if name in ("figure3", "figure4", "figure5", "figure6"):
+        if args.datasets is not None:
+            kwargs["datasets"] = args.datasets
+        if args.trials is not None:
+            kwargs["num_trials"] = args.trials
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.c_values:
+            kwargs["c_values"] = args.c_values
+    elif name == "figure1":
+        if args.datasets is not None:
+            kwargs["datasets"] = args.datasets
+    elif name == "figure7":
+        if args.datasets is not None:
+            kwargs["datasets"] = args.datasets
+    elif name == "figure8":
+        if args.datasets:
+            kwargs["dataset"] = args.datasets[0]
+        if args.trials is not None:
+            kwargs["num_trials"] = args.trials
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.c_values:
+            kwargs["c_values"] = args.c_values
+    elif name == "table2":
+        if args.datasets is not None:
+            kwargs["datasets"] = args.datasets
+    else:  # ablations
+        if args.datasets:
+            kwargs["dataset"] = args.datasets[0]
+        if args.trials is not None:
+            kwargs["num_trials"] = args.trials
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+    return _ARTEFACTS[name](**kwargs)
+
+
+def _prediction_artefact(**kwargs) -> ExperimentResult:
+    from repro.experiments.predictions import prediction_vs_measurement
+
+    return prediction_vs_measurement(**kwargs)
+
+
+_ARTEFACTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "figure1": figures.figure1,
+    "figure3": figures.figure3,
+    "figure4": figures.figure4,
+    "figure5": figures.figure5,
+    "figure6": figures.figure6,
+    "figure7": figures.figure7,
+    "figure8": figures.figure8,
+    "table2": tables.table2,
+    "ablation-variance": ablations.ablation_variance,
+    "ablation-combination": ablations.ablation_combination,
+    "ablation-hash": ablations.ablation_hash_family,
+    "predictions": _prediction_artefact,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = _build_parser().parse_args(argv)
+    result = _run_artefact(args.artefact, args)
+    print(result.text)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

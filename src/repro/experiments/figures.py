@@ -1,0 +1,390 @@
+"""One function per figure of the paper's evaluation section.
+
+Every function returns an :class:`~repro.experiments.spec.ExperimentResult`
+whose ``series`` (or ``rows``) contain the same quantities the paper plots,
+and whose ``text`` field is a ready-to-print rendering.  Parameters default
+to a configuration that runs in minutes on a laptop against the synthetic
+dataset registry; pass larger ``num_trials`` / full dataset lists for
+tighter error bars.
+
+The paper's axes:
+
+* Figure 1  — τ vs η and the two MASCOT variance terms, per dataset.
+* Figure 3  — global NRMSE vs c (p = 0.01), REPT vs MASCOT/TRIÈST/GPS.
+* Figure 4  — global NRMSE vs c (p = 0.1).
+* Figure 5  — local NRMSE vs c (p = 0.01), REPT vs MASCOT/TRIÈST.
+* Figure 6  — local NRMSE vs c (p = 0.1).
+* Figure 7  — runtime vs 1/p at c = 10, all four methods.
+* Figure 8  — REPT vs single-threaded baselines (equal total memory):
+              runtime and NRMSE vs c on Flickr.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.runner import default_method_specs, run_global_trials, run_local_trials
+from repro.experiments.spec import ExperimentResult
+from repro.generators.datasets import available_datasets, load_dataset
+from repro.graph.statistics import compute_statistics
+from repro.metrics.runtime import measure_runtime
+from repro.utils.rng import derive_seed
+from repro.utils.tables import format_series, format_table
+
+#: Paper parameter grids (Figures 3-6).
+FIGURE3_C_VALUES = (20, 80, 160, 240, 320)
+FIGURE4_C_VALUES = (2, 8, 16, 24, 32)
+FIGURE7_INV_P_VALUES = (2, 4, 8, 16, 32)
+FIGURE8_C_VALUES = (2, 4, 8, 16, 32)
+
+
+def _prepare_stream(dataset: str, max_edges: Optional[int]):
+    """Load a registered dataset, optionally truncated to ``max_edges``."""
+    stream = load_dataset(dataset)
+    if max_edges is not None and len(stream) > max_edges:
+        stream = stream.prefix(max_edges)
+    return stream
+
+
+def _resolve_datasets(datasets: Optional[Sequence[str]]) -> List[str]:
+    return list(datasets) if datasets else available_datasets()
+
+
+# ---------------------------------------------------------------------------
+# Figure 1: τ vs η and the MASCOT variance terms
+# ---------------------------------------------------------------------------
+
+def figure1(
+    datasets: Optional[Sequence[str]] = None,
+    probabilities: Sequence[float] = (0.1, 0.05, 0.01),
+    max_edges: Optional[int] = None,
+) -> ExperimentResult:
+    """Reproduce Figure 1: exact τ, η and the variance terms per dataset.
+
+    The paper's claim is that ``2η(p⁻¹−1)`` dominates ``τ(p⁻²−1)`` — i.e.
+    the covariance between sampled semi-triangles dominates MASCOT's error.
+    """
+    names = _resolve_datasets(datasets)
+    headers = ["dataset", "tau", "eta", "eta/tau"]
+    for p in probabilities:
+        headers.append(f"tau(p^-2-1) p={p}")
+        headers.append(f"2eta(p^-1-1) p={p}")
+        headers.append(f"ratio p={p}")
+    rows: List[List] = []
+    series: Dict[str, Dict[str, List[float]]] = {}
+    for name in names:
+        stream = _prepare_stream(name, max_edges)
+        stats = compute_statistics(stream.edges(), name=name)
+        row: List = [name, stats.num_triangles, stats.eta, stats.eta_to_tau_ratio()]
+        per_dataset: Dict[str, List[float]] = {"tau": [], "eta": [], "tau_term": [], "cov_term": []}
+        for p in probabilities:
+            terms = stats.mascot_variance_terms(p)
+            tau_term = terms["tau_term"]
+            cov_term = terms["covariance_term"]
+            ratio = cov_term / tau_term if tau_term > 0 else float("inf")
+            row.extend([tau_term, cov_term, ratio])
+            per_dataset["tau"].append(float(stats.num_triangles))
+            per_dataset["eta"].append(float(stats.eta))
+            per_dataset["tau_term"].append(tau_term)
+            per_dataset["cov_term"].append(cov_term)
+        rows.append(row)
+        series[name] = per_dataset
+    text = format_table(headers, rows, title="Figure 1: tau vs eta and MASCOT variance terms")
+    return ExperimentResult(
+        experiment_id="figure1",
+        description="Exact tau/eta and MASCOT variance terms per dataset",
+        axis_name="p",
+        axis_values=list(probabilities),
+        series=series,
+        rows=rows,
+        headers=headers,
+        text=text,
+        metadata={"datasets": names, "probabilities": list(probabilities)},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figures 3-6: accuracy sweeps over the processor count
+# ---------------------------------------------------------------------------
+
+def _accuracy_sweep(
+    experiment_id: str,
+    description: str,
+    p: float,
+    c_values: Sequence[int],
+    datasets: Optional[Sequence[str]],
+    methods: Sequence[str],
+    num_trials: int,
+    seed: int,
+    local: bool,
+    max_edges: Optional[int],
+) -> ExperimentResult:
+    names = _resolve_datasets(datasets)
+    series: Dict[str, Dict[str, List[float]]] = {}
+    text_blocks: List[str] = []
+    for name in names:
+        stream = _prepare_stream(name, max_edges)
+        edges = stream.edges()
+        stats = compute_statistics(edges, name=name)
+        per_method: Dict[str, List[float]] = {}
+        for c in c_values:
+            specs = default_method_specs(
+                p, c, len(edges), methods=methods, track_local=local
+            )
+            cell_seed = derive_seed(seed, experiment_id, name, c)
+            if local:
+                truth_local = {
+                    node: float(value) for node, value in stats.local_triangles.items()
+                }
+                summaries = run_local_trials(specs, edges, truth_local, num_trials, seed=cell_seed)
+            else:
+                summaries = run_global_trials(
+                    specs, edges, float(stats.num_triangles), num_trials, seed=cell_seed
+                )
+            for method_name, summary in summaries.items():
+                per_method.setdefault(method_name, []).append(summary.nrmse)
+        series[name] = per_method
+        text_blocks.append(
+            format_series(
+                "c",
+                list(c_values),
+                [(method, values) for method, values in per_method.items()],
+                title=f"{experiment_id} — {name} (p={p}, trials={num_trials})",
+            )
+        )
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        description=description,
+        axis_name="c",
+        axis_values=list(c_values),
+        series=series,
+        text="\n\n".join(text_blocks),
+        metadata={
+            "p": p,
+            "datasets": names,
+            "methods": list(methods),
+            "num_trials": num_trials,
+            "seed": seed,
+            "max_edges": max_edges,
+            "local": local,
+        },
+    )
+
+
+def figure3(
+    datasets: Optional[Sequence[str]] = None,
+    c_values: Sequence[int] = FIGURE3_C_VALUES,
+    num_trials: int = 5,
+    seed: int = 3,
+    max_edges: Optional[int] = None,
+    methods: Sequence[str] = ("mascot", "triest", "gps", "rept"),
+) -> ExperimentResult:
+    """Figure 3: global-count NRMSE vs c at p = 0.01."""
+    return _accuracy_sweep(
+        "figure3",
+        "Global NRMSE vs number of processors, p=0.01",
+        p=0.01,
+        c_values=c_values,
+        datasets=datasets,
+        methods=methods,
+        num_trials=num_trials,
+        seed=seed,
+        local=False,
+        max_edges=max_edges,
+    )
+
+
+def figure4(
+    datasets: Optional[Sequence[str]] = None,
+    c_values: Sequence[int] = FIGURE4_C_VALUES,
+    num_trials: int = 5,
+    seed: int = 4,
+    max_edges: Optional[int] = None,
+    methods: Sequence[str] = ("mascot", "triest", "gps", "rept"),
+) -> ExperimentResult:
+    """Figure 4: global-count NRMSE vs c at p = 0.1."""
+    return _accuracy_sweep(
+        "figure4",
+        "Global NRMSE vs number of processors, p=0.1",
+        p=0.1,
+        c_values=c_values,
+        datasets=datasets,
+        methods=methods,
+        num_trials=num_trials,
+        seed=seed,
+        local=False,
+        max_edges=max_edges,
+    )
+
+
+def figure5(
+    datasets: Optional[Sequence[str]] = None,
+    c_values: Sequence[int] = FIGURE3_C_VALUES,
+    num_trials: int = 5,
+    seed: int = 5,
+    max_edges: Optional[int] = None,
+    methods: Sequence[str] = ("mascot", "triest", "rept"),
+) -> ExperimentResult:
+    """Figure 5: local-count NRMSE vs c at p = 0.01 (GPS omitted, as in the paper)."""
+    return _accuracy_sweep(
+        "figure5",
+        "Local NRMSE vs number of processors, p=0.01",
+        p=0.01,
+        c_values=c_values,
+        datasets=datasets,
+        methods=methods,
+        num_trials=num_trials,
+        seed=seed,
+        local=True,
+        max_edges=max_edges,
+    )
+
+
+def figure6(
+    datasets: Optional[Sequence[str]] = None,
+    c_values: Sequence[int] = FIGURE4_C_VALUES,
+    num_trials: int = 5,
+    seed: int = 6,
+    max_edges: Optional[int] = None,
+    methods: Sequence[str] = ("mascot", "triest", "rept"),
+) -> ExperimentResult:
+    """Figure 6: local-count NRMSE vs c at p = 0.1."""
+    return _accuracy_sweep(
+        "figure6",
+        "Local NRMSE vs number of processors, p=0.1",
+        p=0.1,
+        c_values=c_values,
+        datasets=datasets,
+        methods=methods,
+        num_trials=num_trials,
+        seed=seed,
+        local=True,
+        max_edges=max_edges,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 7: runtime vs 1/p
+# ---------------------------------------------------------------------------
+
+def figure7(
+    datasets: Optional[Sequence[str]] = None,
+    inv_p_values: Sequence[int] = FIGURE7_INV_P_VALUES,
+    c: int = 10,
+    seed: int = 7,
+    max_edges: Optional[int] = None,
+    methods: Sequence[str] = ("mascot", "triest", "gps", "rept"),
+) -> ExperimentResult:
+    """Figure 7: wall-clock runtime vs 1/p at c = 10 processors.
+
+    Absolute seconds are implementation- and machine-specific (the paper
+    times a C++ implementation); the reproduction checks the *ordering*
+    (REPT ≈ MASCOT faster than TRIÈST faster than GPS) and the growth of
+    runtime as p grows (1/p shrinks).
+    """
+    names = _resolve_datasets(datasets)
+    series: Dict[str, Dict[str, List[float]]] = {}
+    text_blocks: List[str] = []
+    for name in names:
+        stream = _prepare_stream(name, max_edges)
+        edges = stream.edges()
+        per_method: Dict[str, List[float]] = {}
+        for inv_p in inv_p_values:
+            p = 1.0 / inv_p
+            specs = default_method_specs(p, c, len(edges), methods=methods, track_local=True)
+            for index, spec in enumerate(specs):
+                trial_seed = derive_seed(seed, "figure7", name, inv_p, index)
+                estimator = spec.factory(trial_seed)
+                measurement = measure_runtime(estimator, edges)
+                per_method.setdefault(spec.name, []).append(measurement.seconds)
+        series[name] = per_method
+        text_blocks.append(
+            format_series(
+                "1/p",
+                list(inv_p_values),
+                [(method, values) for method, values in per_method.items()],
+                title=f"figure7 — {name} runtime seconds (c={c})",
+            )
+        )
+    return ExperimentResult(
+        experiment_id="figure7",
+        description="Runtime vs 1/p at c=10 processors",
+        axis_name="1/p",
+        axis_values=list(inv_p_values),
+        series=series,
+        text="\n\n".join(text_blocks),
+        metadata={"c": c, "datasets": names, "methods": list(methods), "max_edges": max_edges},
+    )
+
+
+# ---------------------------------------------------------------------------
+# Figure 8: REPT vs single-threaded baselines with equal total memory
+# ---------------------------------------------------------------------------
+
+def figure8(
+    dataset: str = "flickr-sim",
+    c_values: Sequence[int] = FIGURE8_C_VALUES,
+    inv_p: int = 10,
+    num_trials: int = 5,
+    seed: int = 8,
+    max_edges: Optional[int] = None,
+) -> ExperimentResult:
+    """Figure 8: runtime and NRMSE of REPT vs MASCOT-S / TRIÈST-S / GPS-S.
+
+    The single-threaded baselines get the *combined* memory of the c
+    processors (sampling probability ``c·p``, budgets ``c·p·|E|``); REPT
+    uses ``c`` processors at probability ``p``.  The paper's observation is
+    that REPT is one to two orders of magnitude faster per worker while its
+    error stays comparable.
+    """
+    stream = _prepare_stream(dataset, max_edges)
+    edges = stream.edges()
+    stats = compute_statistics(edges, name=dataset)
+    truth = float(stats.num_triangles)
+    p = 1.0 / inv_p
+
+    methods = ("mascot-s", "triest-s", "gps-s", "rept")
+    runtime_series: Dict[str, List[float]] = {}
+    error_series: Dict[str, List[float]] = {}
+    for c in c_values:
+        specs = default_method_specs(p, c, len(edges), methods=methods, track_local=True)
+        cell_seed = derive_seed(seed, "figure8", dataset, c)
+        summaries = run_global_trials(specs, edges, truth, num_trials, seed=cell_seed)
+        for spec in specs:
+            error_series.setdefault(spec.name, []).append(summaries[spec.name].nrmse)
+        for index, spec in enumerate(specs):
+            estimator = spec.factory(derive_seed(seed, "figure8-rt", dataset, c, index))
+            measurement = measure_runtime(estimator, edges)
+            runtime_series.setdefault(spec.name, []).append(measurement.seconds)
+
+    text = "\n\n".join(
+        [
+            format_series(
+                "c",
+                list(c_values),
+                [(name, values) for name, values in runtime_series.items()],
+                title=f"figure8 — {dataset} runtime seconds (1/p={inv_p})",
+            ),
+            format_series(
+                "c",
+                list(c_values),
+                [(name, values) for name, values in error_series.items()],
+                title=f"figure8 — {dataset} global NRMSE (1/p={inv_p}, trials={num_trials})",
+            ),
+        ]
+    )
+    return ExperimentResult(
+        experiment_id="figure8",
+        description="REPT vs single-threaded baselines with equal total memory",
+        axis_name="c",
+        axis_values=list(c_values),
+        series={"runtime": runtime_series, "nrmse": error_series},
+        text=text,
+        metadata={
+            "dataset": dataset,
+            "inv_p": inv_p,
+            "num_trials": num_trials,
+            "seed": seed,
+            "max_edges": max_edges,
+        },
+    )

@@ -1,0 +1,110 @@
+"""Predicted-vs-measured NRMSE (the quantitative form of Section III-C).
+
+The paper's accuracy comparison is analytical: it derives
+``Var(parallel MASCOT) = (τ(m²−1) + 2η(m−1))/c`` and REPT's variance for the
+three regimes of ``c``, and argues REPT wins because η dominates.  This
+experiment closes the loop empirically: for one dataset it computes the
+closed-form NRMSE predictions from the exact ``τ`` and ``η`` and overlays
+the measured NRMSE of both methods, so the agreement (and hence the
+correctness of both the implementation and the formulas) is visible in one
+table.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.variance import (
+    parallel_mascot_variance,
+    predicted_nrmse,
+    rept_variance,
+)
+from repro.experiments.runner import default_method_specs, run_global_trials
+from repro.experiments.spec import ExperimentResult
+from repro.generators.datasets import load_dataset
+from repro.graph.statistics import compute_statistics
+from repro.utils.rng import derive_seed
+from repro.utils.tables import format_table
+
+
+def prediction_vs_measurement(
+    dataset: str = "flickr-sim",
+    m: int = 10,
+    c_values: Sequence[int] = (2, 5, 10, 20, 30),
+    num_trials: int = 10,
+    seed: int = 21,
+    max_edges: Optional[int] = None,
+) -> ExperimentResult:
+    """Compare measured NRMSE of REPT / parallel MASCOT with the closed forms.
+
+    Parameters mirror the accuracy figures; ``m`` fixes the per-processor
+    sampling probability at ``1/m`` while ``c`` sweeps the processor count
+    across the three analytical regimes (``c < m``, ``c = m``, ``c > m``).
+    """
+    stream = load_dataset(dataset)
+    if max_edges is not None and len(stream) > max_edges:
+        stream = stream.prefix(max_edges)
+    edges = stream.edges()
+    stats = compute_statistics(edges, name=dataset)
+    truth = float(stats.num_triangles)
+
+    headers = [
+        "c",
+        "REPT measured",
+        "REPT predicted",
+        "MASCOT measured",
+        "MASCOT predicted",
+    ]
+    rows: List[List] = []
+    series: Dict[str, Dict[str, List[float]]] = {
+        dataset: {
+            "REPT measured": [],
+            "REPT predicted": [],
+            "MASCOT measured": [],
+            "MASCOT predicted": [],
+        }
+    }
+    for c in c_values:
+        specs = default_method_specs(1.0 / m, c, len(edges), methods=("rept", "mascot"))
+        summaries = run_global_trials(
+            specs, edges, truth, num_trials, seed=derive_seed(seed, "pred", dataset, c)
+        )
+        rept_pred = predicted_nrmse(rept_variance(truth, stats.eta, m, c), truth)
+        mascot_pred = predicted_nrmse(
+            parallel_mascot_variance(truth, stats.eta, m, c), truth
+        )
+        rows.append(
+            [c, summaries["REPT"].nrmse, rept_pred, summaries["MASCOT"].nrmse, mascot_pred]
+        )
+        series[dataset]["REPT measured"].append(summaries["REPT"].nrmse)
+        series[dataset]["REPT predicted"].append(rept_pred)
+        series[dataset]["MASCOT measured"].append(summaries["MASCOT"].nrmse)
+        series[dataset]["MASCOT predicted"].append(mascot_pred)
+
+    text = format_table(
+        headers,
+        rows,
+        title=(
+            f"Predicted vs measured NRMSE — {dataset} "
+            f"(m={m}, trials={num_trials}, tau={stats.num_triangles}, eta={stats.eta})"
+        ),
+    )
+    return ExperimentResult(
+        experiment_id="prediction_vs_measurement",
+        description="Closed-form NRMSE predictions vs measured errors (Section III-C)",
+        axis_name="c",
+        axis_values=list(c_values),
+        series=series,
+        rows=rows,
+        headers=headers,
+        text=text,
+        metadata={
+            "dataset": dataset,
+            "m": m,
+            "num_trials": num_trials,
+            "seed": seed,
+            "max_edges": max_edges,
+            "tau": stats.num_triangles,
+            "eta": stats.eta,
+        },
+    )

@@ -1,0 +1,97 @@
+"""Persistence and comparison of experiment results.
+
+Long sweeps are expensive; these helpers serialise an
+:class:`~repro.experiments.spec.ExperimentResult` to JSON (and back) so that
+runs can be archived, diffed across code versions, and quoted in
+EXPERIMENTS.md without re-running anything.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.spec import ExperimentResult
+
+PathLike = Union[str, Path]
+
+_FORMAT_VERSION = 1
+
+
+def save_result(result: ExperimentResult, path: PathLike) -> Path:
+    """Serialise ``result`` to a JSON file and return the path written."""
+    path = Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "result": asdict(result),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
+    return path
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    """Load an :class:`ExperimentResult` previously written by :func:`save_result`."""
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "result" not in payload:
+        raise ExperimentError(f"{path} is not a saved experiment result")
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ExperimentError(
+            f"{path} uses format version {version!r}; this build reads {_FORMAT_VERSION}"
+        )
+    data = payload["result"]
+    return ExperimentResult(
+        experiment_id=data["experiment_id"],
+        description=data.get("description", ""),
+        axis_name=data.get("axis_name", ""),
+        axis_values=data.get("axis_values", []),
+        series=data.get("series", {}),
+        rows=data.get("rows", []),
+        headers=data.get("headers", []),
+        text=data.get("text", ""),
+        metadata=data.get("metadata", {}),
+    )
+
+
+def compare_results(
+    baseline: ExperimentResult, candidate: ExperimentResult
+) -> Dict[str, Dict[str, List[float]]]:
+    """Return per-series ratios ``candidate / baseline`` for matching cells.
+
+    Useful for regression tracking: run a sweep on two code versions, save
+    both, and inspect where the candidate's errors (or runtimes) moved.
+    Cells present in only one result are skipped.
+
+    Raises
+    ------
+    ExperimentError
+        If the two results regenerate different experiments or different
+        axis values (ratios would be meaningless).
+    """
+    if baseline.experiment_id != candidate.experiment_id:
+        raise ExperimentError(
+            "cannot compare results of different experiments: "
+            f"{baseline.experiment_id!r} vs {candidate.experiment_id!r}"
+        )
+    if baseline.axis_values != candidate.axis_values:
+        raise ExperimentError("cannot compare results with different axis values")
+    ratios: Dict[str, Dict[str, List[float]]] = {}
+    for dataset, methods in baseline.series.items():
+        if dataset not in candidate.series:
+            continue
+        for method, baseline_values in methods.items():
+            candidate_values = candidate.series[dataset].get(method)
+            if candidate_values is None:
+                continue
+            pairs = zip(baseline_values, candidate_values)
+            ratios.setdefault(dataset, {})[method] = [
+                (cand / base) if base else float("inf") for base, cand in pairs
+            ]
+    return ratios

@@ -1,0 +1,185 @@
+"""Trial runner: repeated independent runs of estimators over one stream.
+
+A "cell" of every figure is (dataset, method, parameter value); the runner
+executes ``num_trials`` independent runs of the method on the dataset's
+stream and reduces them to the error summaries defined in
+:mod:`repro.metrics`.  Trials differ only in their sampling randomness —
+the stream and its arrival order are fixed, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
+from repro.baselines.parallel import parallelize
+from repro.baselines.single_threaded import (
+    make_single_threaded_gps,
+    make_single_threaded_mascot,
+    make_single_threaded_triest,
+)
+from repro.core.config import ReptConfig
+from repro.core.rept import ReptEstimator
+from repro.exceptions import ConfigurationError
+from repro.experiments.spec import MethodSpec
+from repro.metrics.errors import TrialSummary, summarize_trials
+from repro.metrics.local_errors import LocalTrialSummary, summarize_local_trials
+from repro.types import EdgeTuple, NodeId
+from repro.utils.rng import SeedLike, spawn_rngs
+
+#: Method names understood by :func:`default_method_specs`.
+PARALLEL_METHODS = ("rept", "mascot", "triest", "gps")
+SINGLE_THREADED_METHODS = ("mascot-s", "triest-s", "gps-s")
+
+
+def default_method_specs(
+    p: float,
+    c: int,
+    stream_length: int,
+    methods: Sequence[str] = PARALLEL_METHODS,
+    track_local: bool = False,
+) -> List[MethodSpec]:
+    """Build the standard method line-up of the paper's figures.
+
+    Parameters
+    ----------
+    p:
+        Per-processor sampling probability (``1/m`` for REPT; the same ``p``
+        for MASCOT; budget ``p·|E|`` for TRIÈST; ``p·|E|/2`` for GPS).
+    c:
+        Number of processors.
+    stream_length:
+        ``|E|``, used to size the fixed-budget samplers.
+    methods:
+        Which methods to include; any of ``rept``, ``mascot``, ``triest``,
+        ``gps``, ``mascot-s``, ``triest-s``, ``gps-s``.
+    track_local:
+        Whether estimators should maintain local (per-node) counts.
+    """
+    m = int(round(1.0 / p))
+    if m < 1 or abs(1.0 / m - p) > 1e-9:
+        raise ConfigurationError(
+            f"p={p} is not of the form 1/m for an integer m (closest m={m})"
+        )
+    specs: List[MethodSpec] = []
+    for method in methods:
+        if method == "rept":
+            specs.append(
+                MethodSpec(
+                    name="REPT",
+                    factory=lambda seed, _m=m, _c=c, _tl=track_local: ReptEstimator(
+                        ReptConfig(m=_m, c=_c, seed=_coerce_seed(seed), track_local=_tl)
+                    ),
+                )
+            )
+        elif method in ("mascot", "triest", "gps"):
+            specs.append(
+                MethodSpec(
+                    name=method.upper() if method != "triest" else "TRIEST",
+                    factory=lambda seed, _method=method, _c=c, _p=p, _len=stream_length, _tl=track_local: parallelize(
+                        _method, _c, _p, _len, seed=seed, track_local=_tl
+                    ),
+                )
+            )
+        elif method == "mascot-s":
+            specs.append(
+                MethodSpec(
+                    name="MASCOT-S",
+                    factory=lambda seed, _p=p, _c=c, _tl=track_local: make_single_threaded_mascot(
+                        _p, _c, seed=seed, track_local=_tl
+                    ),
+                )
+            )
+        elif method == "triest-s":
+            specs.append(
+                MethodSpec(
+                    name="TRIEST-S",
+                    factory=lambda seed, _p=p, _c=c, _len=stream_length, _tl=track_local: make_single_threaded_triest(
+                        _p, _c, _len, seed=seed, track_local=_tl
+                    ),
+                )
+            )
+        elif method == "gps-s":
+            specs.append(
+                MethodSpec(
+                    name="GPS-S",
+                    factory=lambda seed, _p=p, _c=c, _len=stream_length, _tl=track_local: make_single_threaded_gps(
+                        _p, _c, _len, seed=seed, track_local=_tl
+                    ),
+                )
+            )
+        else:
+            raise ConfigurationError(f"unknown method {method!r}")
+    return specs
+
+
+def _coerce_seed(seed: SeedLike) -> Optional[int]:
+    """REPT configs store a resolved integer seed; coerce RandomSource children."""
+    if seed is None or isinstance(seed, int):
+        return seed
+    # RandomSource (or Generator): draw one integer deterministically.
+    from repro.utils.rng import as_random_source
+
+    return int(as_random_source(seed).random_uint64() % (2**63))
+
+
+def run_trials(
+    spec: MethodSpec,
+    edges: Sequence[EdgeTuple],
+    num_trials: int,
+    seed: SeedLike = 0,
+) -> List[TriangleEstimate]:
+    """Run ``num_trials`` independent runs of one method over one stream."""
+    if num_trials < 1:
+        raise ConfigurationError("num_trials must be >= 1")
+    estimates: List[TriangleEstimate] = []
+    for child in spawn_rngs(seed, num_trials):
+        estimator = spec.factory(child)
+        estimates.append(estimator.run(edges))
+    return estimates
+
+
+def run_global_trials(
+    specs: Iterable[MethodSpec],
+    edges: Sequence[EdgeTuple],
+    truth: float,
+    num_trials: int,
+    seed: SeedLike = 0,
+) -> Dict[str, TrialSummary]:
+    """Run every method and summarise the *global*-count errors.
+
+    Returns a mapping method name -> :class:`TrialSummary`.
+    """
+    edge_list = list(edges)
+    results: Dict[str, TrialSummary] = {}
+    for index, spec in enumerate(specs):
+        estimates = run_trials(spec, edge_list, num_trials, seed=_method_seed(seed, index))
+        results[spec.name] = summarize_trials(
+            [estimate.global_count for estimate in estimates], truth
+        )
+    return results
+
+
+def run_local_trials(
+    specs: Iterable[MethodSpec],
+    edges: Sequence[EdgeTuple],
+    truth_local: Mapping[NodeId, float],
+    num_trials: int,
+    seed: SeedLike = 0,
+) -> Dict[str, LocalTrialSummary]:
+    """Run every method and summarise the *local*-count errors."""
+    edge_list = list(edges)
+    results: Dict[str, LocalTrialSummary] = {}
+    for index, spec in enumerate(specs):
+        estimates = run_trials(spec, edge_list, num_trials, seed=_method_seed(seed, index))
+        results[spec.name] = summarize_local_trials(
+            [estimate.local_counts for estimate in estimates], truth_local
+        )
+    return results
+
+
+def _method_seed(seed: SeedLike, method_index: int) -> int:
+    """Derive a per-method seed so adding a method never shifts the others."""
+    from repro.utils.rng import derive_seed
+
+    return derive_seed(seed if isinstance(seed, int) else 0, "method", method_index)

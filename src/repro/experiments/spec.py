@@ -1,0 +1,113 @@
+"""Experiment descriptions and result containers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.baselines.base import StreamingTriangleEstimator
+from repro.exceptions import ExperimentError
+from repro.utils.rng import SeedLike
+
+
+@dataclass(frozen=True)
+class MethodSpec:
+    """One estimator configuration to include in a sweep.
+
+    Attributes
+    ----------
+    name:
+        Label used in reports ("REPT", "MASCOT", ...).
+    factory:
+        Callable ``(seed) -> estimator``; called once per trial with an
+        independently spawned seed.
+    """
+
+    name: str
+    factory: Callable[[SeedLike], StreamingTriangleEstimator]
+
+
+@dataclass
+class SweepSpec:
+    """A parameter sweep over one axis (the x axis of a figure).
+
+    Attributes
+    ----------
+    axis_name:
+        The swept parameter ("c", "1/p", ...).
+    axis_values:
+        Values of the swept parameter, in plot order.
+    datasets:
+        Dataset names the sweep runs on.
+    num_trials:
+        Independent trials per cell.
+    seed:
+        Master seed; each (dataset, method, axis value, trial) derives its
+        own child deterministically.
+    """
+
+    axis_name: str
+    axis_values: Sequence
+    datasets: Sequence[str]
+    num_trials: int = 5
+    seed: SeedLike = 0
+
+    def __post_init__(self) -> None:
+        if not self.axis_values:
+            raise ExperimentError("a sweep needs at least one axis value")
+        if not self.datasets:
+            raise ExperimentError("a sweep needs at least one dataset")
+        if self.num_trials < 1:
+            raise ExperimentError("num_trials must be >= 1")
+
+
+@dataclass
+class ExperimentResult:
+    """Structured output of one figure/table reproduction.
+
+    Attributes
+    ----------
+    experiment_id:
+        Paper artefact identifier, e.g. ``"figure3"``.
+    description:
+        One-line description of what was run.
+    axis_name, axis_values:
+        The x axis (empty for tables).
+    series:
+        Mapping ``dataset -> method -> list of y values`` aligned with
+        ``axis_values`` (figures), or ``dataset -> column -> value``
+        (tables use :attr:`rows` instead).
+    rows:
+        For table-style results: a list of row lists.
+    headers:
+        Column names accompanying :attr:`rows`.
+    text:
+        Plain-text rendering (what the CLI prints and EXPERIMENTS.md quotes).
+    metadata:
+        Parameters the experiment was run with (p, trials, seed, ...).
+    """
+
+    experiment_id: str
+    description: str
+    axis_name: str = ""
+    axis_values: List = field(default_factory=list)
+    series: Dict[str, Dict[str, List[float]]] = field(default_factory=dict)
+    rows: List[List] = field(default_factory=list)
+    headers: List[str] = field(default_factory=list)
+    text: str = ""
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def method_series(self, dataset: str, method: str) -> List[float]:
+        """Return the y-series of ``method`` on ``dataset``.
+
+        Raises :class:`ExperimentError` when the cell is missing, which
+        usually means the experiment was run with a restricted dataset or
+        method list.
+        """
+        try:
+            return self.series[dataset][method]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"{self.experiment_id} has no series for dataset={dataset!r}, "
+                f"method={method!r}"
+            ) from exc

@@ -1,0 +1,44 @@
+"""Synthetic workload generators and the dataset registry.
+
+The paper evaluates on eight public graphs (Twitter, com-Orkut, LiveJournal,
+Pokec, Flickr, Wiki-Talk, Web-Google, YouTube) with up to a billion edges.
+Those files are not available offline and would not fit a laptop-scale
+Python reproduction, so this subpackage provides:
+
+* random-graph stream generators with heavy-tailed degree distributions and
+  abundant triangles (Chung–Lu, Barabási–Albert with triad closure,
+  Erdős–Rényi, planted cliques);
+* a **dataset registry** mapping the paper's dataset names to deterministic
+  synthetic analogues at 10³–10⁵ edges, preserving the property the paper's
+  argument hinges on (η larger than τ by orders of magnitude);
+* a synthetic packet-trace generator for the traffic-monitoring example.
+"""
+
+from repro.generators.random_graphs import (
+    barabasi_albert_stream,
+    chung_lu_stream,
+    erdos_renyi_stream,
+    powerlaw_cluster_stream,
+)
+from repro.generators.planted import planted_clique_stream, planted_triangles_stream
+from repro.generators.datasets import (
+    DatasetSpec,
+    available_datasets,
+    load_dataset,
+    paper_dataset_table,
+)
+from repro.generators.traffic import synthetic_packet_trace
+
+__all__ = [
+    "barabasi_albert_stream",
+    "chung_lu_stream",
+    "erdos_renyi_stream",
+    "powerlaw_cluster_stream",
+    "planted_clique_stream",
+    "planted_triangles_stream",
+    "DatasetSpec",
+    "available_datasets",
+    "load_dataset",
+    "paper_dataset_table",
+    "synthetic_packet_trace",
+]

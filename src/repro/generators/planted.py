@@ -1,0 +1,88 @@
+"""Planted-structure generators with known exact triangle counts.
+
+These graphs make the strongest unit tests: the exact global and local
+triangle counts are known in closed form, so estimator unbiasedness and
+variance formulas can be checked without trusting the exact counters.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.streaming.edge_stream import EdgeStream
+from repro.types import EdgeTuple
+from repro.utils.rng import SeedLike, as_random_source
+
+
+def planted_clique_stream(
+    clique_size: int,
+    noise_edges: int = 0,
+    num_noise_nodes: int = 0,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> EdgeStream:
+    """A clique of ``clique_size`` nodes plus optional triangle-free noise.
+
+    The clique contributes exactly ``C(clique_size, 3)`` triangles; noise
+    edges connect clique nodes to fresh degree-one nodes and therefore add
+    no triangles, keeping the exact count known.
+
+    Parameters
+    ----------
+    clique_size:
+        Number of clique nodes (>= 3 for any triangles to exist).
+    noise_edges:
+        Number of pendant edges to append.
+    num_noise_nodes:
+        Accepted for API compatibility; pendant edges always attach to a
+        fresh node so the triangle count stays exactly ``C(clique_size, 3)``.
+    """
+    if clique_size < 2:
+        raise ValueError("clique_size must be >= 2")
+    edges: List[EdgeTuple] = []
+    for u in range(clique_size):
+        for v in range(u + 1, clique_size):
+            edges.append((u, v))
+    rng = as_random_source(seed)
+    for i in range(noise_edges):
+        anchor = int(rng.integers(0, clique_size))
+        pendant = clique_size + i
+        edges.append((anchor, pendant))
+    return EdgeStream(edges, name=name or f"clique-{clique_size}", validate=False)
+
+
+def planted_triangles_stream(
+    num_triangles: int,
+    shared_edge: bool = False,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> EdgeStream:
+    """A stream of ``num_triangles`` triangles, disjoint or sharing one edge.
+
+    * ``shared_edge=False``: node-disjoint triangles; τ = ``num_triangles``
+      and η = 0 (no two triangles share an edge).
+    * ``shared_edge=True``: a "book" graph — all triangles share the single
+      edge ``(0, 1)`` which arrives *first*, so that edge is a non-last edge
+      of every triangle and η = C(num_triangles, 2).  This gives precise
+      control over the covariance term for variance tests.
+    """
+    if num_triangles < 0:
+        raise ValueError("num_triangles must be non-negative")
+    edges: List[EdgeTuple] = []
+    if shared_edge:
+        edges.append((0, 1))
+        for i in range(num_triangles):
+            apex = 2 + i
+            edges.append((0, apex))
+            edges.append((1, apex))
+    else:
+        for i in range(num_triangles):
+            base = 3 * i
+            edges.append((base, base + 1))
+            edges.append((base + 1, base + 2))
+            edges.append((base, base + 2))
+    # Optionally deterministic shuffle of *disjoint* triangles does not change
+    # eta; keep the natural order for reproducibility.
+    _ = as_random_source(seed)
+    label = "book" if shared_edge else "disjoint"
+    return EdgeStream(edges, name=name or f"planted-{label}-{num_triangles}", validate=False)

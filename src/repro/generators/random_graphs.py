@@ -1,0 +1,208 @@
+"""Random-graph stream generators.
+
+All generators return an :class:`EdgeStream` whose arrival order is the
+generation order (and can be reshuffled with
+:func:`repro.streaming.transforms.shuffle_stream`).  Every generator is
+deterministic given its seed.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.streaming.edge_stream import EdgeStream
+from repro.types import EdgeTuple, canonical_edge
+from repro.utils.rng import SeedLike, as_random_source
+
+
+def erdos_renyi_stream(
+    num_nodes: int, num_edges: int, seed: SeedLike = None, name: Optional[str] = None
+) -> EdgeStream:
+    """Generate a G(n, M)-style random stream with ``num_edges`` distinct edges.
+
+    Edges are sampled uniformly at random without replacement (rejection
+    sampling, which is efficient while ``num_edges`` is well below the
+    maximum possible).
+    """
+    if num_nodes < 2:
+        raise ValueError("num_nodes must be >= 2")
+    max_edges = num_nodes * (num_nodes - 1) // 2
+    if num_edges > max_edges:
+        raise ValueError(f"num_edges={num_edges} exceeds the maximum {max_edges}")
+    rng = as_random_source(seed)
+    chosen = set()
+    edges: List[EdgeTuple] = []
+    while len(edges) < num_edges:
+        u = int(rng.integers(0, num_nodes))
+        v = int(rng.integers(0, num_nodes))
+        if u == v:
+            continue
+        key = canonical_edge(u, v)
+        if key in chosen:
+            continue
+        chosen.add(key)
+        edges.append(key)
+    return EdgeStream(edges, name=name or f"er-{num_nodes}-{num_edges}", validate=False)
+
+
+def barabasi_albert_stream(
+    num_nodes: int,
+    edges_per_node: int,
+    triad_closure: float = 0.0,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> EdgeStream:
+    """Generate a preferential-attachment stream (Barabási–Albert).
+
+    Parameters
+    ----------
+    num_nodes:
+        Total nodes; must exceed ``edges_per_node``.
+    edges_per_node:
+        Number of edges each newcomer adds.
+    triad_closure:
+        Probability that, after attaching to a node ``w``, the next edge of
+        the newcomer closes a triangle by attaching to a random neighbor of
+        ``w`` (Holme–Kim style).  Higher values produce more triangles,
+        which is what the triangle-counting experiments need.
+    """
+    if edges_per_node < 1:
+        raise ValueError("edges_per_node must be >= 1")
+    if num_nodes <= edges_per_node:
+        raise ValueError("num_nodes must exceed edges_per_node")
+    rng = as_random_source(seed)
+    edges: List[EdgeTuple] = []
+    # repeated_nodes holds one entry per edge endpoint -> preferential attachment.
+    repeated_nodes: List[int] = []
+    adjacency = {node: set() for node in range(num_nodes)}
+
+    def add_edge(u: int, v: int) -> bool:
+        if u == v or v in adjacency[u]:
+            return False
+        adjacency[u].add(v)
+        adjacency[v].add(u)
+        edges.append(canonical_edge(u, v))
+        repeated_nodes.extend((u, v))
+        return True
+
+    # Seed clique over the first edges_per_node + 1 nodes.
+    core = edges_per_node + 1
+    for u in range(core):
+        for v in range(u + 1, core):
+            add_edge(u, v)
+
+    for new_node in range(core, num_nodes):
+        targets_added = 0
+        last_target: Optional[int] = None
+        guard = 0
+        while targets_added < edges_per_node and guard < 100 * edges_per_node:
+            guard += 1
+            close_triad = (
+                last_target is not None
+                and triad_closure > 0
+                and adjacency[last_target]
+                and rng.random() < triad_closure
+            )
+            if close_triad:
+                neighbors = list(adjacency[last_target])
+                target = int(neighbors[int(rng.integers(0, len(neighbors)))])
+            else:
+                target = int(repeated_nodes[int(rng.integers(0, len(repeated_nodes)))])
+            if add_edge(new_node, target):
+                targets_added += 1
+                last_target = target
+    return EdgeStream(
+        edges, name=name or f"ba-{num_nodes}-{edges_per_node}", validate=False
+    )
+
+
+def chung_lu_stream(
+    degree_weights,
+    num_edges: int,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> EdgeStream:
+    """Generate a Chung–Lu style stream from target degree weights.
+
+    Endpoints of each edge are drawn independently proportionally to the
+    weights; duplicate edges and self-loops are rejected.  A power-law
+    weight vector yields the heavy-tailed degree distribution of the paper's
+    social-network datasets.
+
+    Parameters
+    ----------
+    degree_weights:
+        Sequence of non-negative weights, one per node.
+    num_edges:
+        Number of distinct edges to emit.
+    """
+    weights = np.asarray(list(degree_weights), dtype=float)
+    if weights.ndim != 1 or len(weights) < 2:
+        raise ValueError("degree_weights must be a 1-D sequence of length >= 2")
+    if (weights < 0).any():
+        raise ValueError("degree_weights must be non-negative")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("degree_weights must not be all zero")
+    probabilities = weights / total
+    rng = as_random_source(seed)
+    num_nodes = len(weights)
+    chosen = set()
+    edges: List[EdgeTuple] = []
+    max_batches = 200
+    batches = 0
+    batch_size = max(1024, 2 * num_edges)
+    while len(edges) < num_edges and batches < max_batches:
+        batches += 1
+        endpoints = rng.generator.choice(
+            num_nodes, size=(batch_size, 2), p=probabilities
+        )
+        for u, v in endpoints:
+            u, v = int(u), int(v)
+            if u == v:
+                continue
+            key = canonical_edge(u, v)
+            if key in chosen:
+                continue
+            chosen.add(key)
+            edges.append(key)
+            if len(edges) == num_edges:
+                break
+    if len(edges) < num_edges:
+        raise RuntimeError(
+            "chung_lu_stream could not place the requested number of distinct "
+            f"edges ({len(edges)}/{num_edges}); increase the node count"
+        )
+    return EdgeStream(edges, name=name or f"cl-{num_nodes}-{num_edges}", validate=False)
+
+
+def powerlaw_weights(num_nodes: int, exponent: float = 2.5, minimum: float = 1.0) -> np.ndarray:
+    """Return deterministic power-law weights ``w_i ∝ (i + 1)^(-1/(exponent-1))``.
+
+    Using rank-based weights (rather than sampling them) keeps the weight
+    vector deterministic regardless of the seed, which simplifies testing.
+    """
+    if exponent <= 1:
+        raise ValueError("exponent must exceed 1")
+    ranks = np.arange(1, num_nodes + 1, dtype=float)
+    return minimum * ranks ** (-1.0 / (exponent - 1.0))
+
+
+def powerlaw_cluster_stream(
+    num_nodes: int,
+    num_edges: int,
+    exponent: float = 2.3,
+    seed: SeedLike = None,
+    name: Optional[str] = None,
+) -> EdgeStream:
+    """Generate a heavy-tailed stream with many triangles.
+
+    A Chung–Lu core (power-law weights) provides hubs, which by themselves
+    already create a large number of triangles and — crucially for this
+    paper — an ``η`` that exceeds ``τ`` by orders of magnitude because many
+    triangles share hub edges.
+    """
+    weights = powerlaw_weights(num_nodes, exponent=exponent)
+    return chung_lu_stream(weights, num_edges, seed=seed, name=name or f"plc-{num_nodes}")

@@ -1,0 +1,37 @@
+"""In-memory graph substrate: adjacency structure, exact counts, statistics.
+
+This subpackage provides the *ground truth* side of every experiment:
+
+* :class:`AdjacencyGraph` — a mutable undirected simple graph stored as a
+  dictionary of neighbor sets, with the ``common_neighbors`` primitive that
+  all streaming estimators (and the exact counter) share;
+* exact global and local triangle counting (:mod:`repro.graph.triangles`);
+* exact computation of the covariance pair counts ``η`` and ``η_v`` defined
+  by the paper, which depend on the *stream order* of the edges
+  (:mod:`repro.graph.eta`);
+* dataset statistics used by Table II and Figure 1
+  (:mod:`repro.graph.statistics`).
+"""
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.triangles import (
+    count_triangles,
+    count_triangles_per_node,
+    enumerate_triangles,
+    global_clustering_coefficient,
+)
+from repro.graph.eta import StreamOrderPairCounts, compute_eta, compute_eta_per_node
+from repro.graph.statistics import GraphStatistics, compute_statistics
+
+__all__ = [
+    "AdjacencyGraph",
+    "count_triangles",
+    "count_triangles_per_node",
+    "enumerate_triangles",
+    "global_clustering_coefficient",
+    "StreamOrderPairCounts",
+    "compute_eta",
+    "compute_eta_per_node",
+    "GraphStatistics",
+    "compute_statistics",
+]

@@ -1,0 +1,175 @@
+"""Mutable undirected simple graph stored as a dictionary of neighbor sets.
+
+This structure is the shared substrate of both the exact counters and every
+streaming estimator: each estimator maintains one (or ``c``) of these for
+its sampled edges, and the dominant per-edge cost of all methods is the
+:meth:`AdjacencyGraph.common_neighbors` intersection, exactly as the paper
+argues when comparing per-edge processing costs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Set, Tuple
+
+from repro.types import EdgeTuple, NodeId, canonical_edge
+
+
+class AdjacencyGraph:
+    """An undirected simple graph without self-loops.
+
+    Edges are stored twice (once per endpoint) in Python sets, so neighbor
+    lookups, membership tests and intersections are O(1)/O(min degree).
+
+    The class intentionally exposes only the operations the estimators
+    need; it is not a general graph library.
+    """
+
+    def __init__(self, edges: Iterable[EdgeTuple] = ()) -> None:
+        self._adj: Dict[NodeId, Set[NodeId]] = {}
+        self._num_edges = 0
+        for u, v in edges:
+            self.add_edge(u, v)
+
+    # -- mutation ---------------------------------------------------------
+
+    def add_node(self, node: NodeId) -> None:
+        """Ensure ``node`` exists (possibly with no incident edges)."""
+        self._adj.setdefault(node, set())
+
+    def add_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Insert the undirected edge ``{u, v}``.
+
+        Returns ``True`` if the edge was new, ``False`` if it was already
+        present.  Self-loops raise :class:`ValueError`.
+        """
+        if u == v:
+            raise ValueError(f"self-loop ({u!r}, {v!r}) not allowed")
+        neighbors_u = self._adj.setdefault(u, set())
+        if v in neighbors_u:
+            return False
+        neighbors_u.add(v)
+        self._adj.setdefault(v, set()).add(u)
+        self._num_edges += 1
+        return True
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Remove the undirected edge ``{u, v}`` if present.
+
+        Returns ``True`` if an edge was removed.  Endpoints are kept even
+        if they become isolated (matching reservoir-sampler semantics where
+        local counters for a node may still be tracked).
+        """
+        neighbors_u = self._adj.get(u)
+        if neighbors_u is None or v not in neighbors_u:
+            return False
+        neighbors_u.discard(v)
+        self._adj[v].discard(u)
+        self._num_edges -= 1
+        return True
+
+    def clear(self) -> None:
+        """Remove all nodes and edges."""
+        self._adj.clear()
+        self._num_edges = 0
+
+    # -- queries ----------------------------------------------------------
+
+    def has_edge(self, u: NodeId, v: NodeId) -> bool:
+        """Return ``True`` if the undirected edge ``{u, v}`` is present."""
+        neighbors = self._adj.get(u)
+        return neighbors is not None and v in neighbors
+
+    def has_node(self, node: NodeId) -> bool:
+        """Return ``True`` if ``node`` is present."""
+        return node in self._adj
+
+    def neighbors(self, node: NodeId) -> Set[NodeId]:
+        """Return the neighbor set of ``node`` (empty set if absent).
+
+        The returned set is the live internal set for present nodes; callers
+        must not mutate it.  This avoids copying inside the per-edge hot
+        loop of the estimators.
+        """
+        return self._adj.get(node, _EMPTY_SET)
+
+    def common_neighbors(self, u: NodeId, v: NodeId) -> Set[NodeId]:
+        """Return ``N(u) ∩ N(v)``, the shared-neighbor primitive.
+
+        For every arriving stream edge ``(u, v)`` this is the number of
+        semi-triangles whose last edge is ``(u, v)``; it is the dominant
+        per-edge cost of MASCOT, TRIÈST, GPS and REPT alike.
+        """
+        nu = self._adj.get(u, _EMPTY_SET)
+        nv = self._adj.get(v, _EMPTY_SET)
+        if len(nu) > len(nv):
+            nu, nv = nv, nu
+        return {w for w in nu if w in nv}
+
+    def degree(self, node: NodeId) -> int:
+        """Return the degree of ``node`` (0 if absent)."""
+        return len(self._adj.get(node, _EMPTY_SET))
+
+    @property
+    def num_nodes(self) -> int:
+        """Number of nodes currently present."""
+        return len(self._adj)
+
+    @property
+    def num_edges(self) -> int:
+        """Number of undirected edges currently present."""
+        return self._num_edges
+
+    def nodes(self) -> Iterator[NodeId]:
+        """Iterate over all nodes."""
+        return iter(self._adj)
+
+    def edges(self) -> Iterator[EdgeTuple]:
+        """Iterate over all edges once, in canonical orientation."""
+        for u, neighbors in self._adj.items():
+            for v in neighbors:
+                cu, cv = canonical_edge(u, v)
+                if cu == u:
+                    yield (cu, cv)
+
+    def degree_sequence(self) -> Dict[NodeId, int]:
+        """Return a mapping node -> degree."""
+        return {node: len(neighbors) for node, neighbors in self._adj.items()}
+
+    def copy(self) -> "AdjacencyGraph":
+        """Return a deep copy of the graph."""
+        clone = AdjacencyGraph()
+        clone._adj = {node: set(neighbors) for node, neighbors in self._adj.items()}
+        clone._num_edges = self._num_edges
+        return clone
+
+    def __contains__(self, item) -> bool:
+        if isinstance(item, tuple) and len(item) == 2:
+            return self.has_edge(item[0], item[1])
+        return self.has_node(item)
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def __repr__(self) -> str:
+        return f"AdjacencyGraph(nodes={self.num_nodes}, edges={self.num_edges})"
+
+    # -- constructors -----------------------------------------------------
+
+    @classmethod
+    def from_edges(cls, edges: Iterable[EdgeTuple]) -> "AdjacencyGraph":
+        """Build a graph from an iterable of ``(u, v)`` pairs.
+
+        Duplicate edges are collapsed; self-loops raise.
+        """
+        return cls(edges)
+
+    @classmethod
+    def from_stream(cls, stream) -> "AdjacencyGraph":
+        """Build the aggregate graph ``G`` of an :class:`EdgeStream`."""
+        graph = cls()
+        for u, v in stream:
+            graph.add_edge(u, v)
+        return graph
+
+
+_EMPTY_SET: Set[NodeId] = frozenset()  # type: ignore[assignment]

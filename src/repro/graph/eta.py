@@ -1,0 +1,126 @@
+"""Exact computation of the covariance pair counts ``η`` and ``η_v``.
+
+The paper defines ``η`` as the number of unordered pairs ``(σ, σ*)`` of
+distinct triangles that share an edge ``g`` such that ``g`` is **not the
+last edge** (in stream order) of either triangle.  ``η_v`` restricts both
+triangles to those containing node ``v``.
+
+These quantities drive the covariance term of MASCOT-style estimators
+(Figure 1) and appear in REPT's variance formulas, so the experiment
+harness needs their exact values for the ground-truth datasets.
+
+Computation
+-----------
+For each triangle we know the stream positions of its three edges; its
+*non-last* edges are the two that arrive first.  For an edge ``g`` let
+``k_g`` be the number of triangles in which ``g`` is a non-last edge; a
+pair of distinct such triangles shares ``g`` as a non-last edge of both,
+hence ``η = Σ_g C(k_g, 2)``.  The same argument per node gives
+``η_v = Σ_g C(k_{g,v}, 2)`` where ``k_{g,v}`` only counts triangles that
+contain ``v``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Tuple
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.triangles import enumerate_triangles
+from repro.types import EdgeTuple, NodeId, canonical_edge
+
+
+@dataclass
+class StreamOrderPairCounts:
+    """Exact η statistics for one stream ordering of a graph.
+
+    Attributes
+    ----------
+    eta:
+        The global pair count ``η``.
+    eta_per_node:
+        Mapping node -> ``η_v`` for every node of the graph (0 when the
+        node participates in no qualifying pair).
+    triangle_count:
+        The exact number of triangles ``τ`` (a by-product of the scan,
+        handy for callers that need both).
+    """
+
+    eta: int
+    eta_per_node: Dict[NodeId, int] = field(default_factory=dict)
+    triangle_count: int = 0
+
+
+def _edge_positions(edges_in_order: Iterable[EdgeTuple]) -> Dict[EdgeTuple, int]:
+    """Map each distinct canonical edge to its first arrival position (1-based)."""
+    positions: Dict[EdgeTuple, int] = {}
+    for t, (u, v) in enumerate(edges_in_order, start=1):
+        key = canonical_edge(u, v)
+        if key not in positions:
+            positions[key] = t
+    return positions
+
+
+def compute_eta(edges_in_order: List[EdgeTuple]) -> int:
+    """Return the exact global pair count ``η`` for a stream ordering."""
+    return compute_pair_counts(edges_in_order, want_local=False).eta
+
+
+def compute_eta_per_node(edges_in_order: List[EdgeTuple]) -> Dict[NodeId, int]:
+    """Return the exact per-node pair counts ``η_v`` for a stream ordering."""
+    return compute_pair_counts(edges_in_order, want_local=True).eta_per_node
+
+
+def compute_pair_counts(
+    edges_in_order: List[EdgeTuple], want_local: bool = True
+) -> StreamOrderPairCounts:
+    """Compute ``η`` (and optionally every ``η_v``) exactly.
+
+    Parameters
+    ----------
+    edges_in_order:
+        The stream: a list of ``(u, v)`` pairs in arrival order.  Duplicate
+        occurrences of an edge are ignored after the first (the aggregate
+        graph is simple); self-loops are not allowed.
+    want_local:
+        Whether to also compute the per-node counts (slightly more work and
+        memory).
+
+    Returns
+    -------
+    StreamOrderPairCounts
+    """
+    positions = _edge_positions(edges_in_order)
+    graph = AdjacencyGraph(positions.keys())
+
+    # k_g: number of triangles for which edge g is NOT the last stream edge.
+    k_global: Dict[EdgeTuple, int] = {}
+    # k_{g,v}: same restricted to triangles containing node v.
+    k_local: Dict[Tuple[EdgeTuple, NodeId], int] = {}
+
+    triangle_count = 0
+    node_set = set(graph.nodes())
+    for a, b, c in enumerate_triangles(graph):
+        triangle_count += 1
+        tri_edges = [canonical_edge(a, b), canonical_edge(b, c), canonical_edge(a, c)]
+        tri_positions = [positions[e] for e in tri_edges]
+        last_position = max(tri_positions)
+        for edge, pos in zip(tri_edges, tri_positions):
+            if pos == last_position:
+                continue
+            k_global[edge] = k_global.get(edge, 0) + 1
+            if want_local:
+                for node in (a, b, c):
+                    key = (edge, node)
+                    k_local[key] = k_local.get(key, 0) + 1
+
+    eta = sum(k * (k - 1) // 2 for k in k_global.values())
+    eta_per_node: Dict[NodeId, int] = {}
+    if want_local:
+        eta_per_node = {node: 0 for node in node_set}
+        for (edge, node), k in k_local.items():
+            eta_per_node[node] += k * (k - 1) // 2
+
+    return StreamOrderPairCounts(
+        eta=eta, eta_per_node=eta_per_node, triangle_count=triangle_count
+    )

@@ -1,0 +1,112 @@
+"""Dataset statistics used by Table II and Figure 1.
+
+The paper summarises every evaluation graph by its node, edge and triangle
+counts (Table II) and motivates REPT by comparing the exact values of ``τ``
+and ``η`` and the two variance terms of parallel MASCOT (Figure 1).  This
+module computes all of those quantities for an arbitrary stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.eta import compute_pair_counts
+from repro.graph.triangles import (
+    count_triangles_per_node,
+    count_wedges,
+    global_clustering_coefficient,
+)
+from repro.types import EdgeTuple, NodeId
+
+
+@dataclass
+class GraphStatistics:
+    """Exact summary statistics of one graph stream.
+
+    Attributes
+    ----------
+    name:
+        Optional dataset name (used in reports).
+    num_nodes, num_edges:
+        Size of the aggregate graph ``G``.
+    num_triangles:
+        Global triangle count ``τ``.
+    eta:
+        Covariance pair count ``η`` (depends on stream order).
+    num_wedges:
+        Number of length-2 paths, used for clustering coefficients.
+    transitivity:
+        Global clustering coefficient ``3τ / #wedges``.
+    max_degree, mean_degree:
+        Degree statistics of the aggregate graph.
+    local_triangles:
+        Per-node exact counts ``τ_v``.
+    eta_per_node:
+        Per-node covariance pair counts ``η_v``.
+    """
+
+    name: Optional[str]
+    num_nodes: int
+    num_edges: int
+    num_triangles: int
+    eta: int
+    num_wedges: int
+    transitivity: float
+    max_degree: int
+    mean_degree: float
+    local_triangles: Dict[NodeId, int]
+    eta_per_node: Dict[NodeId, int]
+
+    def eta_to_tau_ratio(self) -> float:
+        """Return ``η / τ`` (``inf`` when τ = 0 and η > 0, 0 when both 0).
+
+        Figure 1(a) plots τ against η; this ratio is the headline quantity
+        ("η is 11 to 3,900 times larger than τ").
+        """
+        if self.num_triangles == 0:
+            return float("inf") if self.eta > 0 else 0.0
+        return self.eta / self.num_triangles
+
+    def mascot_variance_terms(self, p: float) -> Dict[str, float]:
+        """Return the two variance terms of MASCOT for sampling probability ``p``.
+
+        Figure 1(b)-(d) compares ``τ(p⁻²−1)`` (the self term) with
+        ``2η(p⁻¹−1)`` (the covariance term).
+        """
+        if not 0 < p <= 1:
+            raise ValueError("p must be in (0, 1]")
+        return {
+            "tau_term": self.num_triangles * (p**-2 - 1.0),
+            "covariance_term": 2.0 * self.eta * (p**-1 - 1.0),
+        }
+
+    def as_table_row(self) -> List:
+        """Return the Table II row ``[name, nodes, edges, triangles]``."""
+        return [self.name or "?", self.num_nodes, self.num_edges, self.num_triangles]
+
+
+def compute_statistics(
+    edges_in_order: List[EdgeTuple], name: Optional[str] = None
+) -> GraphStatistics:
+    """Compute :class:`GraphStatistics` for a stream given in arrival order."""
+    graph = AdjacencyGraph(edges_in_order)
+    pair_counts = compute_pair_counts(edges_in_order, want_local=True)
+    local = count_triangles_per_node(graph)
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    max_degree = max(degrees) if degrees else 0
+    mean_degree = (sum(degrees) / len(degrees)) if degrees else 0.0
+    return GraphStatistics(
+        name=name,
+        num_nodes=graph.num_nodes,
+        num_edges=graph.num_edges,
+        num_triangles=pair_counts.triangle_count,
+        eta=pair_counts.eta,
+        num_wedges=count_wedges(graph),
+        transitivity=global_clustering_coefficient(graph),
+        max_degree=max_degree,
+        mean_degree=mean_degree,
+        local_triangles=local,
+        eta_per_node=pair_counts.eta_per_node,
+    )

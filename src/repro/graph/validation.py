@@ -1,0 +1,63 @@
+"""Validation helpers for edge lists and graphs.
+
+Used by the streaming readers and the dataset registry to fail loudly on
+malformed input rather than silently producing wrong counts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Tuple
+
+from repro.exceptions import StreamFormatError
+from repro.types import EdgeTuple, canonical_edge
+
+
+def validate_edge_list(
+    edges: Iterable[EdgeTuple],
+    allow_self_loops: bool = False,
+    allow_duplicates: bool = True,
+) -> List[EdgeTuple]:
+    """Validate and materialise an edge list.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs.
+    allow_self_loops:
+        If ``False`` (default) a self-loop raises :class:`StreamFormatError`.
+    allow_duplicates:
+        If ``False`` a repeated undirected edge raises.
+
+    Returns
+    -------
+    list of ``(u, v)`` tuples in the original order.
+    """
+    result: List[EdgeTuple] = []
+    seen = set()
+    for index, pair in enumerate(edges):
+        if not isinstance(pair, tuple) or len(pair) != 2:
+            raise StreamFormatError(f"record {index} is not a (u, v) pair: {pair!r}")
+        u, v = pair
+        if u == v and not allow_self_loops:
+            raise StreamFormatError(f"record {index} is a self-loop: {pair!r}")
+        if not allow_duplicates and u != v:
+            key = canonical_edge(u, v)
+            if key in seen:
+                raise StreamFormatError(f"record {index} duplicates edge {key!r}")
+            seen.add(key)
+        result.append((u, v))
+    return result
+
+
+def edge_list_summary(edges: Iterable[EdgeTuple]) -> Tuple[int, int, int]:
+    """Return ``(records, distinct_edges, self_loops)`` for an edge list."""
+    records = 0
+    self_loops = 0
+    distinct = set()
+    for u, v in edges:
+        records += 1
+        if u == v:
+            self_loops += 1
+        else:
+            distinct.add(canonical_edge(u, v))
+    return records, len(distinct), self_loops

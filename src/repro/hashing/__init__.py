@@ -1,0 +1,68 @@
+"""Hash families used for random edge partitioning.
+
+REPT assigns every edge of the stream to one of ``m`` buckets with a random
+hash function ``h``; processors within one group share the function so the
+resulting edge sets are *disjoint*, which is what eliminates the covariance
+between sampled semi-triangles.  Groups of processors (Algorithm 2) use
+independent hash functions.
+
+Two interchangeable families are provided:
+
+* :class:`SplitMixEdgeHash` — a seeded 64-bit mix (splitmix64-style finaliser)
+  of the canonical edge tuple.  Fast, stateless, the default.
+* :class:`TabulationEdgeHash` — simple tabulation hashing over the bytes of
+  the mixed key.  3-independent, used by the hash-family ablation.
+"""
+
+from repro.hashing.base import EdgeHashFunction, HashFamily
+from repro.hashing.splitmix import SplitMixEdgeHash, splitmix64
+from repro.hashing.tabulation import TabulationEdgeHash
+
+__all__ = [
+    "EdgeHashFunction",
+    "HashFamily",
+    "SplitMixEdgeHash",
+    "TabulationEdgeHash",
+    "splitmix64",
+    "make_hash_family",
+    "make_hash_function",
+]
+
+_HASH_KINDS = {"splitmix": SplitMixEdgeHash, "tabulation": TabulationEdgeHash}
+
+
+def make_hash_function(kind: str, buckets: int, seed=None) -> EdgeHashFunction:
+    """Construct a single edge hash function of the requested ``kind``.
+
+    Unlike :func:`make_hash_family` this does not spawn child seeds: the
+    same ``(kind, buckets, seed)`` triple always produces the same function,
+    which the parallel REPT drivers rely on to rebuild identical functions
+    inside worker processes.
+    """
+    if kind not in _HASH_KINDS:
+        raise ValueError(f"unknown hash kind {kind!r}; expected one of {sorted(_HASH_KINDS)}")
+    return _HASH_KINDS[kind](buckets, seed)
+
+
+def make_hash_family(kind: str, buckets: int, seed=None, count: int = 1) -> HashFamily:
+    """Construct a :class:`HashFamily` of ``count`` independent functions.
+
+    Parameters
+    ----------
+    kind:
+        ``"splitmix"`` or ``"tabulation"``.
+    buckets:
+        Range size ``m``; every function maps edges to ``{0, ..., m-1}``.
+    seed:
+        Seed-like value; each function in the family receives an
+        independently spawned child seed.
+    count:
+        Number of functions in the family (one per processor group).
+    """
+    from repro.utils.rng import as_random_source
+
+    if kind not in _HASH_KINDS:
+        raise ValueError(f"unknown hash kind {kind!r}; expected one of {sorted(_HASH_KINDS)}")
+    sources = as_random_source(seed).spawn(count)
+    functions = [_HASH_KINDS[kind](buckets, source) for source in sources]
+    return HashFamily(functions)

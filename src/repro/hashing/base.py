@@ -1,0 +1,79 @@
+"""Abstract interface for edge-partitioning hash functions."""
+
+from __future__ import annotations
+
+import abc
+from typing import List, Sequence
+
+from repro.types import NodeId, canonical_edge
+
+
+class EdgeHashFunction(abc.ABC):
+    """Maps undirected edges uniformly into ``{0, ..., buckets - 1}``.
+
+    Implementations must be deterministic for a given seed and must treat
+    ``(u, v)`` and ``(v, u)`` identically (the canonical edge is hashed).
+    """
+
+    def __init__(self, buckets: int) -> None:
+        if buckets < 1:
+            raise ValueError("buckets must be >= 1")
+        self.buckets = buckets
+
+    @abc.abstractmethod
+    def _hash_key(self, key: int) -> int:
+        """Hash a non-negative integer key to a 64-bit value."""
+
+    def _edge_key(self, u: NodeId, v: NodeId) -> int:
+        cu, cv = canonical_edge(u, v)
+        # Combine endpoint hashes order-insensitively but injectively enough
+        # for partitioning purposes; Python's hash() of ints is the identity,
+        # strings fall back to a stable FNV-style fold so results do not
+        # depend on PYTHONHASHSEED.
+        return (_stable_node_key(cu) * 0x9E3779B97F4A7C15 + _stable_node_key(cv)) & _MASK64
+
+    def bucket(self, u: NodeId, v: NodeId) -> int:
+        """Return the bucket of edge ``{u, v}`` in ``{0, ..., buckets-1}``."""
+        return self._hash_key(self._edge_key(u, v)) % self.buckets
+
+    def __call__(self, u: NodeId, v: NodeId) -> int:
+        return self.bucket(u, v)
+
+
+class HashFamily:
+    """An ordered collection of independent :class:`EdgeHashFunction` objects."""
+
+    def __init__(self, functions: Sequence[EdgeHashFunction]) -> None:
+        if not functions:
+            raise ValueError("a hash family needs at least one function")
+        buckets = {f.buckets for f in functions}
+        if len(buckets) != 1:
+            raise ValueError("all functions in a family must share the bucket count")
+        self._functions: List[EdgeHashFunction] = list(functions)
+        self.buckets = functions[0].buckets
+
+    def __len__(self) -> int:
+        return len(self._functions)
+
+    def __getitem__(self, index: int) -> EdgeHashFunction:
+        return self._functions[index]
+
+    def __iter__(self):
+        return iter(self._functions)
+
+
+_MASK64 = (1 << 64) - 1
+
+
+def _stable_node_key(node: NodeId) -> int:
+    """Map a node identifier to a stable non-negative 64-bit integer."""
+    if isinstance(node, bool):  # bool is an int subclass; treat explicitly
+        return int(node)
+    if isinstance(node, int):
+        return node & _MASK64
+    data = str(node).encode("utf-8")
+    acc = 0xCBF29CE484222325  # FNV-1a 64-bit offset basis
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 0x100000001B3) & _MASK64
+    return acc

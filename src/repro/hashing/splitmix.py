@@ -1,0 +1,41 @@
+"""SplitMix64-based edge hashing (the default family).
+
+The splitmix64 finaliser is a well-known 64-bit avalanche mix; combined
+with a random per-function seed it behaves like a uniform random function
+for partitioning purposes, which is what REPT's analysis assumes of ``h``.
+"""
+
+from __future__ import annotations
+
+from repro.hashing.base import EdgeHashFunction, _MASK64
+from repro.utils.rng import SeedLike, as_random_source
+
+
+def splitmix64(x: int) -> int:
+    """Apply the splitmix64 finaliser to a 64-bit integer."""
+    x &= _MASK64
+    x = (x + 0x9E3779B97F4A7C15) & _MASK64
+    z = x
+    z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
+    z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
+    return (z ^ (z >> 31)) & _MASK64
+
+
+class SplitMixEdgeHash(EdgeHashFunction):
+    """Seeded splitmix64 hashing of canonical edge keys.
+
+    Parameters
+    ----------
+    buckets:
+        Range size ``m``.
+    seed:
+        Seed-like value; two functions built with different seeds are
+        effectively independent.
+    """
+
+    def __init__(self, buckets: int, seed: SeedLike = None) -> None:
+        super().__init__(buckets)
+        self._seed = as_random_source(seed).random_uint64()
+
+    def _hash_key(self, key: int) -> int:
+        return splitmix64(key ^ self._seed)

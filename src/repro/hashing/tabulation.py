@@ -1,0 +1,41 @@
+"""Simple tabulation hashing for edge partitioning.
+
+Simple tabulation is 3-independent and has strong concentration properties;
+it is included as an alternative family to verify (ablation A3) that REPT's
+accuracy does not depend on the specific hash family, only on its uniformity.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.hashing.base import EdgeHashFunction, _MASK64
+from repro.hashing.splitmix import splitmix64
+from repro.utils.rng import SeedLike, as_random_source
+
+
+class TabulationEdgeHash(EdgeHashFunction):
+    """Byte-wise simple tabulation hashing of a pre-mixed 64-bit edge key.
+
+    The key is first passed through splitmix64 (unseeded) so that
+    structured node identifiers still exercise all eight byte tables, then
+    each byte indexes a random table and the entries are XOR-ed.
+    """
+
+    _NUM_TABLES = 8
+    _TABLE_SIZE = 256
+
+    def __init__(self, buckets: int, seed: SeedLike = None) -> None:
+        super().__init__(buckets)
+        rng = as_random_source(seed)
+        self._tables = rng.generator.integers(
+            0, 2**64, size=(self._NUM_TABLES, self._TABLE_SIZE), dtype=np.uint64
+        )
+
+    def _hash_key(self, key: int) -> int:
+        mixed = splitmix64(key)
+        acc = 0
+        for i in range(self._NUM_TABLES):
+            byte = (mixed >> (8 * i)) & 0xFF
+            acc ^= int(self._tables[i, byte])
+        return acc & _MASK64

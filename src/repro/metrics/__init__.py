@@ -1,0 +1,33 @@
+"""Error and cost metrics used by the evaluation harness.
+
+* :mod:`repro.metrics.errors` — NRMSE / MSE / bias-variance decomposition
+  for the global count, computed across repeated independent trials;
+* :mod:`repro.metrics.local_errors` — the aggregation of per-node errors
+  reported by Figures 5–6;
+* :mod:`repro.metrics.runtime` — wall-clock timing and the per-edge
+  operation-count cost model used to reproduce the runtime figures in
+  shape (see DESIGN.md for why absolute seconds are out of scope).
+"""
+
+from repro.metrics.errors import (
+    TrialSummary,
+    bias,
+    mean_squared_error,
+    normalized_rmse,
+    summarize_trials,
+)
+from repro.metrics.local_errors import local_nrmse, summarize_local_trials
+from repro.metrics.runtime import OperationCountingGraph, OperationCosts, measure_runtime
+
+__all__ = [
+    "TrialSummary",
+    "bias",
+    "mean_squared_error",
+    "normalized_rmse",
+    "summarize_trials",
+    "local_nrmse",
+    "summarize_local_trials",
+    "OperationCountingGraph",
+    "OperationCosts",
+    "measure_runtime",
+]

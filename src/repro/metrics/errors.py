@@ -1,0 +1,84 @@
+"""Global-count error metrics.
+
+The paper's figures report the normalized root mean square error
+
+``NRMSE(μ̂) = sqrt(MSE(μ̂)) / μ`` with ``MSE(μ̂) = Var(μ̂) + (E(μ̂) − μ)²``
+
+estimated over repeated independent runs of each estimator.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+
+def mean_squared_error(estimates: Sequence[float], truth: float) -> float:
+    """Empirical MSE of ``estimates`` against the true value ``truth``."""
+    if not estimates:
+        raise ValueError("at least one estimate is required")
+    return sum((value - truth) ** 2 for value in estimates) / len(estimates)
+
+
+def bias(estimates: Sequence[float], truth: float) -> float:
+    """Empirical bias (mean estimate minus truth)."""
+    if not estimates:
+        raise ValueError("at least one estimate is required")
+    return sum(estimates) / len(estimates) - truth
+
+
+def empirical_variance(estimates: Sequence[float]) -> float:
+    """Population variance of the estimates (0 for a single trial)."""
+    n = len(estimates)
+    if n == 0:
+        raise ValueError("at least one estimate is required")
+    mean = sum(estimates) / n
+    return sum((value - mean) ** 2 for value in estimates) / n
+
+def normalized_rmse(estimates: Sequence[float], truth: float) -> float:
+    """NRMSE of the estimates with respect to the true value.
+
+    Raises :class:`ValueError` when ``truth`` is zero — the metric is
+    undefined there; the experiment harness filters such datasets out
+    (every registered dataset has a positive triangle count).
+    """
+    if truth == 0:
+        raise ValueError("NRMSE is undefined for a zero true value")
+    return math.sqrt(mean_squared_error(estimates, truth)) / abs(truth)
+
+
+@dataclass
+class TrialSummary:
+    """Summary of repeated independent trials of one estimator configuration.
+
+    Attributes
+    ----------
+    truth:
+        The exact value being estimated.
+    num_trials:
+        Number of independent runs aggregated.
+    mean_estimate, bias, variance, mse, nrmse:
+        The usual empirical moments; ``nrmse`` is what the figures plot.
+    """
+
+    truth: float
+    num_trials: int
+    mean_estimate: float
+    bias: float
+    variance: float
+    mse: float
+    nrmse: float
+
+
+def summarize_trials(estimates: Sequence[float], truth: float) -> TrialSummary:
+    """Build a :class:`TrialSummary` from per-trial global estimates."""
+    return TrialSummary(
+        truth=truth,
+        num_trials=len(estimates),
+        mean_estimate=sum(estimates) / len(estimates),
+        bias=bias(estimates, truth),
+        variance=empirical_variance(estimates),
+        mse=mean_squared_error(estimates, truth),
+        nrmse=normalized_rmse(estimates, truth),
+    )

@@ -1,0 +1,92 @@
+"""Local-count error aggregation (Figures 5–6).
+
+The paper reports a single NRMSE number per (dataset, method, c) for the
+*local* estimates but does not spell out the aggregation over nodes.  We
+follow the convention of the MASCOT / FURL line of work:
+
+``local NRMSE = (1/|V'|) Σ_{v ∈ V'} sqrt(MSE(τ̂_v)) / (τ_v + 1)``
+
+where ``V'`` is the set of nodes of the aggregate graph and the ``+ 1``
+keeps nodes with few or zero triangles from dividing by zero while still
+penalising errors on them.  This produces values in the 0–10 range the
+paper's local-error figures show and, most importantly, preserves the
+*ordering* of methods, which is what the reproduction checks.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence
+
+from repro.types import NodeId
+
+
+@dataclass
+class LocalTrialSummary:
+    """Aggregated local-count error over trials and nodes.
+
+    Attributes
+    ----------
+    nrmse:
+        The aggregate defined in the module docstring (what the figures plot).
+    num_nodes:
+        Number of nodes aggregated over.
+    num_trials:
+        Number of independent runs.
+    mean_abs_error:
+        Mean absolute error per node (diagnostic).
+    """
+
+    nrmse: float
+    num_nodes: int
+    num_trials: int
+    mean_abs_error: float
+
+
+def local_nrmse(
+    trial_estimates: Sequence[Mapping[NodeId, float]],
+    truth: Mapping[NodeId, float],
+) -> float:
+    """Compute the aggregated local NRMSE (see module docstring)."""
+    return summarize_local_trials(trial_estimates, truth).nrmse
+
+
+def summarize_local_trials(
+    trial_estimates: Sequence[Mapping[NodeId, float]],
+    truth: Mapping[NodeId, float],
+) -> LocalTrialSummary:
+    """Aggregate per-node errors across trials into a :class:`LocalTrialSummary`.
+
+    Parameters
+    ----------
+    trial_estimates:
+        One mapping node -> ``τ̂_v`` per trial.  Nodes missing from a trial's
+        mapping are treated as estimated 0 (the estimator never saw them).
+    truth:
+        Mapping node -> exact ``τ_v`` for every node of the aggregate graph.
+    """
+    if not trial_estimates:
+        raise ValueError("at least one trial is required")
+    if not truth:
+        raise ValueError("the truth mapping must not be empty")
+    num_trials = len(trial_estimates)
+    total_nrmse = 0.0
+    total_abs = 0.0
+    for node, true_value in truth.items():
+        squared = 0.0
+        abs_err = 0.0
+        for estimates in trial_estimates:
+            error = estimates.get(node, 0.0) - true_value
+            squared += error * error
+            abs_err += abs(error)
+        mse_v = squared / num_trials
+        total_nrmse += math.sqrt(mse_v) / (true_value + 1.0)
+        total_abs += abs_err / num_trials
+    num_nodes = len(truth)
+    return LocalTrialSummary(
+        nrmse=total_nrmse / num_nodes,
+        num_nodes=num_nodes,
+        num_trials=num_trials,
+        mean_abs_error=total_abs / num_nodes,
+    )

@@ -1,0 +1,137 @@
+"""Runtime measurement: wall-clock timing and a per-edge operation model.
+
+The paper's Figures 7 and 8(a)/(b) report wall-clock seconds of a C++
+implementation on a Xeon; a pure-Python reproduction cannot match absolute
+numbers and, because of the GIL, thread-level parallel speedups are muted.
+We therefore report two complementary quantities (see DESIGN.md):
+
+* the actual wall-clock time of the Python estimators
+  (:func:`measure_runtime`), which preserves *relative* orderings on a
+  single machine; and
+* an **operation count** — the number of adjacency-set probes, insertions,
+  removals and priority updates each method performs per stream
+  (:class:`OperationCountingGraph` plus the per-method constants in
+  :class:`OperationCosts`) — which is the machine-independent quantity the
+  paper's cost argument is actually about ("the time to process each edge
+  is dominated by the computation of the shared neighbors").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable
+
+from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
+from repro.graph.adjacency import AdjacencyGraph
+from repro.types import EdgeTuple, NodeId
+from repro.utils.timer import Timer
+
+
+@dataclass
+class RuntimeMeasurement:
+    """Wall-clock runtime of one estimator over one stream."""
+
+    method: str
+    seconds: float
+    edges_processed: int
+    estimate: TriangleEstimate
+
+    @property
+    def edges_per_second(self) -> float:
+        """Throughput (0 when the run was instantaneous)."""
+        if self.seconds <= 0:
+            return 0.0
+        return self.edges_processed / self.seconds
+
+
+def measure_runtime(
+    estimator: StreamingTriangleEstimator, edges: Iterable[EdgeTuple]
+) -> RuntimeMeasurement:
+    """Run ``estimator`` over ``edges`` and time the streaming phase only.
+
+    The final :meth:`estimate` call is not timed: the paper's runtime is the
+    stream-processing time, and the estimate assembly is a negligible
+    one-off.
+    """
+    edge_list = list(edges)
+    with Timer() as timer:
+        estimator.process_stream(edge_list)
+    estimate = estimator.estimate()
+    return RuntimeMeasurement(
+        method=estimator.name,
+        seconds=timer.elapsed,
+        edges_processed=len(edge_list),
+        estimate=estimate,
+    )
+
+
+class OperationCountingGraph(AdjacencyGraph):
+    """An :class:`AdjacencyGraph` that counts its primitive operations.
+
+    Estimators built on top of this class (by monkey-patching their
+    ``_sampled`` graph or via the cost-model helpers in the experiments
+    package) report machine-independent work measures: the number of
+    neighbor-set intersections, the total size of the sets intersected, and
+    the number of edge insertions/removals.
+    """
+
+    def __init__(self, edges=()) -> None:
+        self.counters: Dict[str, int] = {
+            "common_neighbor_calls": 0,
+            "set_elements_scanned": 0,
+            "edges_inserted": 0,
+            "edges_removed": 0,
+        }
+        super().__init__(edges)
+
+    def common_neighbors(self, u: NodeId, v: NodeId):
+        self.counters["common_neighbor_calls"] += 1
+        self.counters["set_elements_scanned"] += min(
+            len(self.neighbors(u)), len(self.neighbors(v))
+        )
+        return super().common_neighbors(u, v)
+
+    def add_edge(self, u: NodeId, v: NodeId) -> bool:
+        added = super().add_edge(u, v)
+        if added:
+            self.counters["edges_inserted"] += 1
+        return added
+
+    def remove_edge(self, u: NodeId, v: NodeId) -> bool:
+        removed = super().remove_edge(u, v)
+        if removed:
+            self.counters["edges_removed"] += 1
+        return removed
+
+
+@dataclass
+class OperationCosts:
+    """Relative per-operation costs of the different sampling disciplines.
+
+    The defaults encode the qualitative cost model of the paper's runtime
+    discussion: every method pays for the shared-neighbor computation; the
+    reservoir methods additionally pay for insertions *and* deletions; the
+    priority-sampling method pays for weight computation and heap updates.
+    """
+
+    scan_cost: float = 1.0
+    insert_cost: float = 1.0
+    remove_cost: float = 1.0
+    weight_update_cost: float = 3.0
+
+    def total(self, counters: Dict[str, int], weight_updates: int = 0) -> float:
+        """Aggregate a counter dictionary into a single scalar cost."""
+        return (
+            self.scan_cost * counters.get("set_elements_scanned", 0)
+            + self.scan_cost * counters.get("common_neighbor_calls", 0)
+            + self.insert_cost * counters.get("edges_inserted", 0)
+            + self.remove_cost * counters.get("edges_removed", 0)
+            + self.weight_update_cost * weight_updates
+        )
+
+
+def time_callable(fn: Callable[[], object]) -> float:
+    """Return the wall-clock seconds taken by calling ``fn`` once."""
+    with Timer() as timer:
+        fn()
+    return timer.elapsed

@@ -1,0 +1,23 @@
+"""Sampling substrate shared by the streaming estimators.
+
+Three sampling disciplines appear in the paper's comparison:
+
+* **Bernoulli edge sampling** (:class:`BernoulliEdgeSampler`) — keep each
+  edge independently with probability ``p``; used by MASCOT.
+* **Reservoir sampling** (:class:`EdgeReservoir`) — keep a uniform sample of
+  exactly ``k`` edges; used by TRIÈST.
+* **Priority (order) sampling** (:class:`PrioritySampler`) — keep the ``k``
+  edges of highest priority ``w(e)/u(e)``; used by GPS.
+"""
+
+from repro.sampling.edge_sampling import BernoulliEdgeSampler
+from repro.sampling.reservoir import EdgeReservoir, ReservoirInsertResult
+from repro.sampling.priority import PrioritySampler, PrioritizedItem
+
+__all__ = [
+    "BernoulliEdgeSampler",
+    "EdgeReservoir",
+    "ReservoirInsertResult",
+    "PrioritySampler",
+    "PrioritizedItem",
+]

@@ -1,0 +1,39 @@
+"""Fixed-probability (Bernoulli) edge sampling."""
+
+from __future__ import annotations
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_random_source
+
+
+class BernoulliEdgeSampler:
+    """Keep each observed item independently with probability ``p``.
+
+    This is the sampling discipline of MASCOT: decisions are i.i.d. across
+    edges and across parallel instances seeded differently.
+    """
+
+    def __init__(self, probability: float, seed: SeedLike = None) -> None:
+        if not 0 < probability <= 1:
+            raise ConfigurationError(
+                f"sampling probability must be in (0, 1], got {probability}"
+            )
+        self.probability = float(probability)
+        self._rng = as_random_source(seed)
+        self.num_offered = 0
+        self.num_kept = 0
+
+    def offer(self) -> bool:
+        """Flip the coin for the next item; return ``True`` to keep it."""
+        self.num_offered += 1
+        keep = bool(self._rng.random() < self.probability)
+        if keep:
+            self.num_kept += 1
+        return keep
+
+    @property
+    def empirical_rate(self) -> float:
+        """Fraction of offered items that were kept so far (0.0 if none)."""
+        if self.num_offered == 0:
+            return 0.0
+        return self.num_kept / self.num_offered

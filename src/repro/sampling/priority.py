@@ -1,0 +1,109 @@
+"""Priority (order) sampling used by Graph Priority Sampling (GPS).
+
+Each arriving item ``e`` receives a weight ``w(e)`` and a priority
+``r(e) = w(e) / u(e)`` with ``u(e)`` uniform on (0, 1]; the sampler keeps
+the ``k`` items of highest priority.  The inclusion probability of a
+retained item is ``min(1, w(e) / z*)`` where ``z*`` is the threshold (the
+``(k+1)``-th largest priority seen), which is what the Horvitz–Thompson
+style estimator divides by.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.utils.rng import SeedLike, as_random_source
+
+
+@dataclass(order=True)
+class PrioritizedItem:
+    """An item retained by the priority sampler (ordered by priority)."""
+
+    priority: float
+    item: Hashable = field(compare=False)
+    weight: float = field(compare=False, default=1.0)
+
+
+class PrioritySampler:
+    """Keep the ``capacity`` highest-priority items of a weighted stream.
+
+    Parameters
+    ----------
+    capacity:
+        Sample budget ``k``.
+    seed:
+        Seed-like value for the uniform variates.
+    """
+
+    def __init__(self, capacity: int, seed: SeedLike = None) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"sampler capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = as_random_source(seed)
+        self._heap: List[PrioritizedItem] = []  # min-heap on priority
+        self._index: Dict[Hashable, PrioritizedItem] = {}
+        self.threshold = 0.0  # z*: (k+1)-th largest priority observed so far
+        self.num_offered = 0
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def __contains__(self, item: Hashable) -> bool:
+        return item in self._index
+
+    def items(self) -> List[Hashable]:
+        """Return the retained items (arbitrary order)."""
+        return list(self._index)
+
+    def weight_of(self, item: Hashable) -> Optional[float]:
+        """Return the stored weight of a retained item (None if absent)."""
+        entry = self._index.get(item)
+        return entry.weight if entry is not None else None
+
+    def inclusion_probability(self, item: Hashable) -> float:
+        """Return the estimated inclusion probability ``min(1, w / z*)``.
+
+        Items not currently retained have probability 0; before the sample
+        first overflows, every retained item has probability 1.
+        """
+        entry = self._index.get(item)
+        if entry is None:
+            return 0.0
+        if self.threshold <= 0:
+            return 1.0
+        return min(1.0, entry.weight / self.threshold)
+
+    def offer(self, item: Hashable, weight: float) -> Optional[Hashable]:
+        """Offer a weighted item; return the evicted item (if any).
+
+        When the sampler is below capacity the item is always retained.
+        Otherwise the lowest-priority entry (possibly the new item itself)
+        is dropped and the threshold ``z*`` is raised to its priority.
+        """
+        if weight <= 0:
+            raise ValueError("weights must be positive")
+        if item in self._index:
+            # Re-offered item: refresh the weight, keep the old priority.
+            self._index[item].weight = weight
+            return None
+        self.num_offered += 1
+        u = self._rng.random()
+        u = u if u > 0 else 1e-12
+        entry = PrioritizedItem(priority=weight / u, item=item, weight=weight)
+        if len(self._heap) < self.capacity:
+            heapq.heappush(self._heap, entry)
+            self._index[item] = entry
+            return None
+        lowest = self._heap[0]
+        if entry.priority <= lowest.priority:
+            # The new item itself is the threshold setter and is discarded.
+            self.threshold = max(self.threshold, entry.priority)
+            return item
+        evicted = heapq.heapreplace(self._heap, entry)
+        self.threshold = max(self.threshold, evicted.priority)
+        del self._index[evicted.item]
+        self._index[item] = entry
+        return evicted.item

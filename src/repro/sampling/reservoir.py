@@ -1,0 +1,85 @@
+"""Classic reservoir sampling over edges (Vitter's Algorithm R).
+
+TRIÈST maintains a uniform sample of exactly ``k`` edges from the prefix of
+the stream seen so far; when the reservoir is full an arriving edge replaces
+a uniformly random resident edge with probability ``k / t``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.exceptions import ConfigurationError
+from repro.types import EdgeTuple
+from repro.utils.rng import SeedLike, as_random_source
+
+
+@dataclass(frozen=True)
+class ReservoirInsertResult:
+    """Outcome of offering one edge to the reservoir.
+
+    Attributes
+    ----------
+    inserted:
+        Whether the offered edge is now in the reservoir.
+    evicted:
+        The edge that was removed to make room, or ``None``.
+    """
+
+    inserted: bool
+    evicted: Optional[EdgeTuple]
+
+
+class EdgeReservoir:
+    """A fixed-capacity uniform random sample of stream edges.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of edges retained (the paper's "sample budget").
+    seed:
+        Seed-like value for the replacement coin flips.
+    """
+
+    def __init__(self, capacity: int, seed: SeedLike = None) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"reservoir capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._rng = as_random_source(seed)
+        self._edges: List[EdgeTuple] = []
+        self.num_offered = 0
+
+    def __len__(self) -> int:
+        return len(self._edges)
+
+    def __contains__(self, edge: EdgeTuple) -> bool:
+        return edge in self._edges
+
+    def edges(self) -> List[EdgeTuple]:
+        """Return the current sample (a copy)."""
+        return list(self._edges)
+
+    def offer(self, edge: EdgeTuple) -> ReservoirInsertResult:
+        """Offer the ``t``-th stream edge to the reservoir.
+
+        Implements Algorithm R: the first ``capacity`` edges are always
+        kept; afterwards the edge is kept with probability ``capacity / t``
+        and replaces a uniformly random resident edge.
+        """
+        self.num_offered += 1
+        t = self.num_offered
+        if len(self._edges) < self.capacity:
+            self._edges.append(edge)
+            return ReservoirInsertResult(inserted=True, evicted=None)
+        if self._rng.random() < self.capacity / t:
+            victim_index = int(self._rng.integers(0, self.capacity))
+            evicted = self._edges[victim_index]
+            self._edges[victim_index] = edge
+            return ReservoirInsertResult(inserted=True, evicted=evicted)
+        return ReservoirInsertResult(inserted=False, evicted=None)
+
+    @property
+    def is_full(self) -> bool:
+        """Whether the reservoir has reached its capacity."""
+        return len(self._edges) >= self.capacity

@@ -1,0 +1,96 @@
+"""Edge-list file readers.
+
+Supports the common plain-text formats the public datasets ship in:
+whitespace- or comma-separated ``u v`` pairs, optional comment lines
+(``#`` or ``%``), optional third column (timestamp or weight, ignored or
+kept depending on the caller).
+"""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterator, Optional, Tuple, Union
+
+from repro.exceptions import StreamFormatError
+from repro.streaming.edge_stream import EdgeStream
+from repro.types import EdgeTuple
+
+PathLike = Union[str, Path]
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def parse_edge_line(
+    line: str, delimiter: Optional[str] = None, as_int: bool = True
+) -> Optional[EdgeTuple]:
+    """Parse one line of an edge-list file.
+
+    Returns ``None`` for blank lines and comments.  Raises
+    :class:`StreamFormatError` when the line has fewer than two fields.
+
+    Parameters
+    ----------
+    line:
+        The raw text line.
+    delimiter:
+        Field separator; ``None`` means any whitespace.
+    as_int:
+        Convert endpoints to ``int`` when both fields parse as integers.
+    """
+    stripped = line.strip()
+    if not stripped or stripped.startswith(_COMMENT_PREFIXES):
+        return None
+    fields = stripped.split(delimiter)
+    if len(fields) < 2:
+        raise StreamFormatError(f"cannot parse edge from line: {line!r}")
+    u_raw, v_raw = fields[0], fields[1]
+    if as_int:
+        try:
+            return (int(u_raw), int(v_raw))
+        except ValueError:
+            pass
+    return (u_raw, v_raw)
+
+
+def iter_edge_lines(
+    path: PathLike, delimiter: Optional[str] = None, as_int: bool = True
+) -> Iterator[EdgeTuple]:
+    """Yield edges from a (possibly gzip-compressed) edge-list file."""
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    with opener(path, "rt", encoding="utf-8") as handle:  # type: ignore[operator]
+        for line in handle:
+            edge = parse_edge_line(line, delimiter=delimiter, as_int=as_int)
+            if edge is not None:
+                yield edge
+
+
+def read_edge_list(
+    path: PathLike,
+    name: Optional[str] = None,
+    delimiter: Optional[str] = None,
+    as_int: bool = True,
+    drop_self_loops: bool = True,
+) -> EdgeStream:
+    """Read an edge-list file into an :class:`EdgeStream`.
+
+    Parameters
+    ----------
+    path:
+        File path; ``.gz`` files are decompressed transparently.
+    name:
+        Stream name; defaults to the file stem.
+    delimiter:
+        Field separator (``None`` = any whitespace, ``","`` for CSV).
+    as_int:
+        Convert node identifiers to integers when possible.
+    drop_self_loops:
+        Silently skip ``u == v`` records (they are meaningless for triangle
+        counting and present in some raw datasets).
+    """
+    path = Path(path)
+    edges = iter_edge_lines(path, delimiter=delimiter, as_int=as_int)
+    if drop_self_loops:
+        edges = (e for e in edges if e[0] != e[1])
+    return EdgeStream(edges, name=name or path.stem, validate=not drop_self_loops)

@@ -1,0 +1,92 @@
+"""Stream transforms: cleaning and re-ordering operations.
+
+Real edge streams contain self-loops, duplicate observations and arbitrary
+node labels; these helpers normalise them.  All transforms return a *new*
+:class:`EdgeStream` and never mutate their input.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.streaming.edge_stream import EdgeStream
+from repro.types import NodeId, canonical_edge
+from repro.utils.rng import SeedLike, as_random_source
+
+
+def drop_self_loops(stream: EdgeStream) -> EdgeStream:
+    """Return a stream with all ``u == v`` records removed."""
+    return EdgeStream(
+        ((u, v) for u, v in stream if u != v), name=stream.name, validate=False
+    )
+
+
+def deduplicate_edges(stream: EdgeStream) -> EdgeStream:
+    """Return a stream keeping only the first occurrence of each undirected edge.
+
+    The relative order of first occurrences is preserved, so the η values of
+    the deduplicated stream match those of the original stream's aggregate
+    graph under the same arrival order.
+    """
+    seen = set()
+
+    def _first_occurrences():
+        for u, v in stream:
+            key = canonical_edge(u, v)
+            if key not in seen:
+                seen.add(key)
+                yield (u, v)
+
+    return EdgeStream(_first_occurrences(), name=stream.name, validate=False)
+
+
+def relabel_nodes(
+    stream: EdgeStream, mapping: Optional[Dict[NodeId, int]] = None
+) -> EdgeStream:
+    """Return a stream with node identifiers replaced by dense integers.
+
+    Parameters
+    ----------
+    stream:
+        The input stream.
+    mapping:
+        Optional explicit mapping.  When omitted, nodes are numbered
+        ``0, 1, 2, ...`` in order of first appearance.
+    """
+    if mapping is None:
+        mapping = {}
+        for u, v in stream:
+            for node in (u, v):
+                if node not in mapping:
+                    mapping[node] = len(mapping)
+    return EdgeStream(
+        ((mapping[u], mapping[v]) for u, v in stream), name=stream.name, validate=False
+    )
+
+
+def shuffle_stream(stream: EdgeStream, seed: SeedLike = None) -> EdgeStream:
+    """Return a stream with the edge arrival order randomly permuted.
+
+    Note that shuffling changes ``η`` (which depends on which edge of each
+    triangle arrives last) while leaving ``τ`` untouched; the experiments
+    fix one shuffle per dataset so all methods see the same order.
+    """
+    edges = stream.edges()
+    as_random_source(seed).shuffle(edges)
+    return EdgeStream(edges, name=stream.name, validate=False)
+
+
+def subsample_stream(
+    stream: EdgeStream, probability: float, seed: SeedLike = None
+) -> EdgeStream:
+    """Return a stream keeping each record independently with ``probability``.
+
+    This is a *workload-reduction* tool (e.g. building a smaller test
+    stream), not an estimator; the streaming estimators do their own
+    sampling internally.
+    """
+    if not 0 <= probability <= 1:
+        raise ValueError("probability must be in [0, 1]")
+    rng = as_random_source(seed)
+    kept = [edge for edge in stream if rng.random() < probability]
+    return EdgeStream(kept, name=stream.name, validate=False)

@@ -1,0 +1,47 @@
+"""Edge-list file writers (the mirror image of the readers)."""
+
+from __future__ import annotations
+
+import gzip
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.types import EdgeTuple
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(
+    edges: Iterable[EdgeTuple],
+    path: PathLike,
+    delimiter: str = "\t",
+    header: str = "",
+) -> int:
+    """Write edges to a plain-text (optionally gzipped) edge-list file.
+
+    Parameters
+    ----------
+    edges:
+        Iterable of ``(u, v)`` pairs in stream order.
+    path:
+        Destination; ``.gz`` suffix triggers gzip compression.
+    delimiter:
+        Field separator (tab by default, matching SNAP-style files).
+    header:
+        Optional comment header written as ``# <header>``.
+
+    Returns
+    -------
+    int
+        The number of edges written.
+    """
+    path = Path(path)
+    opener = gzip.open if path.suffix == ".gz" else open
+    count = 0
+    with opener(path, "wt", encoding="utf-8") as handle:  # type: ignore[operator]
+        if header:
+            handle.write(f"# {header}\n")
+        for u, v in edges:
+            handle.write(f"{u}{delimiter}{v}\n")
+            count += 1
+    return count

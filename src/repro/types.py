@@ -1,0 +1,125 @@
+"""Shared primitive types for the REPT reproduction library.
+
+The whole library revolves around *undirected edges* flowing past as a
+stream.  We keep the representation deliberately small and explicit:
+
+* a **node** is any hashable identifier (typically an ``int`` or ``str``);
+* an **edge** is an unordered pair of distinct nodes, canonicalised so that
+  ``(u, v)`` and ``(v, u)`` refer to the same edge;
+* a **timestamped edge** additionally carries the discrete arrival time
+  ``t`` (1-based position in the stream) used by the η/η_v definitions.
+
+Only plain dataclasses and tuples are used so that edges can be hashed,
+pickled across process boundaries, and stored in sets without surprises.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Hashable, Iterable, Iterator, Tuple
+
+NodeId = Hashable
+"""Type alias for node identifiers.  Any hashable value is accepted."""
+
+EdgeTuple = Tuple[NodeId, NodeId]
+"""A plain ``(u, v)`` tuple; not necessarily canonicalised."""
+
+
+def canonical_edge(u: NodeId, v: NodeId) -> EdgeTuple:
+    """Return the canonical representation of the undirected edge ``{u, v}``.
+
+    The canonical form orders the two endpoints so that the same undirected
+    edge always maps to the same tuple, which makes edges usable as
+    dictionary keys and hash-function inputs.
+
+    Parameters
+    ----------
+    u, v:
+        The two endpoints.  They may be of mixed types; ordering falls back
+        to the string representation when direct comparison fails.
+
+    Raises
+    ------
+    ValueError
+        If ``u == v`` (self-loops are not valid undirected edges for
+        triangle counting and must be filtered by the stream layer).
+    """
+    if u == v:
+        raise ValueError(f"self-loop ({u!r}, {v!r}) is not a valid undirected edge")
+    try:
+        return (u, v) if u <= v else (v, u)  # type: ignore[operator]
+    except TypeError:
+        # Mixed / incomparable types: order by a stable textual key.  repr()
+        # is included so that e.g. the int 5 and the string "5" still get a
+        # consistent relative order from either argument position.
+        key_u = (str(u), repr(u))
+        key_v = (str(v), repr(v))
+        return (u, v) if key_u <= key_v else (v, u)
+
+
+@dataclass(frozen=True)
+class Edge:
+    """An undirected edge with canonical endpoint ordering.
+
+    Instances are immutable and hashable.  ``Edge(2, 1) == Edge(1, 2)``.
+    """
+
+    u: NodeId
+    v: NodeId
+
+    def __post_init__(self) -> None:
+        cu, cv = canonical_edge(self.u, self.v)
+        object.__setattr__(self, "u", cu)
+        object.__setattr__(self, "v", cv)
+
+    def as_tuple(self) -> EdgeTuple:
+        """Return the canonical ``(u, v)`` tuple."""
+        return (self.u, self.v)
+
+    def other(self, node: NodeId) -> NodeId:
+        """Return the endpoint that is not ``node``.
+
+        Raises
+        ------
+        ValueError
+            If ``node`` is not an endpoint of this edge.
+        """
+        if node == self.u:
+            return self.v
+        if node == self.v:
+            return self.u
+        raise ValueError(f"{node!r} is not an endpoint of {self!r}")
+
+    def __iter__(self) -> Iterator[NodeId]:
+        yield self.u
+        yield self.v
+
+
+@dataclass(frozen=True)
+class TimestampedEdge:
+    """An edge together with its 1-based arrival position on the stream."""
+
+    edge: Edge
+    timestamp: int
+
+    def __post_init__(self) -> None:
+        if self.timestamp < 1:
+            raise ValueError("stream timestamps are 1-based and must be >= 1")
+
+    @property
+    def u(self) -> NodeId:
+        return self.edge.u
+
+    @property
+    def v(self) -> NodeId:
+        return self.edge.v
+
+
+def normalize_edges(pairs: Iterable[EdgeTuple]) -> Iterator[Edge]:
+    """Yield :class:`Edge` objects for an iterable of ``(u, v)`` pairs.
+
+    Self-loops raise :class:`ValueError`; use the streaming transforms when
+    the input may contain them.
+    """
+    for u, v in pairs:
+        yield Edge(u, v)

@@ -1,0 +1,7 @@
+"""Small shared utilities: RNG helpers, timers, text tables, logging."""
+
+from repro.utils.rng import RandomSource, spawn_rngs
+from repro.utils.timer import Timer
+from repro.utils.tables import format_table
+
+__all__ = ["RandomSource", "spawn_rngs", "Timer", "format_table"]

@@ -1,0 +1,31 @@
+"""Logging helpers.
+
+The library never configures the root logger; applications opt in by
+calling :func:`enable_console_logging`.
+"""
+
+from __future__ import annotations
+
+import logging
+
+PACKAGE_LOGGER_NAME = "repro"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Return a child logger under the package namespace."""
+    if name.startswith(PACKAGE_LOGGER_NAME):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{PACKAGE_LOGGER_NAME}.{name}")
+
+
+def enable_console_logging(level: int = logging.INFO) -> logging.Logger:
+    """Attach a stream handler to the package logger (idempotent)."""
+    logger = logging.getLogger(PACKAGE_LOGGER_NAME)
+    logger.setLevel(level)
+    if not any(isinstance(h, logging.StreamHandler) for h in logger.handlers):
+        handler = logging.StreamHandler()
+        handler.setFormatter(
+            logging.Formatter("%(asctime)s %(name)s %(levelname)s: %(message)s")
+        )
+        logger.addHandler(handler)
+    return logger

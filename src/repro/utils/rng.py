@@ -1,0 +1,116 @@
+"""Deterministic random-number helpers.
+
+Every stochastic component of the library (hash functions, samplers,
+generators, experiment trials) receives its randomness from an explicit
+seed.  This module centralises the conventions:
+
+* a *seed* is either ``None`` (non-deterministic), an ``int``, or an
+  already-constructed :class:`numpy.random.Generator`;
+* independent sub-streams are derived with :func:`spawn_rngs`, which uses
+  ``numpy.random.SeedSequence.spawn`` so children never collide.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+
+
+class RandomSource:
+    """A thin wrapper around :class:`numpy.random.Generator`.
+
+    The wrapper exists so that library code can accept "anything seed-like"
+    and so that child sources can be spawned deterministically.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` for OS entropy, an ``int`` seed, an existing ``Generator``
+        (used as-is) or a ``SeedSequence``.
+    """
+
+    def __init__(self, seed: SeedLike = None) -> None:
+        if isinstance(seed, np.random.Generator):
+            self._seed_seq: Optional[np.random.SeedSequence] = None
+            self.generator = seed
+        elif isinstance(seed, np.random.SeedSequence):
+            self._seed_seq = seed
+            self.generator = np.random.default_rng(seed)
+        else:
+            self._seed_seq = np.random.SeedSequence(seed)
+            self.generator = np.random.default_rng(self._seed_seq)
+
+    def spawn(self, count: int) -> List["RandomSource"]:
+        """Derive ``count`` independent child sources.
+
+        When this source was built from a raw ``Generator`` (no seed
+        sequence available) children are seeded from integers drawn from
+        that generator, which is still reproducible given the parent state.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self._seed_seq is not None:
+            return [RandomSource(child) for child in self._seed_seq.spawn(count)]
+        seeds = self.generator.integers(0, 2**63 - 1, size=count)
+        return [RandomSource(int(s)) for s in seeds]
+
+    def integers(self, low: int, high: int, size=None):
+        """Proxy for ``Generator.integers`` (half-open interval)."""
+        return self.generator.integers(low, high, size=size)
+
+    def random(self, size=None):
+        """Proxy for ``Generator.random``: uniform floats in ``[0, 1)``."""
+        return self.generator.random(size)
+
+    def choice(self, seq, size=None, replace=True):
+        """Proxy for ``Generator.choice``."""
+        return self.generator.choice(seq, size=size, replace=replace)
+
+    def shuffle(self, seq) -> None:
+        """Proxy for ``Generator.shuffle`` (in place)."""
+        self.generator.shuffle(seq)
+
+    def random_uint64(self) -> int:
+        """Return a uniformly random unsigned 64-bit integer."""
+        return int(self.generator.integers(0, 2**64, dtype=np.uint64))
+
+
+def as_random_source(seed: SeedLike) -> RandomSource:
+    """Coerce a seed-like value into a :class:`RandomSource`."""
+    if isinstance(seed, RandomSource):
+        return seed
+    return RandomSource(seed)
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> List[RandomSource]:
+    """Return ``count`` independent :class:`RandomSource` objects.
+
+    Convenience wrapper used by experiment runners to hand each trial its
+    own deterministic stream of randomness.
+    """
+    return as_random_source(seed).spawn(count)
+
+
+def derive_seed(seed: SeedLike, *tokens) -> int:
+    """Derive a stable 63-bit integer seed from a base seed and tokens.
+
+    Used where a plain integer is required (for example the tabulation hash
+    tables) but the caller only has a structured identity such as
+    ``("figure3", dataset, trial)``.  The derivation is independent of
+    Python's per-process hash randomisation: tokens are serialised with
+    ``repr`` and digested with SHA-256.
+    """
+    import hashlib
+
+    if seed is None:
+        base = int(RandomSource(None).random_uint64())
+    elif isinstance(seed, int):
+        base = seed
+    else:
+        base = int(as_random_source(seed).random_uint64())
+    payload = repr((base, tokens)).encode("utf-8")
+    digest = hashlib.sha256(payload).digest()
+    return int.from_bytes(digest[:8], "little") & ((1 << 63) - 1)

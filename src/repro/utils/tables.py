@@ -1,0 +1,85 @@
+"""Plain-text table rendering for experiment reports.
+
+The experiment harness prints the same rows/series that the paper's tables
+and figures report.  We deliberately avoid plotting dependencies; a compact
+monospace table is enough to compare shapes and orderings.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1e5 or abs(value) < 1e-3:
+            return f"{value:.3e}"
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    title: Optional[str] = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned monospace table.
+
+    Parameters
+    ----------
+    headers:
+        Column names.
+    rows:
+        Iterable of row sequences; each row must have ``len(headers)``
+        entries.  Floats are formatted compactly, everything else via
+        ``str``.
+    title:
+        Optional title line printed above the table.
+
+    Returns
+    -------
+    str
+        The rendered table, ready to ``print``.
+    """
+    string_rows: List[List[str]] = [[_format_cell(v) for v in row] for row in rows]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+    widths = [len(h) for h in headers]
+    for row in string_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def fmt_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(fmt_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(fmt_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence,
+    series: Sequence[tuple],
+    title: Optional[str] = None,
+) -> str:
+    """Render one or more named series against a shared x axis.
+
+    ``series`` is a sequence of ``(name, values)`` pairs where ``values``
+    aligns with ``x_values``.  This mirrors how the paper's figures plot one
+    curve per method against the processor count or ``1/p``.
+    """
+    headers = [x_label] + [name for name, _ in series]
+    rows = []
+    for i, x in enumerate(x_values):
+        rows.append([x] + [values[i] for _, values in series])
+    return format_table(headers, rows, title=title)

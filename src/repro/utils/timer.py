@@ -1,0 +1,67 @@
+"""Lightweight wall-clock timing utilities used by the runtime experiments."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+class Timer:
+    """A context-manager stopwatch.
+
+    Example
+    -------
+    >>> with Timer() as t:
+    ...     sum(range(1000))
+    499500
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self._start: Optional[float] = None
+        self.elapsed: float = 0.0
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    def start(self) -> None:
+        """Start (or restart) the stopwatch."""
+        self._start = time.perf_counter()
+
+    def stop(self) -> float:
+        """Stop the stopwatch and return the elapsed seconds."""
+        if self._start is None:
+            raise RuntimeError("Timer.stop() called before start()")
+        self.elapsed = time.perf_counter() - self._start
+        self._start = None
+        return self.elapsed
+
+
+@dataclass
+class TimingLog:
+    """Accumulates named timing samples, e.g. per-method runtimes."""
+
+    samples: Dict[str, List[float]] = field(default_factory=dict)
+
+    def add(self, name: str, seconds: float) -> None:
+        """Record one timing sample for ``name``."""
+        self.samples.setdefault(name, []).append(seconds)
+
+    def mean(self, name: str) -> float:
+        """Mean of the samples recorded for ``name``."""
+        values = self.samples[name]
+        return sum(values) / len(values)
+
+    def total(self, name: str) -> float:
+        """Sum of the samples recorded for ``name``."""
+        return sum(self.samples[name])
+
+    def names(self) -> List[str]:
+        """Names with at least one sample, in insertion order."""
+        return list(self.samples)

@@ -1,0 +1,80 @@
+"""Tests for the closed-form variance formulas."""
+
+import pytest
+
+from repro.analysis.variance import (
+    mascot_variance,
+    parallel_mascot_variance,
+    predicted_nrmse,
+    rept_variance,
+    variance_reduction_factor,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestMascotVariance:
+    def test_formula(self):
+        # tau=10, eta=100, p=0.1 -> 10*(100-1) + 2*100*(10-1)
+        assert mascot_variance(10, 100, 0.1) == pytest.approx(10 * 99 + 200 * 9)
+
+    def test_p_one_gives_zero(self):
+        assert mascot_variance(10, 100, 1.0) == 0.0
+
+    def test_invalid_p(self):
+        with pytest.raises(ConfigurationError):
+            mascot_variance(1, 1, 0.0)
+
+    def test_parallel_divides_by_c(self):
+        single = mascot_variance(10, 100, 0.1)
+        assert parallel_mascot_variance(10, 100, 10, 4) == pytest.approx(single / 4)
+
+
+class TestReptVariance:
+    def test_c_less_than_m(self):
+        # (tau(m^2-c) + 2 eta (m-c)) / c
+        assert rept_variance(10, 100, m=10, c=2) == pytest.approx(
+            (10 * (100 - 2) + 200 * (10 - 2)) / 2
+        )
+
+    def test_c_equals_m_eliminates_covariance(self):
+        assert rept_variance(10, 1_000_000, m=10, c=10) == pytest.approx(10 * 9)
+
+    def test_exact_multiple(self):
+        assert rept_variance(10, 1_000_000, m=10, c=30) == pytest.approx(10 * 9 / 3)
+
+    def test_partial_group_combination_below_both(self):
+        tau, eta, m, c = 50, 5000, 10, 25  # c1=2, c2=5
+        combined = rept_variance(tau, eta, m, c)
+        complete_only = tau * (m - 1) / 2
+        partial_only = (tau * (m * m - 5) + 2 * eta * (m - 5)) / 5
+        assert combined < complete_only
+        assert combined < partial_only
+
+    def test_rept_never_worse_than_parallel_mascot(self):
+        for c in (2, 5, 10, 15, 20, 25, 30):
+            rept = rept_variance(100, 10_000, m=10, c=c)
+            baseline = parallel_mascot_variance(100, 10_000, m=10, c=c)
+            assert rept <= baseline + 1e-9
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ConfigurationError):
+            rept_variance(1, 1, m=0, c=1)
+        with pytest.raises(ConfigurationError):
+            rept_variance(1, 1, m=2, c=0)
+
+
+class TestHelpers:
+    def test_predicted_nrmse(self):
+        assert predicted_nrmse(4.0, 10.0) == pytest.approx(0.2)
+
+    def test_predicted_nrmse_zero_truth(self):
+        with pytest.raises(ConfigurationError):
+            predicted_nrmse(1.0, 0.0)
+
+    def test_variance_reduction_grows_with_eta(self):
+        low = variance_reduction_factor(100, 100, m=10, c=10)
+        high = variance_reduction_factor(100, 100_000, m=10, c=10)
+        assert high > low > 1.0
+
+    def test_reduction_factor_when_rept_exact(self):
+        assert variance_reduction_factor(10, 10, m=1, c=1) == 1.0

@@ -1,0 +1,68 @@
+"""Tests for the interval-based triangle anomaly detector."""
+
+import pytest
+
+from repro.applications.anomaly import TriangleAnomalyDetector
+from repro.baselines.exact import ExactStreamingCounter
+from repro.generators.traffic import TrafficTraceSpec, synthetic_packet_trace
+
+
+def _trace(anomaly_intervals=(3,), seed=5):
+    spec = TrafficTraceSpec(
+        num_hosts=400,
+        duration_seconds=3000.0,
+        background_rate=2.0,
+        anomaly_intervals=anomaly_intervals,
+        anomaly_clique_size=14,
+        window_seconds=300.0,
+    )
+    return synthetic_packet_trace(spec, seed=seed), spec
+
+
+class TestTriangleAnomalyDetector:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            TriangleAnomalyDetector(window_seconds=0)
+        with pytest.raises(ValueError):
+            TriangleAnomalyDetector(window_seconds=10, sensitivity=0)
+
+    def test_empty_input_gives_no_reports(self):
+        detector = TriangleAnomalyDetector(window_seconds=60)
+        assert detector.analyze([]) == []
+        assert detector.anomalous_intervals([]) == []
+
+    def test_detects_planted_burst(self):
+        records, spec = _trace(anomaly_intervals=(3,))
+        detector = TriangleAnomalyDetector(window_seconds=spec.window_seconds, seed=1)
+        flagged = detector.anomalous_intervals(records)
+        assert flagged == [3]
+
+    def test_detects_multiple_bursts(self):
+        records, spec = _trace(anomaly_intervals=(2, 7), seed=8)
+        detector = TriangleAnomalyDetector(window_seconds=spec.window_seconds, seed=2)
+        assert detector.anomalous_intervals(records) == [2, 7]
+
+    def test_quiet_trace_flags_nothing(self):
+        records, spec = _trace(anomaly_intervals=(), seed=6)
+        detector = TriangleAnomalyDetector(window_seconds=spec.window_seconds, seed=3)
+        assert detector.anomalous_intervals(records) == []
+
+    def test_reports_have_expected_fields(self):
+        records, spec = _trace()
+        detector = TriangleAnomalyDetector(window_seconds=spec.window_seconds, seed=1)
+        reports = detector.analyze(records)
+        assert len(reports) == len(set(report.index for report in reports))
+        for report in reports:
+            assert report.end > report.start
+            assert report.edge_count >= 0
+            assert report.triangle_estimate >= 0
+
+    def test_custom_estimator_factory(self):
+        """The detector also works with the exact counter (small windows)."""
+        records, spec = _trace()
+        detector = TriangleAnomalyDetector(
+            window_seconds=spec.window_seconds,
+            estimator_factory=lambda seed: ExactStreamingCounter(),
+            seed=4,
+        )
+        assert detector.anomalous_intervals(records) == [3]

@@ -1,0 +1,97 @@
+"""Tests for clustering-coefficient estimation and node rankings."""
+
+import math
+
+import pytest
+
+from repro.applications.clustering import estimate_global_clustering, estimate_local_clustering
+from repro.applications.ranking import rank_by_local_count, suspicious_low_clustering_nodes
+from repro.baselines.base import TriangleEstimate
+from repro.baselines.exact import ExactStreamingCounter
+from repro.core import ReptConfig, ReptEstimator
+from repro.graph.triangles import count_wedges, global_clustering_coefficient
+
+
+class TestGlobalClustering:
+    def test_exact_estimate_matches_offline_transitivity(self, clique_stream):
+        graph = clique_stream.to_graph()
+        estimate = ExactStreamingCounter().run(clique_stream)
+        value = estimate_global_clustering(estimate, count_wedges(graph))
+        assert value == pytest.approx(global_clustering_coefficient(graph))
+
+    def test_zero_wedges(self):
+        estimate = TriangleEstimate(global_count=0.0)
+        assert estimate_global_clustering(estimate, 0) == 0.0
+
+    def test_clamped_to_unit_interval(self):
+        estimate = TriangleEstimate(global_count=1e9)
+        assert estimate_global_clustering(estimate, 10) == 1.0
+
+    def test_approximate_estimate_close_on_medium_graph(self, medium_stream, medium_stats):
+        graph = medium_stream.to_graph()
+        estimator = ReptEstimator(ReptConfig(m=4, c=4, seed=3, track_local=False))
+        estimate = estimator.run(medium_stream)
+        approx = estimate_global_clustering(estimate, count_wedges(graph))
+        exact = global_clustering_coefficient(graph)
+        assert abs(approx - exact) < 0.3 * exact + 0.01
+
+
+class TestLocalClustering:
+    def test_exact_clique_coefficients_are_one(self, clique_stream):
+        graph = clique_stream.to_graph()
+        estimate = ExactStreamingCounter().run(clique_stream)
+        coefficients = estimate_local_clustering(estimate, graph.degree_sequence())
+        assert all(value == pytest.approx(1.0) for value in coefficients.values())
+
+    def test_low_degree_nodes_skipped(self):
+        estimate = TriangleEstimate(global_count=0.0, local_counts={})
+        coefficients = estimate_local_clustering(estimate, {1: 1, 2: 5})
+        assert 1 not in coefficients and 2 in coefficients
+
+    def test_values_clamped(self):
+        estimate = TriangleEstimate(global_count=0.0, local_counts={1: 1e6})
+        coefficients = estimate_local_clustering(estimate, {1: 3})
+        assert coefficients[1] == 1.0
+
+
+class TestRankings:
+    def test_rank_by_local_count_orders_descending(self):
+        estimate = TriangleEstimate(
+            global_count=0.0, local_counts={"a": 5.0, "b": 9.0, "c": 1.0}
+        )
+        ranking = rank_by_local_count(estimate, k=2)
+        assert [node for node, _ in ranking] == ["b", "a"]
+
+    def test_rank_k_validation(self):
+        with pytest.raises(ValueError):
+            rank_by_local_count(TriangleEstimate(global_count=0.0), k=0)
+
+    def test_rank_ties_broken_deterministically(self):
+        estimate = TriangleEstimate(global_count=0.0, local_counts={"x": 2.0, "a": 2.0})
+        ranking = rank_by_local_count(estimate, k=2)
+        assert [node for node, _ in ranking] == ["a", "x"]
+
+    def test_exact_ranking_matches_truth_on_clique_plus_pendant(self):
+        edges = [(i, j) for i in range(6) for j in range(i + 1, 6)] + [(0, 99)]
+        estimate = ExactStreamingCounter().run(edges)
+        top = rank_by_local_count(estimate, k=1)
+        assert top[0][0] == 0  # node 0 has the clique triangles; 99 has none
+
+    def test_suspicious_nodes_are_low_clustering_high_degree(self):
+        # Node "hub" has degree 6 and zero triangles; clique nodes have high clustering.
+        edges = [(i, j) for i in range(5) for j in range(i + 1, 5)]
+        edges += [("hub", f"leaf{i}") for i in range(6)]
+        estimate = ExactStreamingCounter().run(edges)
+        degrees = {}
+        for u, v in edges:
+            degrees[u] = degrees.get(u, 0) + 1
+            degrees[v] = degrees.get(v, 0) + 1
+        suspects = suspicious_low_clustering_nodes(
+            estimate, degrees, minimum_degree=4, max_results=1
+        )
+        assert suspects[0][0] == "hub"
+        assert suspects[0][1] == 0.0
+
+    def test_suspicious_nodes_validation(self):
+        with pytest.raises(ValueError):
+            suspicious_low_clustering_nodes(TriangleEstimate(global_count=0.0), {}, max_results=0)

@@ -1,0 +1,68 @@
+"""Tests for the DOULION estimator."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.baselines.doulion import DoulionEstimator
+from repro.exceptions import ConfigurationError
+
+
+class TestDoulionBasics:
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            DoulionEstimator(0.0)
+
+    def test_probability_one_is_exact(self, clique_stream):
+        estimate = DoulionEstimator(1.0, seed=1).run(clique_stream)
+        assert estimate.global_count == pytest.approx(math.comb(12, 3))
+
+    def test_probability_one_local_exact(self, clique_stream):
+        estimate = DoulionEstimator(1.0, seed=1).run(clique_stream)
+        for node in range(12):
+            assert estimate.local_count(node) == pytest.approx(math.comb(11, 2))
+
+    def test_memory_roughly_p_fraction(self, medium_stream):
+        estimator = DoulionEstimator(0.25, seed=2, track_local=False)
+        estimator.process_stream(medium_stream)
+        expected = 0.25 * medium_stream.num_distinct_edges
+        assert 0.7 * expected < estimator.edges_stored < 1.3 * expected
+
+    def test_self_loops_ignored(self):
+        estimator = DoulionEstimator(1.0, seed=1)
+        estimator.process_stream([(0, 0), (0, 1), (1, 2), (0, 2)])
+        assert estimator.estimate().global_count == pytest.approx(1.0)
+
+    def test_local_counts_only_positive_nodes(self, clique_stream):
+        estimate = DoulionEstimator(0.6, seed=3).run(clique_stream)
+        assert all(value > 0 for value in estimate.local_counts.values())
+
+
+class TestDoulionStatistics:
+    def test_roughly_unbiased(self, clique_stream):
+        truth = math.comb(12, 3)
+        estimates = [
+            DoulionEstimator(0.6, seed=seed, track_local=False).run(clique_stream).global_count
+            for seed in range(150)
+        ]
+        assert abs(statistics.mean(estimates) - truth) / truth < 0.1
+
+    def test_mascot_beats_doulion_at_equal_p(self, medium_stream, medium_stats):
+        """The semi-triangle estimators use unsampled closing edges; DOULION
+        does not, so at the same p MASCOT should have lower MSE."""
+        from repro.baselines.mascot import MascotEstimator
+
+        truth = medium_stats.num_triangles
+        p = 0.2
+        doulion_estimates = [
+            DoulionEstimator(p, seed=seed, track_local=False).run(medium_stream).global_count
+            for seed in range(15)
+        ]
+        mascot_estimates = [
+            MascotEstimator(p, seed=seed, track_local=False).run(medium_stream).global_count
+            for seed in range(15)
+        ]
+        doulion_mse = statistics.mean((e - truth) ** 2 for e in doulion_estimates)
+        mascot_mse = statistics.mean((e - truth) ** 2 for e in mascot_estimates)
+        assert mascot_mse < doulion_mse

@@ -1,0 +1,60 @@
+"""Tests for the exact streaming counter."""
+
+import math
+
+from repro.baselines.exact import ExactStreamingCounter
+from repro.graph.triangles import count_triangles, count_triangles_per_node
+
+
+class TestExactStreamingCounter:
+    def test_single_triangle(self, triangle_stream):
+        estimate = ExactStreamingCounter().run(triangle_stream)
+        assert estimate.global_count == 1
+        assert estimate.local_counts == {0: 1.0, 1: 1.0, 2: 1.0}
+
+    def test_clique(self, clique_stream):
+        estimate = ExactStreamingCounter().run(clique_stream)
+        assert estimate.global_count == math.comb(12, 3)
+
+    def test_matches_offline_counts(self, medium_stream):
+        estimate = ExactStreamingCounter().run(medium_stream)
+        graph = medium_stream.to_graph()
+        assert estimate.global_count == count_triangles(graph)
+        offline_local = count_triangles_per_node(graph)
+        for node, value in estimate.local_counts.items():
+            assert value == offline_local[node]
+
+    def test_duplicate_edges_ignored(self):
+        counter = ExactStreamingCounter()
+        counter.process_stream([(0, 1), (1, 2), (0, 2), (0, 1), (1, 2)])
+        assert counter.estimate().global_count == 1
+
+    def test_self_loops_ignored(self):
+        counter = ExactStreamingCounter()
+        counter.process_stream([(0, 0), (0, 1), (1, 2), (0, 2)])
+        assert counter.estimate().global_count == 1
+
+    def test_edges_stored_and_processed(self, triangle_stream):
+        counter = ExactStreamingCounter()
+        counter.process_stream(triangle_stream)
+        estimate = counter.estimate()
+        assert estimate.edges_processed == 3
+        assert estimate.edges_stored == 3
+
+    def test_order_invariance_of_global_count(self, clique_stream):
+        from repro.streaming.transforms import shuffle_stream
+
+        shuffled = shuffle_stream(clique_stream, seed=5)
+        assert (
+            ExactStreamingCounter().run(clique_stream).global_count
+            == ExactStreamingCounter().run(shuffled).global_count
+        )
+
+    def test_incremental_estimates_monotone(self, clique_stream):
+        counter = ExactStreamingCounter()
+        previous = 0.0
+        for u, v in clique_stream:
+            counter.process_edge(u, v)
+            current = counter.estimate().global_count
+            assert current >= previous
+            previous = current

@@ -1,0 +1,72 @@
+"""Tests for the GPS In-Stream estimator."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.baselines.gps import GpsInStreamEstimator
+from repro.exceptions import ConfigurationError
+
+
+class TestGpsBasics:
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            GpsInStreamEstimator(0)
+
+    def test_full_budget_is_exact(self, clique_stream):
+        estimate = GpsInStreamEstimator(len(clique_stream), seed=1).run(clique_stream)
+        assert estimate.global_count == pytest.approx(math.comb(12, 3))
+
+    def test_budget_respected(self, medium_stream):
+        estimator = GpsInStreamEstimator(80, seed=2, track_local=False)
+        estimator.process_stream(medium_stream)
+        assert estimator.edges_stored <= 80
+
+    def test_self_loops_ignored(self):
+        estimator = GpsInStreamEstimator(10, seed=1)
+        estimator.process_stream([(0, 0), (0, 1), (1, 2), (0, 2)])
+        assert estimator.estimate().global_count == pytest.approx(1.0)
+
+    def test_local_counts_positive_where_triangles_exist(self, clique_stream):
+        estimate = GpsInStreamEstimator(len(clique_stream), seed=1).run(clique_stream)
+        assert all(estimate.local_count(node) > 0 for node in range(12))
+
+    def test_metadata_contains_threshold(self, medium_stream):
+        estimate = GpsInStreamEstimator(50, seed=1, track_local=False).run(
+            medium_stream.prefix(1000)
+        )
+        assert "threshold" in estimate.metadata
+
+    def test_estimates_nonnegative(self, medium_stream):
+        estimate = GpsInStreamEstimator(60, seed=4, track_local=False).run(
+            medium_stream.prefix(2000)
+        )
+        assert estimate.global_count >= 0
+
+
+class TestGpsStatistics:
+    def test_reasonable_accuracy_with_half_budget(self, medium_stream, medium_stats):
+        truth = medium_stats.num_triangles
+        budget = medium_stream.num_distinct_edges // 2
+        estimates = [
+            GpsInStreamEstimator(budget, seed=seed, track_local=False)
+            .run(medium_stream)
+            .global_count
+            for seed in range(10)
+        ]
+        mean = statistics.mean(estimates)
+        assert abs(mean - truth) / truth < 0.3
+
+    def test_larger_budget_reduces_error(self, medium_stream, medium_stats):
+        truth = medium_stats.num_triangles
+        errors = {}
+        for budget in (200, 2000):
+            estimates = [
+                GpsInStreamEstimator(budget, seed=seed, track_local=False)
+                .run(medium_stream)
+                .global_count
+                for seed in range(8)
+            ]
+            errors[budget] = statistics.mean((e - truth) ** 2 for e in estimates)
+        assert errors[2000] < errors[200]

@@ -1,0 +1,69 @@
+"""Tests for the MASCOT estimator."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.baselines.mascot import MascotEstimator
+from repro.exceptions import ConfigurationError
+
+
+class TestMascotBasics:
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            MascotEstimator(0.0)
+
+    def test_probability_one_is_exact(self, clique_stream):
+        estimate = MascotEstimator(1.0, seed=1).run(clique_stream)
+        assert estimate.global_count == pytest.approx(math.comb(12, 3))
+
+    def test_probability_one_local_exact(self, clique_stream):
+        estimate = MascotEstimator(1.0, seed=1).run(clique_stream)
+        for node in range(12):
+            assert estimate.local_count(node) == pytest.approx(math.comb(11, 2))
+
+    def test_local_tracking_can_be_disabled(self, clique_stream):
+        estimate = MascotEstimator(0.5, seed=1, track_local=False).run(clique_stream)
+        assert estimate.local_counts == {}
+        assert estimate.global_count >= 0
+
+    def test_self_loops_ignored(self):
+        estimator = MascotEstimator(1.0, seed=1)
+        estimator.process_stream([(0, 0), (0, 1), (1, 2), (0, 2)])
+        assert estimator.estimate().global_count == pytest.approx(1.0)
+
+    def test_memory_fraction_roughly_p(self, medium_stream):
+        estimator = MascotEstimator(0.2, seed=3, track_local=False)
+        estimator.process_stream(medium_stream)
+        stored = estimator.edges_stored
+        expected = 0.2 * medium_stream.num_distinct_edges
+        assert 0.6 * expected < stored < 1.4 * expected
+
+    def test_metadata_records_probability(self, triangle_stream):
+        estimate = MascotEstimator(0.25, seed=1).run(triangle_stream)
+        assert estimate.metadata["probability"] == 0.25
+
+
+class TestMascotStatistics:
+    def test_global_estimate_unbiased(self, clique_stream):
+        """Mean of many independent runs should approach the true count."""
+        truth = math.comb(12, 3)
+        estimates = [
+            MascotEstimator(0.5, seed=seed, track_local=False).run(clique_stream).global_count
+            for seed in range(200)
+        ]
+        mean = statistics.mean(estimates)
+        standard_error = statistics.pstdev(estimates) / math.sqrt(len(estimates))
+        assert abs(mean - truth) < 4 * standard_error + 1e-9
+
+    def test_larger_p_reduces_error(self, medium_stream, medium_stats):
+        truth = medium_stats.num_triangles
+        errors = {}
+        for p in (0.1, 0.5):
+            estimates = [
+                MascotEstimator(p, seed=seed, track_local=False).run(medium_stream).global_count
+                for seed in range(20)
+            ]
+            errors[p] = statistics.mean((estimate - truth) ** 2 for estimate in estimates)
+        assert errors[0.5] < errors[0.1]

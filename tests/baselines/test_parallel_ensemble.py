@@ -1,0 +1,87 @@
+"""Tests for the independent-ensemble (direct parallelisation) wrapper."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.baselines.mascot import MascotEstimator
+from repro.baselines.parallel import IndependentEnsemble, parallelize
+from repro.exceptions import ConfigurationError
+
+
+class TestIndependentEnsemble:
+    def test_requires_positive_processor_count(self):
+        with pytest.raises(ConfigurationError):
+            IndependentEnsemble(lambda seed: MascotEstimator(0.5, seed=seed), 0)
+
+    def test_members_receive_distinct_seeds(self, clique_stream):
+        ensemble = IndependentEnsemble(
+            lambda seed: MascotEstimator(0.5, seed=seed, track_local=False), 4, seed=1
+        )
+        ensemble.process_stream(clique_stream)
+        member_estimates = [member.estimate().global_count for member in ensemble.members]
+        assert len(set(member_estimates)) > 1
+
+    def test_estimate_is_average_of_members(self, clique_stream):
+        ensemble = IndependentEnsemble(
+            lambda seed: MascotEstimator(0.5, seed=seed, track_local=False), 3, seed=2
+        )
+        estimate = ensemble.run(clique_stream)
+        member_mean = statistics.mean(
+            member.estimate().global_count for member in ensemble.members
+        )
+        assert estimate.global_count == pytest.approx(member_mean)
+
+    def test_local_counts_averaged(self, clique_stream):
+        ensemble = IndependentEnsemble(
+            lambda seed: MascotEstimator(1.0, seed=seed), 3, seed=2
+        )
+        estimate = ensemble.run(clique_stream)
+        assert estimate.local_count(0) == pytest.approx(math.comb(11, 2))
+
+    def test_name_includes_member_method(self):
+        ensemble = IndependentEnsemble(lambda seed: MascotEstimator(0.5, seed=seed), 2, seed=1)
+        assert "mascot" in ensemble.name
+
+    def test_more_processors_reduce_variance(self, medium_stream, medium_stats):
+        truth = medium_stats.num_triangles
+        variances = {}
+        for c in (1, 8):
+            estimates = [
+                IndependentEnsemble(
+                    lambda seed: MascotEstimator(0.2, seed=seed, track_local=False),
+                    c,
+                    seed=trial,
+                )
+                .run(medium_stream)
+                .global_count
+                for trial in range(12)
+            ]
+            variances[c] = statistics.pvariance(estimates)
+        assert variances[8] < variances[1]
+
+
+class TestParallelizeFactory:
+    def test_known_methods(self, clique_stream):
+        for method in ("mascot", "triest", "gps"):
+            ensemble = parallelize(method, 2, 0.5, len(clique_stream), seed=1)
+            estimate = ensemble.run(clique_stream)
+            assert estimate.global_count >= 0
+            assert len(ensemble.members) == 2
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallelize("unknown", 2, 0.5, 100)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ConfigurationError):
+            parallelize("mascot", 2, 0.0, 100)
+
+    def test_gps_budget_is_halved(self):
+        ensemble = parallelize("gps", 1, 0.5, 1000, seed=1)
+        assert ensemble.members[0].budget == 250
+
+    def test_triest_budget_matches_probability(self):
+        ensemble = parallelize("triest", 1, 0.25, 1000, seed=1)
+        assert ensemble.members[0].budget == 250

@@ -1,0 +1,48 @@
+"""Tests for the single-threaded (combined-memory) baseline factories."""
+
+import pytest
+
+from repro.baselines.single_threaded import (
+    make_single_threaded_gps,
+    make_single_threaded_mascot,
+    make_single_threaded_triest,
+)
+from repro.exceptions import ConfigurationError
+
+
+class TestCombinedMemoryAccounting:
+    def test_mascot_probability_scaled_by_c(self):
+        estimator = make_single_threaded_mascot(0.1, 5, seed=1)
+        assert estimator.probability == pytest.approx(0.5)
+        assert estimator.name == "mascot-s"
+
+    def test_mascot_probability_capped_at_one(self):
+        estimator = make_single_threaded_mascot(0.1, 100, seed=1)
+        assert estimator.probability == 1.0
+
+    def test_triest_budget_scaled(self):
+        estimator = make_single_threaded_triest(0.1, 4, stream_length=1000, seed=1)
+        assert estimator.budget == 400
+        assert estimator.name == "triest-s"
+
+    def test_gps_budget_halved(self):
+        estimator = make_single_threaded_gps(0.1, 4, stream_length=1000, seed=1)
+        assert estimator.budget == 200
+        assert estimator.name == "gps-s"
+
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            make_single_threaded_mascot(0.0, 4)
+
+    def test_invalid_processor_count(self):
+        with pytest.raises(ConfigurationError):
+            make_single_threaded_triest(0.1, 0, stream_length=100)
+
+    def test_estimators_run_end_to_end(self, clique_stream):
+        for factory in (
+            lambda: make_single_threaded_mascot(0.5, 2, seed=3),
+            lambda: make_single_threaded_triest(0.5, 2, len(clique_stream), seed=3),
+            lambda: make_single_threaded_gps(0.5, 2, len(clique_stream), seed=3),
+        ):
+            estimate = factory().run(clique_stream)
+            assert estimate.global_count >= 0

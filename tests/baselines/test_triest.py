@@ -1,0 +1,80 @@
+"""Tests for the TRIÈST-IMPR estimator."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.baselines.triest import TriestImprEstimator
+from repro.exceptions import ConfigurationError
+
+
+class TestTriestBasics:
+    def test_invalid_budget(self):
+        with pytest.raises(ConfigurationError):
+            TriestImprEstimator(0)
+
+    def test_budget_at_least_stream_is_exact(self, clique_stream):
+        estimate = TriestImprEstimator(len(clique_stream), seed=1).run(clique_stream)
+        assert estimate.global_count == pytest.approx(math.comb(12, 3))
+
+    def test_budget_never_exceeded(self, medium_stream):
+        estimator = TriestImprEstimator(100, seed=2, track_local=False)
+        estimator.process_stream(medium_stream)
+        assert estimator.edges_stored <= 100
+
+    def test_weight_formula(self):
+        estimator = TriestImprEstimator(10, seed=1)
+        assert estimator._increment_weight(5) == 1.0  # below budget -> weight 1
+        assert estimator._increment_weight(100) == pytest.approx(99 * 98 / (10 * 9))
+
+    def test_single_edge_budget_weight(self):
+        estimator = TriestImprEstimator(1, seed=1)
+        assert estimator._increment_weight(100) == 1.0
+
+    def test_self_loops_ignored(self):
+        estimator = TriestImprEstimator(10, seed=1)
+        estimator.process_stream([(0, 0), (0, 1), (1, 2), (0, 2)])
+        assert estimator.estimate().global_count == pytest.approx(1.0)
+
+    def test_local_counts_exact_with_full_budget(self, clique_stream):
+        estimate = TriestImprEstimator(len(clique_stream), seed=1).run(clique_stream)
+        for node in range(12):
+            assert estimate.local_count(node) == pytest.approx(math.comb(11, 2))
+
+    def test_counters_never_decrease(self, medium_stream):
+        estimator = TriestImprEstimator(50, seed=3, track_local=False)
+        previous = 0.0
+        for index, (u, v) in enumerate(medium_stream):
+            estimator.process_edge(u, v)
+            if index % 500 == 0:
+                current = estimator.estimate().global_count
+                assert current >= previous
+                previous = current
+
+
+class TestTriestStatistics:
+    def test_roughly_unbiased(self, clique_stream):
+        truth = math.comb(12, 3)
+        budget = len(clique_stream) // 2
+        estimates = [
+            TriestImprEstimator(budget, seed=seed, track_local=False)
+            .run(clique_stream)
+            .global_count
+            for seed in range(200)
+        ]
+        mean = statistics.mean(estimates)
+        assert abs(mean - truth) / truth < 0.15
+
+    def test_larger_budget_reduces_error(self, medium_stream, medium_stats):
+        truth = medium_stats.num_triangles
+        errors = {}
+        for budget in (300, 3000):
+            estimates = [
+                TriestImprEstimator(budget, seed=seed, track_local=False)
+                .run(medium_stream)
+                .global_count
+                for seed in range(15)
+            ]
+            errors[budget] = statistics.mean((e - truth) ** 2 for e in estimates)
+        assert errors[3000] < errors[300]

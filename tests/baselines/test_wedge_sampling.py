@@ -1,0 +1,55 @@
+"""Tests for the static wedge-sampling baseline (Section III-D scope)."""
+
+import math
+
+import pytest
+
+from repro.baselines.wedge_sampling import WedgeSamplingEstimator
+from repro.exceptions import ConfigurationError
+from repro.graph.adjacency import AdjacencyGraph
+
+
+class TestWedgeSampling:
+    def test_invalid_sample_count(self):
+        with pytest.raises(ConfigurationError):
+            WedgeSamplingEstimator(0)
+
+    def test_complete_graph_transitivity_one(self, clique_stream):
+        graph = clique_stream.to_graph()
+        result = WedgeSamplingEstimator(500, seed=1).estimate(graph)
+        assert result.transitivity_estimate == pytest.approx(1.0)
+        assert result.triangle_estimate == pytest.approx(math.comb(12, 3))
+
+    def test_triangle_free_graph(self):
+        star = AdjacencyGraph([(0, i) for i in range(1, 8)])
+        result = WedgeSamplingEstimator(300, seed=1).estimate(star)
+        assert result.transitivity_estimate == 0.0
+        assert result.triangle_estimate == 0.0
+
+    def test_empty_graph(self):
+        result = WedgeSamplingEstimator(10, seed=1).estimate(AdjacencyGraph())
+        assert result.triangle_estimate == 0.0
+        assert result.samples == 0
+
+    def test_estimate_close_on_medium_graph(self, medium_stream, medium_stats):
+        graph = medium_stream.to_graph()
+        result = WedgeSamplingEstimator(4000, seed=3).estimate(graph)
+        truth = medium_stats.num_triangles
+        assert abs(result.triangle_estimate - truth) / truth < 0.2
+
+    def test_more_samples_reduce_error(self, medium_stream, medium_stats):
+        graph = medium_stream.to_graph()
+        truth = medium_stats.num_triangles
+        errors = {}
+        for samples in (100, 5000):
+            trial_errors = []
+            for seed in range(5):
+                result = WedgeSamplingEstimator(samples, seed=seed).estimate(graph)
+                trial_errors.append((result.triangle_estimate - truth) ** 2)
+            errors[samples] = sum(trial_errors) / len(trial_errors)
+        assert errors[5000] < errors[100]
+
+    def test_wedge_count_reported(self, clique_stream):
+        graph = clique_stream.to_graph()
+        result = WedgeSamplingEstimator(10, seed=1).estimate(graph)
+        assert result.num_wedges == 12 * math.comb(11, 2)

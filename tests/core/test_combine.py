@@ -1,0 +1,113 @@
+"""Tests for the estimate-combination arithmetic (including Graybill–Deal)."""
+
+import pytest
+
+from repro.core.combine import GroupSummary, combine_group_estimates, graybill_deal
+
+
+class TestGraybillDeal:
+    def test_inverse_variance_weighting(self):
+        estimate, variance = graybill_deal(10.0, 1.0, 20.0, 4.0)
+        # weights: v2/(v1+v2)=0.8 on first, 0.2 on second
+        assert estimate == pytest.approx(0.8 * 10 + 0.2 * 20)
+        assert variance == pytest.approx(4.0 / 5.0)
+
+    def test_combined_variance_below_both(self):
+        _, variance = graybill_deal(5.0, 2.0, 7.0, 3.0)
+        assert variance < 2.0 and variance < 3.0
+
+    def test_zero_variance_first_dominates(self):
+        estimate, variance = graybill_deal(10.0, 0.0, 99.0, 5.0)
+        assert estimate == 10.0
+        assert variance == 0.0
+
+    def test_zero_variance_second_dominates(self):
+        estimate, _ = graybill_deal(10.0, 5.0, 99.0, 0.0)
+        assert estimate == 99.0
+
+    def test_both_zero_variances_average(self):
+        estimate, variance = graybill_deal(10.0, 0.0, 20.0, 0.0)
+        assert estimate == 15.0
+        assert variance == 0.0
+
+    def test_symmetry(self):
+        a, _ = graybill_deal(3.0, 1.0, 9.0, 2.0)
+        b, _ = graybill_deal(9.0, 2.0, 3.0, 1.0)
+        assert a == pytest.approx(b)
+
+
+def _summary(group_size, is_complete, tau_sum, eta_sum=0.0, local_tau=None, local_eta=None):
+    return GroupSummary(
+        group_size=group_size,
+        is_complete=is_complete,
+        tau_sum=tau_sum,
+        eta_sum=eta_sum,
+        local_tau=local_tau or {},
+        local_eta=local_eta or {},
+        edges_stored=0,
+    )
+
+
+class TestCombineAlgorithm1:
+    def test_scaling_factor(self):
+        # c = 2, m = 4: tau_hat = (16 / 2) * sum(tau_i)
+        summary = _summary(group_size=2, is_complete=False, tau_sum=5.0)
+        estimate = combine_group_estimates([summary], m=4, c=2)
+        assert estimate.global_count == pytest.approx(16 / 2 * 5.0)
+
+    def test_local_scaling(self):
+        summary = _summary(2, False, 5.0, local_tau={"a": 3.0})
+        estimate = combine_group_estimates([summary], m=4, c=2)
+        assert estimate.local_count("a") == pytest.approx(16 / 2 * 3.0)
+
+    def test_zero_counts_give_zero_estimate(self):
+        summary = _summary(3, False, 0.0)
+        assert combine_group_estimates([summary], m=3, c=3).global_count == 0.0
+
+
+class TestCombineAlgorithm2:
+    def test_exact_multiple_scaling(self):
+        # c = 2m with m = 3: tau_hat = (m / c1) * sum over complete groups.
+        groups = [_summary(3, True, 4.0), _summary(3, True, 6.0)]
+        estimate = combine_group_estimates(groups, m=3, c=6)
+        assert estimate.global_count == pytest.approx(3 / 2 * 10.0)
+
+    def test_partial_group_combination_between_ingredients(self):
+        groups = [
+            _summary(3, True, 9.0, eta_sum=2.0),
+            _summary(2, False, 1.0, eta_sum=1.0),
+        ]
+        estimate = combine_group_estimates(groups, m=3, c=5)
+        tau_1 = 3 / 1 * 9.0
+        tau_2 = 9 / 2 * 1.0
+        low, high = sorted([tau_1, tau_2])
+        assert low <= estimate.global_count <= high
+        assert estimate.metadata["tau_hat_complete"] == pytest.approx(tau_1)
+        assert estimate.metadata["tau_hat_partial"] == pytest.approx(tau_2)
+
+    def test_eta_hat_scaling(self):
+        groups = [
+            _summary(2, True, 1.0, eta_sum=3.0),
+            _summary(1, False, 1.0, eta_sum=1.0),
+        ]
+        estimate = combine_group_estimates(groups, m=2, c=3)
+        assert estimate.metadata["eta_hat"] == pytest.approx((2**3 / 3) * 4.0)
+
+    def test_two_partial_groups_rejected(self):
+        groups = [_summary(2, False, 1.0), _summary(2, False, 1.0)]
+        with pytest.raises(ValueError):
+            combine_group_estimates(groups, m=3, c=4)
+
+    def test_local_combination_covers_union_of_nodes(self):
+        groups = [
+            _summary(2, True, 2.0, local_tau={"a": 2.0}),
+            _summary(1, False, 1.0, local_tau={"b": 1.0}),
+        ]
+        estimate = combine_group_estimates(groups, m=2, c=3)
+        assert "a" in estimate.local_counts
+        assert "b" in estimate.local_counts
+
+    def test_track_local_false_skips_local(self):
+        groups = [_summary(2, True, 2.0, local_tau={"a": 2.0})]
+        estimate = combine_group_estimates(groups, m=2, c=2, track_local=False)
+        assert estimate.local_counts == {}

@@ -1,0 +1,76 @@
+"""Tests for ReptConfig validation and derived quantities."""
+
+import pytest
+
+from repro.core.config import ReptConfig
+from repro.exceptions import ConfigurationError
+
+
+class TestValidation:
+    def test_rejects_non_positive_m(self):
+        with pytest.raises(ConfigurationError):
+            ReptConfig(m=0, c=1)
+
+    def test_rejects_non_positive_c(self):
+        with pytest.raises(ConfigurationError):
+            ReptConfig(m=4, c=0)
+
+    def test_rejects_non_integer_m(self):
+        with pytest.raises(ConfigurationError):
+            ReptConfig(m=2.5, c=1)  # type: ignore[arg-type]
+
+    def test_rejects_unknown_hash_kind(self):
+        with pytest.raises(ConfigurationError):
+            ReptConfig(m=4, c=2, hash_kind="sha1")
+
+    def test_seed_resolved_when_none(self):
+        config = ReptConfig(m=4, c=2, seed=None)
+        assert isinstance(config.seed, int)
+
+
+class TestDerivedQuantities:
+    def test_probability(self):
+        assert ReptConfig(m=10, c=2, seed=1).probability == pytest.approx(0.1)
+
+    def test_algorithm1_group_sizes(self):
+        config = ReptConfig(m=10, c=4, seed=1)
+        assert not config.uses_groups
+        assert config.group_sizes() == [4]
+        assert config.num_complete_groups == 0
+        assert config.partial_group_size == 4
+        assert not config.requires_eta
+
+    def test_c_equal_m_uses_algorithm1(self):
+        config = ReptConfig(m=8, c=8, seed=1)
+        assert not config.uses_groups
+        assert config.group_sizes() == [8]
+
+    def test_algorithm2_exact_multiple(self):
+        config = ReptConfig(m=4, c=12, seed=1)
+        assert config.uses_groups
+        assert config.group_sizes() == [4, 4, 4]
+        assert config.num_complete_groups == 3
+        assert config.partial_group_size == 0
+        assert not config.requires_eta
+
+    def test_algorithm2_with_partial_group(self):
+        config = ReptConfig(m=4, c=10, seed=1)
+        assert config.group_sizes() == [4, 4, 2]
+        assert config.num_complete_groups == 2
+        assert config.partial_group_size == 2
+        assert config.requires_eta
+        assert config.track_eta  # auto-enabled
+
+    def test_track_eta_can_be_forced_on(self):
+        config = ReptConfig(m=4, c=2, seed=1, track_eta=True)
+        assert config.track_eta
+
+    def test_group_hash_seeds_deterministic_and_distinct(self):
+        config_a = ReptConfig(m=4, c=10, seed=5)
+        config_b = ReptConfig(m=4, c=10, seed=5)
+        assert config_a.group_hash_seeds() == config_b.group_hash_seeds()
+        assert len(set(config_a.group_hash_seeds())) == 3
+
+    def test_describe_mentions_algorithm(self):
+        assert "Alg.1" in ReptConfig(m=4, c=2, seed=1).describe()
+        assert "Alg.2" in ReptConfig(m=4, c=9, seed=1).describe()

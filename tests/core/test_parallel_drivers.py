@@ -1,0 +1,51 @@
+"""Tests for the serial / thread / process REPT drivers."""
+
+import pytest
+
+from repro.core.config import ReptConfig
+from repro.core.parallel import run_rept
+from repro.core.rept import ReptEstimator
+from repro.exceptions import ConfigurationError
+
+
+class TestDriverEquivalence:
+    def test_serial_matches_estimator(self, clique_stream):
+        config = ReptConfig(m=3, c=7, seed=5)
+        direct = ReptEstimator(config).run(clique_stream)
+        driven = run_rept(clique_stream.edges(), config, backend="serial")
+        assert driven.global_count == pytest.approx(direct.global_count)
+        assert driven.local_counts == direct.local_counts
+
+    def test_thread_backend_matches_serial(self, clique_stream):
+        config = ReptConfig(m=3, c=7, seed=5)
+        serial = run_rept(clique_stream.edges(), config, backend="serial")
+        threaded = run_rept(clique_stream.edges(), config, backend="thread")
+        assert threaded.global_count == pytest.approx(serial.global_count)
+        assert threaded.edges_stored == serial.edges_stored
+
+    @pytest.mark.slow
+    def test_process_backend_matches_serial(self, clique_stream):
+        config = ReptConfig(m=2, c=4, seed=5)
+        serial = run_rept(clique_stream.edges(), config, backend="serial")
+        processed = run_rept(clique_stream.edges(), config, backend="process", max_workers=2)
+        assert processed.global_count == pytest.approx(serial.global_count)
+
+    def test_unknown_backend_rejected(self, triangle_stream):
+        with pytest.raises(ConfigurationError):
+            run_rept(triangle_stream.edges(), ReptConfig(m=2, c=2, seed=1), backend="gpu")
+
+    def test_single_group_short_circuits_pools(self, triangle_stream):
+        # c <= m means one group; the pooled backends fall back to inline work.
+        config = ReptConfig(m=4, c=2, seed=1)
+        estimate = run_rept(triangle_stream.edges(), config, backend="thread")
+        assert estimate.edges_processed == 3
+
+    def test_self_loops_skipped_by_driver(self):
+        config = ReptConfig(m=1, c=1, seed=1)
+        estimate = run_rept([(0, 0), (0, 1), (1, 2), (0, 2)], config)
+        assert estimate.global_count == pytest.approx(1.0)
+
+    def test_accepts_generator_input(self, triangle_stream):
+        config = ReptConfig(m=2, c=2, seed=1)
+        estimate = run_rept((edge for edge in triangle_stream.edges()), config)
+        assert estimate.edges_processed == 3

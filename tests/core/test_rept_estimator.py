@@ -1,0 +1,194 @@
+"""Tests for the REPT estimator (Algorithms 1 and 2)."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.core.config import ReptConfig
+from repro.core.rept import ReptEstimator
+from repro.generators.planted import planted_clique_stream
+
+
+class TestDegenerateExactCases:
+    def test_m1_c1_is_exact(self, clique_stream):
+        estimate = ReptEstimator(ReptConfig(m=1, c=1, seed=1)).run(clique_stream)
+        assert estimate.global_count == pytest.approx(math.comb(12, 3))
+
+    def test_m1_c1_local_exact(self, clique_stream):
+        estimate = ReptEstimator(ReptConfig(m=1, c=1, seed=1)).run(clique_stream)
+        for node in range(12):
+            assert estimate.local_count(node) == pytest.approx(math.comb(11, 2))
+
+    def test_m1_many_processors_still_exact(self, clique_stream):
+        estimate = ReptEstimator(ReptConfig(m=1, c=4, seed=1)).run(clique_stream)
+        assert estimate.global_count == pytest.approx(math.comb(12, 3))
+
+
+class TestInterface:
+    def test_with_params_constructor(self, triangle_stream):
+        estimator = ReptEstimator.with_params(m=2, c=2, seed=3)
+        estimate = estimator.run(triangle_stream)
+        assert estimate.edges_processed == 3
+
+    def test_self_loops_ignored(self):
+        estimator = ReptEstimator(ReptConfig(m=1, c=1, seed=1))
+        estimator.process_stream([(0, 0), (0, 1), (1, 2), (0, 2)])
+        assert estimator.estimate().global_count == pytest.approx(1.0)
+
+    def test_metadata_records_algorithm(self, triangle_stream):
+        alg1 = ReptEstimator(ReptConfig(m=4, c=2, seed=1)).run(triangle_stream)
+        alg2 = ReptEstimator(ReptConfig(m=2, c=5, seed=1)).run(triangle_stream)
+        assert alg1.metadata["algorithm"] == 1.0
+        assert alg2.metadata["algorithm"] == 2.0
+
+    def test_describe(self):
+        assert "REPT" in ReptEstimator(ReptConfig(m=4, c=2, seed=1)).describe()
+
+    def test_edges_stored_fraction(self, medium_stream):
+        """Per processor, roughly |E|/m edges are stored; with c = m the
+        whole stream is partitioned so the total equals the distinct count."""
+        estimator = ReptEstimator(ReptConfig(m=4, c=4, seed=2, track_local=False))
+        estimator.process_stream(medium_stream)
+        assert estimator.edges_stored == medium_stream.num_distinct_edges
+
+    def test_partial_storage_for_c_less_than_m(self, medium_stream):
+        estimator = ReptEstimator(ReptConfig(m=10, c=2, seed=2, track_local=False))
+        estimator.process_stream(medium_stream)
+        expected = medium_stream.num_distinct_edges * 2 / 10
+        assert 0.7 * expected < estimator.edges_stored < 1.3 * expected
+
+    def test_track_local_false_gives_empty_locals(self, clique_stream):
+        estimate = ReptEstimator(ReptConfig(m=2, c=2, seed=1, track_local=False)).run(
+            clique_stream
+        )
+        assert estimate.local_counts == {}
+
+    def test_deterministic_given_seed(self, medium_stream):
+        run1 = ReptEstimator(ReptConfig(m=5, c=5, seed=11, track_local=False)).run(medium_stream)
+        run2 = ReptEstimator(ReptConfig(m=5, c=5, seed=11, track_local=False)).run(medium_stream)
+        assert run1.global_count == run2.global_count
+
+    def test_different_seeds_differ(self, medium_stream):
+        run1 = ReptEstimator(ReptConfig(m=5, c=5, seed=1, track_local=False)).run(medium_stream)
+        run2 = ReptEstimator(ReptConfig(m=5, c=5, seed=2, track_local=False)).run(medium_stream)
+        assert run1.global_count != run2.global_count
+
+
+class TestUnbiasednessAlgorithm1:
+    """Statistical checks of E[τ̂] = τ (Theorem 3) for c <= m."""
+
+    def _mean_estimate(self, stream, m, c, trials):
+        estimates = [
+            ReptEstimator(ReptConfig(m=m, c=c, seed=seed, track_local=False))
+            .run(stream)
+            .global_count
+            for seed in range(trials)
+        ]
+        return statistics.mean(estimates), statistics.pstdev(estimates) / math.sqrt(trials)
+
+    def test_unbiased_c_less_than_m(self):
+        stream = planted_clique_stream(16, seed=1)
+        truth = math.comb(16, 3)
+        mean, stderr = self._mean_estimate(stream, m=4, c=2, trials=300)
+        assert abs(mean - truth) < 4 * stderr + 1e-9
+
+    def test_unbiased_c_equals_m(self):
+        stream = planted_clique_stream(16, seed=1)
+        truth = math.comb(16, 3)
+        mean, stderr = self._mean_estimate(stream, m=3, c=3, trials=300)
+        assert abs(mean - truth) < 4 * stderr + 1e-9
+
+    def test_local_estimates_unbiased_on_average(self):
+        stream = planted_clique_stream(14, seed=1)
+        truth_local = math.comb(13, 2)
+        totals = {}
+        trials = 150
+        for seed in range(trials):
+            estimate = ReptEstimator(ReptConfig(m=3, c=3, seed=seed)).run(stream)
+            for node in range(14):
+                totals[node] = totals.get(node, 0.0) + estimate.local_count(node)
+        mean_over_nodes = statistics.mean(value / trials for value in totals.values())
+        assert abs(mean_over_nodes - truth_local) / truth_local < 0.1
+
+
+class TestUnbiasednessAlgorithm2:
+    def test_unbiased_exact_multiple(self):
+        stream = planted_clique_stream(16, seed=1)
+        truth = math.comb(16, 3)
+        estimates = [
+            ReptEstimator(ReptConfig(m=3, c=9, seed=seed, track_local=False))
+            .run(stream)
+            .global_count
+            for seed in range(200)
+        ]
+        mean = statistics.mean(estimates)
+        stderr = statistics.pstdev(estimates) / math.sqrt(len(estimates))
+        assert abs(mean - truth) < 4 * stderr + 1e-9
+
+    def test_partial_group_estimate_close_to_truth(self):
+        """The Graybill-Deal combination uses plug-in variances, so exact
+        unbiasedness is not guaranteed, but the mean should be within a few
+        percent of the truth on an easy instance."""
+        stream = planted_clique_stream(16, seed=1)
+        truth = math.comb(16, 3)
+        estimates = [
+            ReptEstimator(ReptConfig(m=3, c=10, seed=seed, track_local=False))
+            .run(stream)
+            .global_count
+            for seed in range(150)
+        ]
+        assert abs(statistics.mean(estimates) - truth) / truth < 0.05
+
+    def test_metadata_exposes_sub_estimates(self, medium_stream):
+        estimate = ReptEstimator(ReptConfig(m=3, c=10, seed=4, track_local=False)).run(
+            medium_stream
+        )
+        assert "tau_hat_complete" in estimate.metadata
+        assert "tau_hat_partial" in estimate.metadata
+        assert "eta_hat" in estimate.metadata
+
+    def test_local_estimates_present_for_algorithm2(self, clique_stream):
+        estimate = ReptEstimator(ReptConfig(m=2, c=5, seed=4)).run(clique_stream)
+        assert len(estimate.local_counts) > 0
+
+
+class TestVarianceOrdering:
+    def test_more_processors_reduce_variance(self):
+        """Var(τ̂) decreases as c grows (with m fixed)."""
+        stream = planted_clique_stream(16, seed=1)
+        variances = {}
+        for c in (1, 4):
+            estimates = [
+                ReptEstimator(ReptConfig(m=4, c=c, seed=seed, track_local=False))
+                .run(stream)
+                .global_count
+                for seed in range(200)
+            ]
+            variances[c] = statistics.pvariance(estimates)
+        assert variances[4] < variances[1]
+
+    def test_rept_beats_independent_partitioning_on_covariance_heavy_graph(self):
+        """On a 'book' graph (huge η) REPT at c = m has variance τ(m-1),
+        while independent MASCOT instances keep the covariance term."""
+        from repro.baselines.parallel import parallelize
+        from repro.generators.planted import planted_triangles_stream
+
+        stream = planted_triangles_stream(60, shared_edge=True)
+        truth = 60.0
+        m, c, trials = 4, 4, 120
+        rept_estimates = [
+            ReptEstimator(ReptConfig(m=m, c=c, seed=seed, track_local=False))
+            .run(stream)
+            .global_count
+            for seed in range(trials)
+        ]
+        mascot_estimates = [
+            parallelize("mascot", c, 1.0 / m, len(stream), seed=seed, track_local=False)
+            .run(stream)
+            .global_count
+            for seed in range(trials)
+        ]
+        rept_mse = statistics.mean((e - truth) ** 2 for e in rept_estimates)
+        mascot_mse = statistics.mean((e - truth) ** 2 for e in mascot_estimates)
+        assert rept_mse < mascot_mse

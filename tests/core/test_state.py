@@ -1,0 +1,136 @@
+"""Tests for ProcessorGroup / ProcessorCounters (the per-edge update rules)."""
+
+import math
+
+import pytest
+
+from repro.core.state import ProcessorCounters, ProcessorGroup
+from repro.generators.planted import planted_triangles_stream
+from repro.hashing import make_hash_function
+
+
+def make_group(m=4, group_size=None, seed=1, track_eta=True, track_local=True):
+    return ProcessorGroup(
+        hash_function=make_hash_function("splitmix", m, seed=seed),
+        group_size=group_size if group_size is not None else m,
+        m=m,
+        track_local=track_local,
+        track_eta=track_eta,
+    )
+
+
+class TestConstruction:
+    def test_invalid_group_size(self):
+        with pytest.raises(ValueError):
+            make_group(m=4, group_size=0)
+        with pytest.raises(ValueError):
+            make_group(m=4, group_size=5)
+
+    def test_hash_range_must_match_m(self):
+        with pytest.raises(ValueError):
+            ProcessorGroup(make_hash_function("splitmix", 8, seed=1), group_size=4, m=4)
+
+    def test_processor_count(self):
+        group = make_group(m=6, group_size=3)
+        assert len(group.processors) == 3
+
+
+class TestSemiTriangleCounting:
+    def test_full_group_counts_every_triangle_once(self, clique_stream):
+        """With group_size == m the union of processors stores every edge,
+        and every triangle is counted as a semi-triangle on exactly one
+        processor (the one holding its first two stream edges) only if those
+        two edges hash to the same processor — so the *scaled* sum is what
+        is unbiased, not the raw sum.  With m = 1 the single processor holds
+        everything and the raw count is exact."""
+        group = ProcessorGroup(
+            make_hash_function("splitmix", 1, seed=1), group_size=1, m=1,
+            track_local=True, track_eta=True,
+        )
+        for u, v in clique_stream:
+            group.process_edge(u, v)
+        assert sum(group.tau_values()) == math.comb(12, 3)
+
+    def test_local_counts_with_m1(self, clique_stream):
+        group = ProcessorGroup(
+            make_hash_function("splitmix", 1, seed=1), group_size=1, m=1,
+            track_local=True, track_eta=False,
+        )
+        for u, v in clique_stream:
+            group.process_edge(u, v)
+        sums = group.local_tau_sums()
+        assert all(value == math.comb(11, 2) for value in sums.values())
+
+    def test_eta_counters_with_m1_match_exact_eta(self):
+        """With every edge stored, η(i) equals the exact η of the stream."""
+        stream = planted_triangles_stream(6, shared_edge=True)
+        group = ProcessorGroup(
+            make_hash_function("splitmix", 1, seed=1), group_size=1, m=1,
+            track_local=True, track_eta=True,
+        )
+        for u, v in stream:
+            group.process_edge(u, v)
+        assert sum(group.eta_values()) == math.comb(6, 2)
+
+    def test_eta_local_with_m1(self):
+        stream = planted_triangles_stream(5, shared_edge=True)
+        group = ProcessorGroup(
+            make_hash_function("splitmix", 1, seed=1), group_size=1, m=1,
+            track_local=True, track_eta=True,
+        )
+        for u, v in stream:
+            group.process_edge(u, v)
+        eta_local = group.local_eta_sums()
+        assert eta_local[0] == math.comb(5, 2)
+        assert eta_local[1] == math.comb(5, 2)
+
+    def test_partial_group_discards_other_buckets(self):
+        """With group_size < m some edges are not stored anywhere."""
+        group = make_group(m=8, group_size=2, seed=3)
+        for i in range(50):
+            group.process_edge(i, i + 1)
+        stored = group.total_edges_stored()
+        assert 0 < stored < 50
+
+    def test_edge_sets_are_disjoint(self, medium_stream):
+        group = make_group(m=4, group_size=4, seed=5, track_eta=False)
+        for u, v in medium_stream.prefix(2000):
+            group.process_edge(u, v)
+        edge_sets = []
+        for processor in group.processors:
+            edges = set()
+            for node, neighbors in processor.adjacency.items():
+                for other in neighbors:
+                    edges.add(tuple(sorted((str(node), str(other)))))
+            edge_sets.append(edges)
+        for i in range(len(edge_sets)):
+            for j in range(i + 1, len(edge_sets)):
+                assert not (edge_sets[i] & edge_sets[j])
+
+    def test_every_stored_edge_went_to_its_hash_bucket(self):
+        group = make_group(m=4, group_size=4, seed=7, track_eta=False)
+        edges = [(i, j) for i in range(20) for j in range(i + 1, 20)]
+        for u, v in edges:
+            group.process_edge(u, v)
+        for slot, processor in enumerate(group.processors):
+            for node, neighbors in processor.adjacency.items():
+                for other in neighbors:
+                    assert group.hash_function.bucket(node, other) == slot
+
+    def test_track_local_disabled_keeps_dicts_empty(self, clique_stream):
+        group = make_group(m=2, group_size=2, track_local=False, track_eta=False)
+        for u, v in clique_stream:
+            group.process_edge(u, v)
+        assert group.local_tau_sums() == {}
+
+
+class TestProcessorCounters:
+    def test_store_edge_initialises_triangle_counter(self):
+        counters = ProcessorCounters()
+        counters.store_edge(1, 2, closing_triangles=3)
+        assert counters.edge_triangles[(1, 2)] == 3
+        assert counters.edges_stored == 1
+        assert counters.neighbors(1) == {2}
+
+    def test_neighbors_of_unknown_node_empty(self):
+        assert ProcessorCounters().neighbors("nope") == frozenset()

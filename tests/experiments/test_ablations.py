@@ -1,0 +1,62 @@
+"""Tests for the ablation experiments (quick configurations)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    ablation_combination,
+    ablation_hash_family,
+    ablation_variance,
+)
+
+
+class TestAblationVariance:
+    def test_empirical_tracks_prediction(self):
+        result = ablation_variance(
+            dataset="youtube-sim", m=5, c_values=(5,), num_trials=40, max_edges=1500
+        )
+        empirical = result.series["youtube-sim"]["empirical"][0]
+        predicted = result.series["youtube-sim"]["predicted"][0]
+        assert predicted > 0
+        # Loose factor-of-3 agreement: 40 trials of a variance estimate.
+        assert 0.33 < empirical / predicted < 3.0
+
+    def test_row_structure(self):
+        result = ablation_variance(
+            dataset="youtube-sim", m=4, c_values=(2, 4), num_trials=10, max_edges=1000
+        )
+        assert len(result.rows) == 2
+        assert result.headers[0] == "c"
+
+
+class TestAblationCombination:
+    def test_combined_not_worse_than_worst_ingredient(self):
+        result = ablation_combination(
+            dataset="youtube-sim", m=4, c_values=(6,), num_trials=15, max_edges=1500
+        )
+        combined, complete_only, partial_only = result.rows[0][1:4]
+        assert combined <= max(complete_only, partial_only) + 1e-9
+
+    def test_structure(self):
+        result = ablation_combination(
+            dataset="youtube-sim", m=4, c_values=(6, 10), num_trials=5, max_edges=1000
+        )
+        assert result.axis_values == [6, 10]
+
+
+class TestAblationHashFamily:
+    def test_both_families_reported(self):
+        result = ablation_hash_family(
+            dataset="youtube-sim", m=5, c=5, num_trials=10, max_edges=1200
+        )
+        assert [row[0] for row in result.rows] == ["splitmix", "tabulation"]
+
+    def test_accuracy_comparable_between_families(self):
+        result = ablation_hash_family(
+            dataset="youtube-sim", m=5, c=5, num_trials=25, max_edges=1500
+        )
+        nrmse = {row[0]: row[1] for row in result.rows}
+        assert nrmse["splitmix"] < 1.0
+        assert nrmse["tabulation"] < 1.0
+        # Within a factor of ~2.5 of each other on this quick configuration.
+        ratio = nrmse["splitmix"] / nrmse["tabulation"]
+        assert 0.4 < ratio < 2.5

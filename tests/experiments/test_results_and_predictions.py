@@ -1,0 +1,104 @@
+"""Tests for result persistence/comparison and the prediction experiment."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.predictions import prediction_vs_measurement
+from repro.experiments.results import compare_results, load_result, save_result
+from repro.experiments.spec import ExperimentResult
+
+
+def _result(experiment_id="figure4", values=(0.5, 0.25)):
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        description="demo",
+        axis_name="c",
+        axis_values=[2, 4],
+        series={"ds": {"REPT": list(values), "MASCOT": [1.0, 0.5]}},
+        rows=[[2, 0.5], [4, 0.25]],
+        headers=["c", "nrmse"],
+        text="demo table",
+        metadata={"p": 0.1},
+    )
+
+
+class TestPersistence:
+    def test_round_trip(self, tmp_path):
+        original = _result()
+        path = save_result(original, tmp_path / "result.json")
+        loaded = load_result(path)
+        assert loaded.experiment_id == original.experiment_id
+        assert loaded.series == original.series
+        assert loaded.axis_values == original.axis_values
+        assert loaded.metadata["p"] == 0.1
+
+    def test_save_creates_parent_directories(self, tmp_path):
+        path = save_result(_result(), tmp_path / "nested" / "deep" / "r.json")
+        assert path.exists()
+
+    def test_load_rejects_non_result_json(self, tmp_path):
+        path = tmp_path / "junk.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ExperimentError):
+            load_result(path)
+
+    def test_load_rejects_unknown_version(self, tmp_path):
+        path = tmp_path / "old.json"
+        path.write_text('{"format_version": 99, "result": {"experiment_id": "x"}}')
+        with pytest.raises(ExperimentError):
+            load_result(path)
+
+
+class TestComparison:
+    def test_ratios(self):
+        baseline = _result(values=(0.5, 0.25))
+        candidate = _result(values=(0.25, 0.25))
+        ratios = compare_results(baseline, candidate)
+        assert ratios["ds"]["REPT"] == [0.5, 1.0]
+
+    def test_mismatched_experiments_rejected(self):
+        with pytest.raises(ExperimentError):
+            compare_results(_result("figure3"), _result("figure4"))
+
+    def test_mismatched_axes_rejected(self):
+        baseline = _result()
+        candidate = _result()
+        candidate.axis_values = [2, 8]
+        with pytest.raises(ExperimentError):
+            compare_results(baseline, candidate)
+
+    def test_missing_cells_skipped(self):
+        baseline = _result()
+        candidate = _result()
+        del candidate.series["ds"]["MASCOT"]
+        ratios = compare_results(baseline, candidate)
+        assert "MASCOT" not in ratios["ds"]
+
+
+class TestPredictionExperiment:
+    def test_structure_and_agreement(self):
+        result = prediction_vs_measurement(
+            dataset="youtube-sim", m=5, c_values=(5,), num_trials=25, max_edges=1500
+        )
+        assert result.axis_values == [5]
+        series = result.series["youtube-sim"]
+        measured = series["REPT measured"][0]
+        predicted = series["REPT predicted"][0]
+        assert predicted > 0
+        # Measured NRMSE over 25 trials should land within a factor ~2 of the
+        # closed-form prediction (the estimator is unbiased, so the NRMSE is
+        # essentially the standard deviation ratio).
+        assert 0.5 < measured / predicted < 2.0
+
+    def test_prediction_orders_methods(self):
+        result = prediction_vs_measurement(
+            dataset="youtube-sim", m=4, c_values=(4,), num_trials=5, max_edges=1200
+        )
+        series = result.series["youtube-sim"]
+        assert series["REPT predicted"][0] <= series["MASCOT predicted"][0]
+
+    def test_text_mentions_dataset(self):
+        result = prediction_vs_measurement(
+            dataset="youtube-sim", m=4, c_values=(2,), num_trials=3, max_edges=1000
+        )
+        assert "youtube-sim" in result.text

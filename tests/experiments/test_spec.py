@@ -1,0 +1,47 @@
+"""Tests for experiment spec / result containers."""
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.spec import ExperimentResult, MethodSpec, SweepSpec
+
+
+class TestSweepSpec:
+    def test_valid(self):
+        spec = SweepSpec(axis_name="c", axis_values=[1, 2], datasets=["a"], num_trials=2)
+        assert spec.axis_name == "c"
+
+    def test_empty_axis_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(axis_name="c", axis_values=[], datasets=["a"])
+
+    def test_empty_datasets_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(axis_name="c", axis_values=[1], datasets=[])
+
+    def test_invalid_trials_rejected(self):
+        with pytest.raises(ExperimentError):
+            SweepSpec(axis_name="c", axis_values=[1], datasets=["a"], num_trials=0)
+
+
+class TestExperimentResult:
+    def test_method_series_lookup(self):
+        result = ExperimentResult(
+            experiment_id="x",
+            description="",
+            series={"d": {"REPT": [1.0, 2.0]}},
+        )
+        assert result.method_series("d", "REPT") == [1.0, 2.0]
+
+    def test_missing_series_raises(self):
+        result = ExperimentResult(experiment_id="x", description="")
+        with pytest.raises(ExperimentError):
+            result.method_series("d", "REPT")
+
+
+class TestMethodSpec:
+    def test_factory_called_with_seed(self):
+        calls = []
+        spec = MethodSpec(name="dummy", factory=lambda seed: calls.append(seed) or object())
+        spec.factory(123)
+        assert calls == [123]

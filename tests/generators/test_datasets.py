@@ -1,0 +1,68 @@
+"""Tests for the dataset registry (synthetic analogues of Table II)."""
+
+import pytest
+
+from repro.exceptions import DatasetNotFoundError
+from repro.generators.datasets import (
+    available_datasets,
+    clear_dataset_cache,
+    dataset_spec,
+    load_dataset,
+    paper_dataset_table,
+)
+
+
+class TestRegistry:
+    def test_eight_datasets_registered(self):
+        names = available_datasets()
+        assert len(names) == 8
+        assert names[0] == "twitter-sim"
+        assert "flickr-sim" in names
+        assert "youtube-sim" in names
+
+    def test_unknown_dataset_raises(self):
+        with pytest.raises(DatasetNotFoundError):
+            dataset_spec("imaginary-graph")
+        with pytest.raises(DatasetNotFoundError):
+            load_dataset("imaginary-graph")
+
+    def test_spec_carries_paper_sizes(self):
+        spec = dataset_spec("flickr-sim")
+        assert spec.paper_name == "Flickr"
+        assert spec.paper_nodes == 105_938
+        assert spec.paper_edges == 2_316_948
+
+    def test_paper_table_has_eight_rows(self):
+        table = paper_dataset_table()
+        assert len(table) == 8
+        assert table[0][0] == "Twitter"
+
+
+class TestLoading:
+    def test_load_is_deterministic(self):
+        clear_dataset_cache()
+        a = load_dataset("youtube-sim", use_cache=False).edges()
+        b = load_dataset("youtube-sim", use_cache=False).edges()
+        assert a == b
+
+    def test_cache_returns_same_object(self):
+        clear_dataset_cache()
+        first = load_dataset("youtube-sim")
+        second = load_dataset("youtube-sim")
+        assert first is second
+
+    def test_streams_have_no_self_loops(self):
+        stream = load_dataset("web-google-sim")
+        assert all(u != v for u, v in stream)
+
+    def test_sizes_ordered_like_paper(self):
+        largest = len(load_dataset("twitter-sim"))
+        smallest = len(load_dataset("youtube-sim"))
+        assert largest > smallest
+
+    @pytest.mark.parametrize("name", ["youtube-sim", "web-google-sim", "wiki-talk-sim"])
+    def test_datasets_contain_triangles(self, name):
+        from repro.graph.triangles import count_triangles
+
+        stream = load_dataset(name)
+        assert count_triangles(stream.to_graph()) > 100

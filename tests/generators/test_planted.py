@@ -1,0 +1,57 @@
+"""Tests for the planted-structure generators (known exact counts)."""
+
+import math
+
+import pytest
+
+from repro.generators.planted import planted_clique_stream, planted_triangles_stream
+from repro.graph.eta import compute_eta
+from repro.graph.triangles import count_triangles, count_triangles_per_node
+
+
+class TestPlantedClique:
+    @pytest.mark.parametrize("n", [3, 5, 10, 20])
+    def test_triangle_count(self, n):
+        stream = planted_clique_stream(n)
+        assert count_triangles(stream.to_graph()) == math.comb(n, 3)
+
+    def test_noise_edges_add_no_triangles(self):
+        stream = planted_clique_stream(8, noise_edges=20, seed=1)
+        assert count_triangles(stream.to_graph()) == math.comb(8, 3)
+        assert stream.to_graph().num_edges == math.comb(8, 2) + 20
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            planted_clique_stream(1)
+
+    def test_local_counts_uniform_over_clique(self):
+        n = 7
+        stream = planted_clique_stream(n)
+        counts = count_triangles_per_node(stream.to_graph())
+        for node in range(n):
+            assert counts[node] == math.comb(n - 1, 2)
+
+
+class TestPlantedTriangles:
+    def test_disjoint_counts(self):
+        stream = planted_triangles_stream(9, shared_edge=False)
+        assert count_triangles(stream.to_graph()) == 9
+        assert compute_eta(stream.edges()) == 0
+
+    def test_book_counts(self):
+        k = 8
+        stream = planted_triangles_stream(k, shared_edge=True)
+        assert count_triangles(stream.to_graph()) == k
+        assert compute_eta(stream.edges()) == math.comb(k, 2)
+
+    def test_zero_triangles(self):
+        stream = planted_triangles_stream(0)
+        assert len(stream) == 0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            planted_triangles_stream(-1)
+
+    def test_names(self):
+        assert "book" in planted_triangles_stream(2, shared_edge=True).name
+        assert "disjoint" in planted_triangles_stream(2, shared_edge=False).name

@@ -1,0 +1,104 @@
+"""Tests for the random-graph stream generators."""
+
+import pytest
+
+from repro.generators.random_graphs import (
+    barabasi_albert_stream,
+    chung_lu_stream,
+    erdos_renyi_stream,
+    powerlaw_cluster_stream,
+    powerlaw_weights,
+)
+from repro.graph.triangles import count_triangles
+
+
+class TestErdosRenyi:
+    def test_edge_count_and_distinctness(self):
+        stream = erdos_renyi_stream(100, 300, seed=1)
+        assert len(stream) == 300
+        assert stream.num_distinct_edges == 300
+
+    def test_deterministic_for_seed(self):
+        a = erdos_renyi_stream(50, 100, seed=7).edges()
+        b = erdos_renyi_stream(50, 100, seed=7).edges()
+        assert a == b
+
+    def test_too_many_edges_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_stream(5, 11, seed=1)
+
+    def test_too_few_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            erdos_renyi_stream(1, 0, seed=1)
+
+    def test_no_self_loops(self):
+        stream = erdos_renyi_stream(30, 100, seed=2)
+        assert all(u != v for u, v in stream)
+
+
+class TestBarabasiAlbert:
+    def test_node_and_edge_counts(self):
+        stream = barabasi_albert_stream(200, 3, seed=1)
+        graph = stream.to_graph()
+        assert graph.num_nodes == 200
+        # seed clique C(4,2)=6 edges + ~3 per subsequent node
+        assert graph.num_edges >= 3 * (200 - 4)
+
+    def test_deterministic_for_seed(self):
+        a = barabasi_albert_stream(100, 2, seed=5).edges()
+        b = barabasi_albert_stream(100, 2, seed=5).edges()
+        assert a == b
+
+    def test_triad_closure_increases_triangles(self):
+        low = barabasi_albert_stream(300, 3, triad_closure=0.0, seed=3)
+        high = barabasi_albert_stream(300, 3, triad_closure=0.8, seed=3)
+        assert count_triangles(high.to_graph()) > count_triangles(low.to_graph())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            barabasi_albert_stream(5, 0, seed=1)
+        with pytest.raises(ValueError):
+            barabasi_albert_stream(3, 3, seed=1)
+
+
+class TestChungLu:
+    def test_requested_edge_count(self):
+        weights = powerlaw_weights(200, exponent=2.5)
+        stream = chung_lu_stream(weights, 500, seed=1)
+        assert len(stream) == 500
+        assert stream.num_distinct_edges == 500
+
+    def test_invalid_weights(self):
+        with pytest.raises(ValueError):
+            chung_lu_stream([1.0], 1, seed=1)
+        with pytest.raises(ValueError):
+            chung_lu_stream([1.0, -1.0], 1, seed=1)
+        with pytest.raises(ValueError):
+            chung_lu_stream([0.0, 0.0], 1, seed=1)
+
+    def test_heavy_tail_concentrates_on_hubs(self):
+        weights = powerlaw_weights(300, exponent=1.8)
+        stream = chung_lu_stream(weights, 1500, seed=2)
+        graph = stream.to_graph()
+        degrees = sorted((graph.degree(node) for node in graph.nodes()), reverse=True)
+        # The top node should be far above the mean degree.
+        mean_degree = sum(degrees) / len(degrees)
+        assert degrees[0] > 5 * mean_degree
+
+
+class TestPowerlawHelpers:
+    def test_powerlaw_weights_monotone_decreasing(self):
+        weights = powerlaw_weights(10, exponent=2.0)
+        assert all(weights[i] >= weights[i + 1] for i in range(9))
+
+    def test_powerlaw_weights_invalid_exponent(self):
+        with pytest.raises(ValueError):
+            powerlaw_weights(10, exponent=1.0)
+
+    def test_powerlaw_cluster_stream_has_triangles(self):
+        stream = powerlaw_cluster_stream(300, 2500, exponent=2.0, seed=4)
+        assert count_triangles(stream.to_graph()) > 0
+
+    def test_named_stream(self):
+        stream = powerlaw_cluster_stream(100, 300, seed=1, name="custom")
+        assert stream.name == "custom"

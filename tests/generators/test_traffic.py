@@ -1,0 +1,38 @@
+"""Tests for the synthetic packet-trace generator."""
+
+from repro.generators.traffic import TrafficTraceSpec, synthetic_packet_trace
+from repro.graph.triangles import count_triangles
+from repro.streaming.windows import TimeWindowedStream
+
+
+class TestSyntheticPacketTrace:
+    def test_records_sorted_by_time(self):
+        records = synthetic_packet_trace(seed=1)
+        times = [record.time for record in records]
+        assert times == sorted(times)
+
+    def test_deterministic_for_seed(self):
+        spec = TrafficTraceSpec(duration_seconds=600.0, background_rate=5.0)
+        a = synthetic_packet_trace(spec, seed=3)
+        b = synthetic_packet_trace(spec, seed=3)
+        assert [(r.u, r.v, r.time) for r in a] == [(r.u, r.v, r.time) for r in b]
+
+    def test_no_self_loops(self):
+        records = synthetic_packet_trace(seed=2)
+        assert all(record.u != record.v for record in records)
+
+    def test_anomalous_windows_have_more_triangles(self):
+        spec = TrafficTraceSpec(
+            num_hosts=400,
+            duration_seconds=3000.0,
+            background_rate=1.0,
+            anomaly_intervals=(3,),
+            anomaly_clique_size=15,
+            window_seconds=300.0,
+        )
+        records = synthetic_packet_trace(spec, seed=5)
+        windows = TimeWindowedStream(records, spec.window_seconds).window_streams()
+        counts = [count_triangles(window.to_graph()) for window in windows]
+        anomalous = counts[3]
+        benign = [c for i, c in enumerate(counts) if i != 3]
+        assert anomalous > 10 * max(1, max(benign))

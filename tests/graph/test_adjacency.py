@@ -1,0 +1,96 @@
+"""Tests for the AdjacencyGraph substrate."""
+
+import pytest
+
+from repro.graph.adjacency import AdjacencyGraph
+
+
+class TestMutation:
+    def test_add_edge_counts_once(self):
+        graph = AdjacencyGraph()
+        assert graph.add_edge(1, 2) is True
+        assert graph.add_edge(2, 1) is False  # same undirected edge
+        assert graph.num_edges == 1
+        assert graph.num_nodes == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            AdjacencyGraph().add_edge(3, 3)
+
+    def test_remove_edge(self):
+        graph = AdjacencyGraph([(1, 2), (2, 3)])
+        assert graph.remove_edge(1, 2) is True
+        assert graph.remove_edge(1, 2) is False
+        assert graph.num_edges == 1
+        assert not graph.has_edge(1, 2)
+
+    def test_remove_keeps_nodes(self):
+        graph = AdjacencyGraph([(1, 2)])
+        graph.remove_edge(1, 2)
+        assert graph.has_node(1) and graph.has_node(2)
+
+    def test_add_node(self):
+        graph = AdjacencyGraph()
+        graph.add_node("solo")
+        assert graph.has_node("solo")
+        assert graph.degree("solo") == 0
+
+    def test_clear(self):
+        graph = AdjacencyGraph([(1, 2), (3, 4)])
+        graph.clear()
+        assert graph.num_nodes == 0 and graph.num_edges == 0
+
+
+class TestQueries:
+    def test_neighbors_and_degree(self):
+        graph = AdjacencyGraph([(1, 2), (1, 3), (1, 4)])
+        assert graph.neighbors(1) == {2, 3, 4}
+        assert graph.degree(1) == 3
+        assert graph.degree(99) == 0
+        assert graph.neighbors(99) == frozenset()
+
+    def test_common_neighbors(self):
+        graph = AdjacencyGraph([(1, 3), (2, 3), (1, 4), (2, 4), (1, 5)])
+        assert graph.common_neighbors(1, 2) == {3, 4}
+        assert graph.common_neighbors(1, 99) == set()
+
+    def test_edges_iterates_each_once(self):
+        edges = [(1, 2), (2, 3), (3, 1), (3, 4)]
+        graph = AdjacencyGraph(edges)
+        listed = sorted(graph.edges())
+        assert listed == sorted([(1, 2), (2, 3), (1, 3), (3, 4)])
+
+    def test_contains_protocol(self):
+        graph = AdjacencyGraph([(1, 2)])
+        assert (1, 2) in graph
+        assert (2, 1) in graph
+        assert 1 in graph
+        assert (1, 3) not in graph
+        assert 7 not in graph
+
+    def test_len_and_repr(self):
+        graph = AdjacencyGraph([(1, 2), (2, 3)])
+        assert len(graph) == 3
+        assert "nodes=3" in repr(graph)
+
+    def test_degree_sequence(self):
+        graph = AdjacencyGraph([(1, 2), (1, 3)])
+        assert graph.degree_sequence() == {1: 2, 2: 1, 3: 1}
+
+
+class TestCopyAndConstructors:
+    def test_copy_is_independent(self):
+        graph = AdjacencyGraph([(1, 2)])
+        clone = graph.copy()
+        clone.add_edge(2, 3)
+        assert graph.num_edges == 1
+        assert clone.num_edges == 2
+
+    def test_from_edges_collapses_duplicates(self):
+        graph = AdjacencyGraph.from_edges([(1, 2), (2, 1), (1, 2)])
+        assert graph.num_edges == 1
+
+    def test_from_stream(self, clique_stream):
+        graph = AdjacencyGraph.from_stream(clique_stream)
+        assert graph.num_nodes == 12
+        assert graph.num_edges == 12 * 11 // 2

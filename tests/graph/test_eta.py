@@ -1,0 +1,91 @@
+"""Tests for the exact η / η_v computation.
+
+η depends on the *stream order*: an unordered pair of distinct triangles
+counts iff the shared edge is not the last edge of either triangle.
+"""
+
+import math
+
+import pytest
+
+from repro.graph.eta import compute_eta, compute_eta_per_node, compute_pair_counts
+from repro.generators.planted import planted_triangles_stream
+
+
+class TestGlobalEta:
+    def test_single_triangle_has_no_pairs(self):
+        assert compute_eta([(0, 1), (1, 2), (0, 2)]) == 0
+
+    def test_disjoint_triangles_have_zero_eta(self):
+        stream = planted_triangles_stream(10, shared_edge=False)
+        assert compute_eta(stream.edges()) == 0
+
+    def test_book_with_shared_edge_first(self):
+        # Shared edge (0,1) arrives first -> it is a non-last edge of every
+        # triangle -> every pair of triangles qualifies.
+        k = 7
+        stream = planted_triangles_stream(k, shared_edge=True)
+        assert compute_eta(stream.edges()) == math.comb(k, 2)
+
+    def test_shared_edge_last_gives_zero(self):
+        # Two triangles sharing edge (0,1), which arrives LAST: the shared
+        # edge is the last edge of both triangles, so the pair does not count.
+        edges = [(0, 2), (1, 2), (0, 3), (1, 3), (0, 1)]
+        assert compute_eta(edges) == 0
+
+    def test_shared_edge_middle(self):
+        # Triangle A = {0,1,2} with (0,1) second; triangle B = {0,1,3} with
+        # (0,1) not last.  Shared edge is non-last for both -> eta = 1.
+        edges = [(0, 2), (0, 1), (1, 2), (0, 3), (1, 3)]
+        assert compute_eta(edges) == 1
+
+    def test_order_sensitivity(self):
+        # Same graph, different arrival orders give different eta.
+        book_first = planted_triangles_stream(4, shared_edge=True).edges()
+        shared_last = [edge for edge in book_first if edge != (0, 1)] + [(0, 1)]
+        assert compute_eta(book_first) == math.comb(4, 2)
+        assert compute_eta(shared_last) == 0
+
+    def test_duplicate_edges_ignored_after_first(self):
+        edges = [(0, 1), (1, 2), (0, 2), (0, 1)]
+        assert compute_eta(edges) == 0
+
+    def test_complete_graph_eta_positive(self):
+        edges = [(i, j) for i in range(6) for j in range(i + 1, 6)]
+        assert compute_eta(edges) > 0
+
+
+class TestLocalEta:
+    def test_book_local_values(self):
+        k = 5
+        stream = planted_triangles_stream(k, shared_edge=True)
+        eta_v = compute_eta_per_node(stream.edges())
+        # Nodes 0 and 1 are in every triangle, so every pair counts for them.
+        assert eta_v[0] == math.comb(k, 2)
+        assert eta_v[1] == math.comb(k, 2)
+        # Each apex node is in exactly one triangle -> no pair.
+        for apex in range(2, 2 + k):
+            assert eta_v[apex] == 0
+
+    def test_nodes_outside_triangles_have_zero(self):
+        edges = [(0, 1), (1, 2), (0, 2), (2, 9)]
+        eta_v = compute_eta_per_node(edges)
+        assert eta_v[9] == 0
+
+    def test_pair_counts_triangle_count_matches(self, medium_stream):
+        counts = compute_pair_counts(medium_stream.edges(), want_local=False)
+        from repro.graph.triangles import count_triangles
+
+        assert counts.triangle_count == count_triangles(medium_stream.to_graph())
+
+    def test_local_skipped_when_not_requested(self):
+        counts = compute_pair_counts([(0, 1), (1, 2), (0, 2)], want_local=False)
+        assert counts.eta_per_node == {}
+
+    def test_global_eta_consistent_with_local_structure(self, medium_stream):
+        """η_v sums over-count pairs in a structured way; each is >= 0 and
+        the global η is positive exactly when some node has a positive η_v."""
+        edges = medium_stream.edges()
+        counts = compute_pair_counts(edges, want_local=True)
+        assert all(value >= 0 for value in counts.eta_per_node.values())
+        assert (counts.eta > 0) == any(v > 0 for v in counts.eta_per_node.values())

@@ -1,0 +1,62 @@
+"""Tests for GraphStatistics / compute_statistics."""
+
+import math
+
+import pytest
+
+from repro.graph.statistics import compute_statistics
+from repro.generators.planted import planted_clique_stream, planted_triangles_stream
+
+
+class TestComputeStatistics:
+    def test_clique_statistics(self):
+        n = 10
+        stream = planted_clique_stream(n)
+        stats = compute_statistics(stream.edges(), name="clique")
+        assert stats.name == "clique"
+        assert stats.num_nodes == n
+        assert stats.num_edges == n * (n - 1) // 2
+        assert stats.num_triangles == math.comb(n, 3)
+        assert stats.transitivity == pytest.approx(1.0)
+        assert stats.max_degree == n - 1
+        assert stats.mean_degree == pytest.approx(n - 1)
+
+    def test_book_statistics(self):
+        k = 6
+        stream = planted_triangles_stream(k, shared_edge=True)
+        stats = compute_statistics(stream.edges())
+        assert stats.num_triangles == k
+        assert stats.eta == math.comb(k, 2)
+        assert stats.local_triangles[0] == k
+        assert stats.eta_per_node[0] == math.comb(k, 2)
+
+    def test_eta_to_tau_ratio(self):
+        stream = planted_triangles_stream(4, shared_edge=True)
+        stats = compute_statistics(stream.edges())
+        assert stats.eta_to_tau_ratio() == pytest.approx(6 / 4)
+
+    def test_ratio_with_no_triangles(self):
+        stats = compute_statistics([(0, 1), (1, 2)])
+        assert stats.eta_to_tau_ratio() == 0.0
+
+    def test_mascot_variance_terms(self):
+        stream = planted_triangles_stream(5, shared_edge=True)
+        stats = compute_statistics(stream.edges())
+        terms = stats.mascot_variance_terms(0.1)
+        assert terms["tau_term"] == pytest.approx(5 * (100 - 1))
+        assert terms["covariance_term"] == pytest.approx(2 * 10 * (10 - 1))
+
+    def test_mascot_variance_terms_invalid_p(self):
+        stats = compute_statistics([(0, 1), (1, 2), (0, 2)])
+        with pytest.raises(ValueError):
+            stats.mascot_variance_terms(0.0)
+        with pytest.raises(ValueError):
+            stats.mascot_variance_terms(1.5)
+
+    def test_as_table_row(self):
+        stats = compute_statistics([(0, 1), (1, 2), (0, 2)], name="t")
+        assert stats.as_table_row() == ["t", 3, 3, 1]
+
+    def test_local_counts_match_global(self, medium_stream):
+        stats = compute_statistics(medium_stream.edges())
+        assert sum(stats.local_triangles.values()) == 3 * stats.num_triangles

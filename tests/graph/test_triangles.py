@@ -1,0 +1,102 @@
+"""Tests for exact triangle counting and clustering coefficients."""
+
+import math
+
+import pytest
+
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.triangles import (
+    count_triangles,
+    count_triangles_per_node,
+    count_wedges,
+    enumerate_triangles,
+    global_clustering_coefficient,
+    local_clustering_coefficients,
+)
+
+
+def complete_graph(n):
+    return AdjacencyGraph([(i, j) for i in range(n) for j in range(i + 1, n)])
+
+
+class TestGlobalCount:
+    def test_empty_graph(self):
+        assert count_triangles(AdjacencyGraph()) == 0
+
+    def test_single_triangle(self):
+        assert count_triangles(AdjacencyGraph([(0, 1), (1, 2), (0, 2)])) == 1
+
+    def test_path_has_no_triangle(self):
+        assert count_triangles(AdjacencyGraph([(0, 1), (1, 2), (2, 3)])) == 0
+
+    @pytest.mark.parametrize("n", [3, 4, 5, 8, 12])
+    def test_complete_graph(self, n):
+        assert count_triangles(complete_graph(n)) == math.comb(n, 3)
+
+    def test_two_disjoint_triangles(self):
+        graph = AdjacencyGraph([(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)])
+        assert count_triangles(graph) == 2
+
+    def test_book_graph(self):
+        edges = [(0, 1)] + [(0, 2 + i) for i in range(5)] + [(1, 2 + i) for i in range(5)]
+        assert count_triangles(AdjacencyGraph(edges)) == 5
+
+
+class TestEnumeration:
+    def test_each_triangle_listed_once(self):
+        graph = complete_graph(6)
+        triangles = list(enumerate_triangles(graph))
+        assert len(triangles) == math.comb(6, 3)
+        assert len({tuple(sorted(t)) for t in triangles}) == len(triangles)
+
+    def test_enumeration_matches_count(self, medium_stream):
+        graph = medium_stream.to_graph()
+        assert len(list(enumerate_triangles(graph))) == count_triangles(graph)
+
+    def test_string_node_ids(self):
+        graph = AdjacencyGraph([("a", "b"), ("b", "c"), ("a", "c")])
+        assert count_triangles(graph) == 1
+
+
+class TestLocalCounts:
+    def test_triangle_local_counts(self):
+        counts = count_triangles_per_node(AdjacencyGraph([(0, 1), (1, 2), (0, 2)]))
+        assert counts == {0: 1, 1: 1, 2: 1}
+
+    def test_every_node_present_even_with_zero(self):
+        graph = AdjacencyGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        counts = count_triangles_per_node(graph)
+        assert counts[3] == 0
+
+    @pytest.mark.parametrize("n", [4, 6, 9])
+    def test_complete_graph_local(self, n):
+        counts = count_triangles_per_node(complete_graph(n))
+        expected = math.comb(n - 1, 2)
+        assert all(value == expected for value in counts.values())
+
+    def test_local_sum_is_three_times_global(self, medium_stream):
+        graph = medium_stream.to_graph()
+        counts = count_triangles_per_node(graph)
+        assert sum(counts.values()) == 3 * count_triangles(graph)
+
+
+class TestWedgesAndClustering:
+    def test_wedge_count_star(self):
+        star = AdjacencyGraph([(0, i) for i in range(1, 6)])
+        assert count_wedges(star) == math.comb(5, 2)
+
+    def test_transitivity_of_complete_graph_is_one(self):
+        assert global_clustering_coefficient(complete_graph(5)) == pytest.approx(1.0)
+
+    def test_transitivity_of_triangle_free_graph_is_zero(self):
+        assert global_clustering_coefficient(AdjacencyGraph([(0, 1), (1, 2)])) == 0.0
+
+    def test_transitivity_of_empty_graph(self):
+        assert global_clustering_coefficient(AdjacencyGraph()) == 0.0
+
+    def test_local_clustering_values(self):
+        graph = AdjacencyGraph([(0, 1), (1, 2), (0, 2), (2, 3)])
+        coefficients = local_clustering_coefficients(graph)
+        assert coefficients[0] == pytest.approx(1.0)
+        assert coefficients[2] == pytest.approx(1.0 / 3.0)
+        assert coefficients[3] == 0.0

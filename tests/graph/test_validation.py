@@ -1,0 +1,41 @@
+"""Tests for edge-list validation helpers."""
+
+import pytest
+
+from repro.exceptions import StreamFormatError
+from repro.graph.validation import edge_list_summary, validate_edge_list
+
+
+class TestValidateEdgeList:
+    def test_valid_list_passes_through(self):
+        edges = [(1, 2), (2, 3)]
+        assert validate_edge_list(edges) == edges
+
+    def test_self_loop_rejected_by_default(self):
+        with pytest.raises(StreamFormatError):
+            validate_edge_list([(1, 1)])
+
+    def test_self_loop_allowed_when_opted_in(self):
+        assert validate_edge_list([(1, 1)], allow_self_loops=True) == [(1, 1)]
+
+    def test_duplicates_allowed_by_default(self):
+        assert len(validate_edge_list([(1, 2), (2, 1)])) == 2
+
+    def test_duplicates_rejected_when_opted_out(self):
+        with pytest.raises(StreamFormatError):
+            validate_edge_list([(1, 2), (2, 1)], allow_duplicates=False)
+
+    def test_non_pair_record_rejected(self):
+        with pytest.raises(StreamFormatError):
+            validate_edge_list([(1, 2, 3)])  # type: ignore[list-item]
+
+
+class TestEdgeListSummary:
+    def test_counts(self):
+        records, distinct, loops = edge_list_summary([(1, 2), (2, 1), (3, 3), (4, 5)])
+        assert records == 4
+        assert distinct == 2
+        assert loops == 1
+
+    def test_empty(self):
+        assert edge_list_summary([]) == (0, 0, 0)

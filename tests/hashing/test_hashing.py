@@ -1,0 +1,112 @@
+"""Tests for the edge-partition hash families."""
+
+import collections
+
+import pytest
+
+from repro.hashing import (
+    HashFamily,
+    SplitMixEdgeHash,
+    TabulationEdgeHash,
+    make_hash_family,
+    make_hash_function,
+    splitmix64,
+)
+
+
+class TestSplitmix64:
+    def test_deterministic(self):
+        assert splitmix64(12345) == splitmix64(12345)
+
+    def test_avalanche_changes_output(self):
+        assert splitmix64(1) != splitmix64(2)
+
+    def test_output_is_64_bit(self):
+        assert 0 <= splitmix64(2**63 + 17) < 2**64
+
+
+@pytest.mark.parametrize("hash_cls", [SplitMixEdgeHash, TabulationEdgeHash])
+class TestEdgeHashFunctions:
+    def test_symmetric_in_endpoints(self, hash_cls):
+        h = hash_cls(16, seed=1)
+        for u, v in [(1, 2), (5, 100), ("a", "b")]:
+            assert h.bucket(u, v) == h.bucket(v, u)
+
+    def test_range(self, hash_cls):
+        h = hash_cls(7, seed=2)
+        buckets = {h.bucket(i, i + 1) for i in range(200)}
+        assert buckets <= set(range(7))
+
+    def test_deterministic_given_seed(self, hash_cls):
+        h1 = hash_cls(32, seed=9)
+        h2 = hash_cls(32, seed=9)
+        assert [h1.bucket(i, i + 1) for i in range(50)] == [
+            h2.bucket(i, i + 1) for i in range(50)
+        ]
+
+    def test_different_seeds_disagree_somewhere(self, hash_cls):
+        h1 = hash_cls(32, seed=1)
+        h2 = hash_cls(32, seed=2)
+        values1 = [h1.bucket(i, i + 1) for i in range(100)]
+        values2 = [h2.bucket(i, i + 1) for i in range(100)]
+        assert values1 != values2
+
+    def test_roughly_uniform(self, hash_cls):
+        m = 10
+        h = hash_cls(m, seed=3)
+        counts = collections.Counter(h.bucket(i, j) for i in range(60) for j in range(i + 1, 60))
+        total = sum(counts.values())
+        expected = total / m
+        for bucket in range(m):
+            assert counts[bucket] > 0.5 * expected
+            assert counts[bucket] < 1.5 * expected
+
+    def test_string_nodes_supported(self, hash_cls):
+        h = hash_cls(8, seed=4)
+        assert 0 <= h.bucket("alice", "bob") < 8
+
+    def test_callable_interface(self, hash_cls):
+        h = hash_cls(8, seed=4)
+        assert h(3, 4) == h.bucket(3, 4)
+
+    def test_invalid_bucket_count_raises(self, hash_cls):
+        with pytest.raises(ValueError):
+            hash_cls(0, seed=1)
+
+
+class TestHashFamily:
+    def test_make_family_size_and_buckets(self):
+        family = make_hash_family("splitmix", buckets=5, seed=1, count=3)
+        assert len(family) == 3
+        assert family.buckets == 5
+
+    def test_family_members_are_independent(self):
+        family = make_hash_family("splitmix", buckets=64, seed=1, count=2)
+        values0 = [family[0].bucket(i, i + 1) for i in range(200)]
+        values1 = [family[1].bucket(i, i + 1) for i in range(200)]
+        assert values0 != values1
+
+    def test_family_rejects_mixed_buckets(self):
+        with pytest.raises(ValueError):
+            HashFamily([SplitMixEdgeHash(4, 1), SplitMixEdgeHash(8, 1)])
+
+    def test_family_requires_members(self):
+        with pytest.raises(ValueError):
+            HashFamily([])
+
+    def test_unknown_kind_raises(self):
+        with pytest.raises(ValueError):
+            make_hash_family("md5", buckets=4)
+        with pytest.raises(ValueError):
+            make_hash_function("md5", buckets=4)
+
+    def test_make_hash_function_deterministic_for_seed(self):
+        h1 = make_hash_function("tabulation", 16, seed=77)
+        h2 = make_hash_function("tabulation", 16, seed=77)
+        assert [h1.bucket(i, 2 * i + 1) for i in range(64)] == [
+            h2.bucket(i, 2 * i + 1) for i in range(64)
+        ]
+
+    def test_family_iteration(self):
+        family = make_hash_family("tabulation", buckets=4, seed=2, count=2)
+        assert len(list(iter(family))) == 2

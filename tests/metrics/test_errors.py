@@ -1,0 +1,57 @@
+"""Tests for the global-count error metrics."""
+
+import math
+
+import pytest
+
+from repro.metrics.errors import (
+    bias,
+    empirical_variance,
+    mean_squared_error,
+    normalized_rmse,
+    summarize_trials,
+)
+
+
+class TestPointMetrics:
+    def test_mse_of_exact_estimates_is_zero(self):
+        assert mean_squared_error([10.0, 10.0], 10.0) == 0.0
+
+    def test_mse_value(self):
+        assert mean_squared_error([8.0, 12.0], 10.0) == pytest.approx(4.0)
+
+    def test_bias(self):
+        assert bias([8.0, 12.0], 10.0) == 0.0
+        assert bias([12.0, 12.0], 10.0) == 2.0
+
+    def test_empirical_variance(self):
+        assert empirical_variance([1.0, 3.0]) == pytest.approx(1.0)
+        assert empirical_variance([5.0]) == 0.0
+
+    def test_nrmse(self):
+        assert normalized_rmse([8.0, 12.0], 10.0) == pytest.approx(0.2)
+
+    def test_nrmse_zero_truth_rejected(self):
+        with pytest.raises(ValueError):
+            normalized_rmse([1.0], 0.0)
+
+    def test_empty_estimates_rejected(self):
+        with pytest.raises(ValueError):
+            mean_squared_error([], 1.0)
+        with pytest.raises(ValueError):
+            bias([], 1.0)
+        with pytest.raises(ValueError):
+            empirical_variance([])
+
+
+class TestTrialSummary:
+    def test_mse_decomposition(self):
+        estimates = [9.0, 11.0, 13.0]
+        summary = summarize_trials(estimates, 10.0)
+        assert summary.num_trials == 3
+        assert summary.mean_estimate == pytest.approx(11.0)
+        assert summary.mse == pytest.approx(summary.variance + summary.bias**2)
+        assert summary.nrmse == pytest.approx(math.sqrt(summary.mse) / 10.0)
+
+    def test_truth_recorded(self):
+        assert summarize_trials([1.0], 2.0).truth == 2.0

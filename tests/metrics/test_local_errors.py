@@ -1,0 +1,46 @@
+"""Tests for the local-count error aggregation."""
+
+import pytest
+
+from repro.metrics.local_errors import local_nrmse, summarize_local_trials
+
+
+class TestLocalNrmse:
+    def test_perfect_estimates_give_zero(self):
+        truth = {1: 5.0, 2: 3.0}
+        trials = [dict(truth), dict(truth)]
+        assert local_nrmse(trials, truth) == 0.0
+
+    def test_missing_nodes_treated_as_zero_estimate(self):
+        truth = {1: 4.0}
+        summary = summarize_local_trials([{}], truth)
+        # error 4, sqrt(MSE)=4, divided by truth+1=5
+        assert summary.nrmse == pytest.approx(0.8)
+        assert summary.mean_abs_error == pytest.approx(4.0)
+
+    def test_zero_truth_nodes_handled(self):
+        truth = {1: 0.0}
+        assert local_nrmse([{1: 2.0}], truth) == pytest.approx(2.0)
+
+    def test_average_over_nodes(self):
+        truth = {1: 1.0, 2: 3.0}
+        trials = [{1: 1.0, 2: 7.0}]
+        # node 1 error 0; node 2: sqrt(16)/4 = 1 -> mean 0.5
+        assert local_nrmse(trials, truth) == pytest.approx(0.5)
+
+    def test_multiple_trials_reduce_to_mse(self):
+        truth = {1: 2.0}
+        trials = [{1: 0.0}, {1: 4.0}]
+        # MSE = (4 + 4)/2 = 4 -> sqrt = 2 -> / 3
+        assert local_nrmse(trials, truth) == pytest.approx(2.0 / 3.0)
+
+    def test_empty_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_local_trials([], {1: 1.0})
+        with pytest.raises(ValueError):
+            summarize_local_trials([{1: 1.0}], {})
+
+    def test_summary_counts(self):
+        summary = summarize_local_trials([{1: 1.0, 2: 2.0}], {1: 1.0, 2: 2.0})
+        assert summary.num_nodes == 2
+        assert summary.num_trials == 1

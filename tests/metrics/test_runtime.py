@@ -1,0 +1,75 @@
+"""Tests for runtime measurement and the operation-count model."""
+
+import pytest
+
+from repro.baselines.exact import ExactStreamingCounter
+from repro.baselines.mascot import MascotEstimator
+from repro.metrics.runtime import (
+    OperationCosts,
+    OperationCountingGraph,
+    measure_runtime,
+    time_callable,
+)
+
+
+class TestMeasureRuntime:
+    def test_measures_and_returns_estimate(self, clique_stream):
+        measurement = measure_runtime(ExactStreamingCounter(), clique_stream)
+        assert measurement.seconds >= 0
+        assert measurement.edges_processed == len(clique_stream)
+        assert measurement.estimate.global_count == 220
+        assert measurement.method == "exact"
+
+    def test_edges_per_second(self, clique_stream):
+        measurement = measure_runtime(MascotEstimator(0.5, seed=1), clique_stream)
+        assert measurement.edges_per_second >= 0
+
+    def test_time_callable(self):
+        assert time_callable(lambda: sum(range(1000))) >= 0
+
+
+class TestOperationCountingGraph:
+    def test_counts_intersections_and_insertions(self):
+        graph = OperationCountingGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 3)
+        graph.common_neighbors(1, 3)
+        assert graph.counters["edges_inserted"] == 2
+        assert graph.counters["common_neighbor_calls"] == 1
+        assert graph.counters["set_elements_scanned"] >= 1
+
+    def test_duplicate_insertion_not_counted(self):
+        graph = OperationCountingGraph()
+        graph.add_edge(1, 2)
+        graph.add_edge(2, 1)
+        assert graph.counters["edges_inserted"] == 1
+
+    def test_removal_counted(self):
+        graph = OperationCountingGraph([(1, 2)])
+        graph.remove_edge(1, 2)
+        graph.remove_edge(1, 2)
+        assert graph.counters["edges_removed"] == 1
+
+    def test_can_replace_estimator_storage(self, clique_stream):
+        estimator = MascotEstimator(1.0, seed=1, track_local=False)
+        estimator._sampled = OperationCountingGraph()
+        estimator.process_stream(clique_stream)
+        assert estimator._sampled.counters["common_neighbor_calls"] == len(clique_stream)
+
+
+class TestOperationCosts:
+    def test_total_aggregation(self):
+        costs = OperationCosts(scan_cost=1.0, insert_cost=2.0, remove_cost=3.0, weight_update_cost=4.0)
+        counters = {
+            "set_elements_scanned": 10,
+            "common_neighbor_calls": 5,
+            "edges_inserted": 2,
+            "edges_removed": 1,
+        }
+        assert costs.total(counters, weight_updates=2) == pytest.approx(
+            1 * 10 + 1 * 5 + 2 * 2 + 3 * 1 + 4 * 2
+        )
+
+    def test_defaults_reflect_cost_ordering(self):
+        costs = OperationCosts()
+        assert costs.weight_update_cost > costs.insert_cost

@@ -1,0 +1,80 @@
+"""Property-based tests of the streaming estimators."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactStreamingCounter
+from repro.baselines.mascot import MascotEstimator
+from repro.baselines.triest import TriestImprEstimator
+from repro.core.config import ReptConfig
+from repro.core.rept import ReptEstimator
+
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=0,
+    max_size=50,
+)
+
+# MASCOT / TRIÈST / REPT assume each edge occurs once on the stream (the
+# paper's model); exactness invariants therefore use duplicate-free streams.
+unique_edge_lists = st.lists(
+    st.tuples(st.integers(0, 12), st.integers(0, 12)).filter(lambda e: e[0] != e[1]),
+    min_size=0,
+    max_size=50,
+    unique_by=lambda e: tuple(sorted(e)),
+)
+
+
+class TestEstimatorInvariants:
+    @given(unique_edge_lists, st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_rept_full_sampling_is_exact(self, edges, seed):
+        """m = 1, c = 1 stores everything: REPT must equal the exact count."""
+        exact = ExactStreamingCounter()
+        exact.process_stream(edges)
+        rept = ReptEstimator(ReptConfig(m=1, c=1, seed=seed))
+        rept.process_stream(edges)
+        assert rept.estimate().global_count == exact.estimate().global_count
+
+    @given(unique_edge_lists, st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_mascot_probability_one_is_exact(self, edges, seed):
+        exact = ExactStreamingCounter()
+        exact.process_stream(edges)
+        mascot = MascotEstimator(1.0, seed=seed)
+        mascot.process_stream(edges)
+        assert mascot.estimate().global_count == exact.estimate().global_count
+
+    @given(edge_lists, st.integers(2, 6), st.integers(1, 12), st.integers(0, 1000))
+    @settings(max_examples=50, deadline=None)
+    def test_rept_estimates_are_finite_and_nonnegative(self, edges, m, c, seed):
+        estimator = ReptEstimator(ReptConfig(m=m, c=c, seed=seed))
+        estimator.process_stream(edges)
+        estimate = estimator.estimate()
+        assert estimate.global_count >= 0
+        assert estimate.global_count == estimate.global_count  # not NaN
+        assert all(value >= 0 for value in estimate.local_counts.values())
+
+    @given(edge_lists, st.integers(2, 6), st.integers(1, 12), st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_rept_local_counts_only_for_seen_nodes(self, edges, m, c, seed):
+        estimator = ReptEstimator(ReptConfig(m=m, c=c, seed=seed))
+        estimator.process_stream(edges)
+        nodes = {node for edge in edges for node in edge}
+        assert set(estimator.estimate().local_counts) <= nodes
+
+    @given(edge_lists, st.integers(1, 30), st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_triest_budget_respected_on_any_stream(self, edges, budget, seed):
+        estimator = TriestImprEstimator(budget, seed=seed)
+        estimator.process_stream(edges)
+        assert estimator.edges_stored <= budget
+
+    @given(edge_lists, st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_duplicate_edges_do_not_change_exact_count(self, edges, seed):
+        exact_once = ExactStreamingCounter()
+        exact_once.process_stream(edges)
+        exact_twice = ExactStreamingCounter()
+        exact_twice.process_stream(edges + edges)
+        assert exact_once.estimate().global_count == exact_twice.estimate().global_count

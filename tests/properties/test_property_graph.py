@@ -1,0 +1,87 @@
+"""Property-based tests (hypothesis) for the graph substrate."""
+
+import math
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines.exact import ExactStreamingCounter
+from repro.graph.adjacency import AdjacencyGraph
+from repro.graph.eta import compute_pair_counts
+from repro.graph.triangles import (
+    count_triangles,
+    count_triangles_per_node,
+    count_wedges,
+    enumerate_triangles,
+)
+
+# Strategy: small random edge lists over a bounded node universe.
+edge_lists = st.lists(
+    st.tuples(st.integers(0, 14), st.integers(0, 14)).filter(lambda e: e[0] != e[1]),
+    min_size=0,
+    max_size=60,
+)
+
+
+class TestTriangleCountingProperties:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_local_counts_sum_to_three_times_global(self, edges):
+        graph = AdjacencyGraph(edges)
+        local = count_triangles_per_node(graph)
+        assert sum(local.values()) == 3 * count_triangles(graph)
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_enumeration_matches_count(self, edges):
+        graph = AdjacencyGraph(edges)
+        assert len(list(enumerate_triangles(graph))) == count_triangles(graph)
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_triangles_bounded_by_wedges(self, edges):
+        graph = AdjacencyGraph(edges)
+        assert 3 * count_triangles(graph) <= count_wedges(graph)
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_adding_edges_never_decreases_triangles(self, edges):
+        graph = AdjacencyGraph()
+        previous = 0
+        for u, v in edges:
+            graph.add_edge(u, v)
+            current = count_triangles(graph)
+            assert current >= previous
+            previous = current
+
+    @given(edge_lists, st.randoms(use_true_random=False))
+    @settings(max_examples=40, deadline=None)
+    def test_count_is_order_invariant(self, edges, rng):
+        shuffled = list(edges)
+        rng.shuffle(shuffled)
+        assert count_triangles(AdjacencyGraph(edges)) == count_triangles(AdjacencyGraph(shuffled))
+
+
+class TestEtaProperties:
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_eta_nonnegative_and_bounded(self, edges):
+        counts = compute_pair_counts(edges, want_local=True)
+        tau = counts.triangle_count
+        assert counts.eta >= 0
+        # Any pair of distinct triangles can be counted at most once.
+        assert counts.eta <= math.comb(tau, 2) if tau >= 2 else counts.eta == 0
+
+    @given(edge_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_local_eta_nonnegative(self, edges):
+        counts = compute_pair_counts(edges, want_local=True)
+        assert all(value >= 0 for value in counts.eta_per_node.values())
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_exact_streaming_counter_matches_offline(self, edges):
+        streaming = ExactStreamingCounter()
+        streaming.process_stream(edges)
+        graph = AdjacencyGraph(edges)
+        assert streaming.estimate().global_count == count_triangles(graph)

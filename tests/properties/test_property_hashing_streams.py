@@ -1,0 +1,71 @@
+"""Property-based tests for hashing and stream transforms."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hashing import make_hash_function
+from repro.streaming.edge_stream import EdgeStream
+from repro.streaming.transforms import deduplicate_edges, relabel_nodes, shuffle_stream
+from repro.types import Edge, canonical_edge
+
+node_ids = st.one_of(st.integers(0, 1000), st.text(min_size=1, max_size=5))
+edge_pairs = st.tuples(node_ids, node_ids).filter(lambda e: e[0] != e[1])
+edge_lists = st.lists(edge_pairs, min_size=0, max_size=40)
+
+
+class TestCanonicalEdgeProperties:
+    @given(edge_pairs)
+    def test_canonical_edge_is_symmetric(self, pair):
+        u, v = pair
+        assert canonical_edge(u, v) == canonical_edge(v, u)
+
+    @given(edge_pairs)
+    def test_edge_dataclass_equality(self, pair):
+        u, v = pair
+        assert Edge(u, v) == Edge(v, u)
+        assert hash(Edge(u, v)) == hash(Edge(v, u))
+
+
+class TestHashProperties:
+    @given(edge_pairs, st.integers(1, 64), st.integers(0, 2**31))
+    @settings(max_examples=80, deadline=None)
+    def test_bucket_in_range_and_symmetric(self, pair, buckets, seed):
+        u, v = pair
+        h = make_hash_function("splitmix", buckets, seed=seed)
+        bucket = h.bucket(u, v)
+        assert 0 <= bucket < buckets
+        assert bucket == h.bucket(v, u)
+
+    @given(edge_pairs, st.integers(1, 16), st.integers(0, 2**31))
+    @settings(max_examples=40, deadline=None)
+    def test_tabulation_in_range(self, pair, buckets, seed):
+        u, v = pair
+        h = make_hash_function("tabulation", buckets, seed=seed)
+        assert 0 <= h.bucket(u, v) < buckets
+
+
+class TestStreamTransformProperties:
+    @given(edge_lists, st.integers(0, 100))
+    @settings(max_examples=40, deadline=None)
+    def test_shuffle_preserves_multiset(self, edges, seed):
+        stream = EdgeStream(edges, validate=False)
+        shuffled = shuffle_stream(stream, seed=seed)
+        assert sorted(map(str, shuffled.edges())) == sorted(map(str, edges))
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_deduplicate_is_idempotent(self, edges):
+        stream = EdgeStream(edges, validate=False)
+        once = deduplicate_edges(stream)
+        twice = deduplicate_edges(once)
+        assert once.edges() == twice.edges()
+
+    @given(edge_lists)
+    @settings(max_examples=40, deadline=None)
+    def test_relabel_preserves_structure(self, edges):
+        stream = EdgeStream(edges, validate=False)
+        relabeled = relabel_nodes(stream)
+        assert len(relabeled) == len(stream)
+        # The relabeled aggregate graph has the same number of nodes/edges.
+        assert relabeled.to_graph().num_nodes == stream.to_graph().num_nodes
+        assert relabeled.to_graph().num_edges == stream.to_graph().num_edges

@@ -1,0 +1,39 @@
+"""Tests for the Bernoulli edge sampler."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sampling.edge_sampling import BernoulliEdgeSampler
+
+
+class TestBernoulliEdgeSampler:
+    def test_invalid_probability(self):
+        with pytest.raises(ConfigurationError):
+            BernoulliEdgeSampler(0.0)
+        with pytest.raises(ConfigurationError):
+            BernoulliEdgeSampler(1.5)
+
+    def test_probability_one_keeps_everything(self):
+        sampler = BernoulliEdgeSampler(1.0, seed=1)
+        assert all(sampler.offer() for _ in range(100))
+        assert sampler.empirical_rate == 1.0
+
+    def test_empirical_rate_near_probability(self):
+        sampler = BernoulliEdgeSampler(0.3, seed=2)
+        for _ in range(5000):
+            sampler.offer()
+        assert 0.25 < sampler.empirical_rate < 0.35
+
+    def test_deterministic_for_seed(self):
+        a = BernoulliEdgeSampler(0.5, seed=3)
+        b = BernoulliEdgeSampler(0.5, seed=3)
+        assert [a.offer() for _ in range(50)] == [b.offer() for _ in range(50)]
+
+    def test_counts(self):
+        sampler = BernoulliEdgeSampler(0.5, seed=4)
+        kept = sum(sampler.offer() for _ in range(100))
+        assert sampler.num_offered == 100
+        assert sampler.num_kept == kept
+
+    def test_empirical_rate_before_offers(self):
+        assert BernoulliEdgeSampler(0.5).empirical_rate == 0.0

@@ -1,0 +1,71 @@
+"""Tests for the priority (order) sampler used by GPS."""
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sampling.priority import PrioritySampler
+
+
+class TestPrioritySampler:
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            PrioritySampler(0)
+
+    def test_capacity_respected(self):
+        sampler = PrioritySampler(5, seed=1)
+        for i in range(50):
+            sampler.offer(("edge", i), weight=1.0)
+        assert len(sampler) == 5
+
+    def test_below_capacity_everything_kept(self):
+        sampler = PrioritySampler(10, seed=1)
+        for i in range(5):
+            assert sampler.offer(i, weight=1.0) is None
+        assert len(sampler) == 5
+        assert all(sampler.inclusion_probability(i) == 1.0 for i in range(5))
+
+    def test_threshold_grows_after_overflow(self):
+        sampler = PrioritySampler(3, seed=2)
+        for i in range(30):
+            sampler.offer(i, weight=1.0)
+        assert sampler.threshold > 0
+
+    def test_inclusion_probability_bounds(self):
+        sampler = PrioritySampler(4, seed=3)
+        for i in range(40):
+            sampler.offer(i, weight=1.0 + (i % 3))
+        for item in sampler.items():
+            probability = sampler.inclusion_probability(item)
+            assert 0 < probability <= 1.0
+
+    def test_absent_item_probability_zero(self):
+        sampler = PrioritySampler(2, seed=1)
+        assert sampler.inclusion_probability("missing") == 0.0
+
+    def test_higher_weight_items_kept_more_often(self):
+        kept_heavy = 0
+        kept_light = 0
+        for trial in range(300):
+            sampler = PrioritySampler(5, seed=trial)
+            sampler.offer("heavy", weight=50.0)
+            for i in range(40):
+                sampler.offer(("light", i), weight=1.0)
+            if "heavy" in sampler:
+                kept_heavy += 1
+            kept_light += sum(1 for item in sampler.items() if item != "heavy")
+        assert kept_heavy > 250  # heavy item should almost always survive
+
+    def test_nonpositive_weight_rejected(self):
+        sampler = PrioritySampler(2, seed=1)
+        with pytest.raises(ValueError):
+            sampler.offer("x", weight=0.0)
+
+    def test_reoffer_updates_weight_without_duplication(self):
+        sampler = PrioritySampler(3, seed=1)
+        sampler.offer("a", weight=1.0)
+        sampler.offer("a", weight=5.0)
+        assert len(sampler) == 1
+        assert sampler.weight_of("a") == 5.0
+
+    def test_weight_of_missing_item_is_none(self):
+        assert PrioritySampler(2, seed=1).weight_of("nope") is None

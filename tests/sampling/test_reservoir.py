@@ -1,0 +1,68 @@
+"""Tests for the edge reservoir (Algorithm R)."""
+
+import collections
+
+import pytest
+
+from repro.exceptions import ConfigurationError
+from repro.sampling.reservoir import EdgeReservoir
+
+
+class TestEdgeReservoir:
+    def test_invalid_capacity(self):
+        with pytest.raises(ConfigurationError):
+            EdgeReservoir(0)
+
+    def test_fills_up_then_caps(self):
+        reservoir = EdgeReservoir(5, seed=1)
+        for i in range(20):
+            reservoir.offer((i, i + 1))
+        assert len(reservoir) == 5
+        assert reservoir.is_full
+
+    def test_first_k_always_kept(self):
+        reservoir = EdgeReservoir(10, seed=1)
+        results = [reservoir.offer((i, i + 1)) for i in range(10)]
+        assert all(result.inserted for result in results)
+        assert all(result.evicted is None for result in results)
+
+    def test_eviction_reported(self):
+        reservoir = EdgeReservoir(2, seed=3)
+        reservoir.offer((0, 1))
+        reservoir.offer((1, 2))
+        evictions = 0
+        for i in range(2, 50):
+            result = reservoir.offer((i, i + 1))
+            if result.inserted:
+                assert result.evicted is not None
+                evictions += 1
+        assert evictions > 0
+
+    def test_contains_and_edges(self):
+        reservoir = EdgeReservoir(3, seed=1)
+        reservoir.offer((1, 2))
+        assert (1, 2) in reservoir
+        assert reservoir.edges() == [(1, 2)]
+
+    def test_uniformity_of_sample(self):
+        """Each of the first 20 items should be retained ~k/n of the time."""
+        n, k, trials = 20, 5, 2000
+        counts = collections.Counter()
+        for trial in range(trials):
+            reservoir = EdgeReservoir(k, seed=trial)
+            for i in range(n):
+                reservoir.offer((i, i + 1))
+            for edge in reservoir.edges():
+                counts[edge[0]] += 1
+        expected = trials * k / n
+        for i in range(n):
+            assert 0.7 * expected < counts[i] < 1.3 * expected
+
+    def test_deterministic_for_seed(self):
+        def run(seed):
+            reservoir = EdgeReservoir(4, seed=seed)
+            for i in range(100):
+                reservoir.offer((i, i + 1))
+            return sorted(reservoir.edges())
+
+        assert run(9) == run(9)

@@ -1,0 +1,48 @@
+"""Tests for the one-pass degree / wedge tracker."""
+
+import math
+
+from repro.graph.triangles import count_wedges
+from repro.streaming.degree_tracker import DegreeTracker
+
+
+class TestDegreeTracker:
+    def test_degrees_match_aggregate_graph(self, medium_stream):
+        tracker = DegreeTracker().process_stream(medium_stream)
+        graph = medium_stream.to_graph()
+        assert tracker.num_nodes == graph.num_nodes
+        assert tracker.num_distinct_edges == graph.num_edges
+        for node in graph.nodes():
+            assert tracker.degree(node) == graph.degree(node)
+
+    def test_wedge_count_matches_offline(self, medium_stream):
+        tracker = DegreeTracker().process_stream(medium_stream)
+        assert tracker.num_wedges == count_wedges(medium_stream.to_graph())
+
+    def test_duplicates_and_self_loops_ignored(self):
+        tracker = DegreeTracker().process_stream([(1, 2), (2, 1), (1, 1), (2, 3)])
+        assert tracker.degree(1) == 1
+        assert tracker.degree(2) == 2
+        assert tracker.num_distinct_edges == 2
+        assert tracker.edges_processed == 4
+
+    def test_clique_wedges(self, clique_stream):
+        tracker = DegreeTracker().process_stream(clique_stream)
+        assert tracker.num_wedges == 12 * math.comb(11, 2)
+        assert tracker.max_degree == 11
+
+    def test_empty_tracker(self):
+        tracker = DegreeTracker()
+        assert tracker.num_nodes == 0
+        assert tracker.num_wedges == 0
+        assert tracker.max_degree == 0
+        assert tracker.degree("missing") == 0
+
+    def test_clustering_pipeline_with_estimate(self, clique_stream):
+        """DegreeTracker + a triangle estimate reproduce the transitivity."""
+        from repro.applications.clustering import estimate_global_clustering
+        from repro.baselines.exact import ExactStreamingCounter
+
+        tracker = DegreeTracker().process_stream(clique_stream)
+        estimate = ExactStreamingCounter().run(clique_stream)
+        assert estimate_global_clustering(estimate, tracker.num_wedges) == 1.0

@@ -1,0 +1,72 @@
+"""Tests for edge-list file readers and writers."""
+
+import gzip
+
+import pytest
+
+from repro.exceptions import StreamFormatError
+from repro.streaming.readers import parse_edge_line, read_edge_list
+from repro.streaming.writers import write_edge_list
+
+
+class TestParseEdgeLine:
+    def test_whitespace_separated(self):
+        assert parse_edge_line("1\t2") == (1, 2)
+        assert parse_edge_line("3 4") == (3, 4)
+
+    def test_comma_delimiter(self):
+        assert parse_edge_line("1,2", delimiter=",") == (1, 2)
+
+    def test_comments_and_blank_lines(self):
+        assert parse_edge_line("# comment") is None
+        assert parse_edge_line("% comment") is None
+        assert parse_edge_line("// comment") is None
+        assert parse_edge_line("   ") is None
+
+    def test_string_ids_preserved_when_not_int(self):
+        assert parse_edge_line("alice bob") == ("alice", "bob")
+
+    def test_as_int_false_keeps_strings(self):
+        assert parse_edge_line("1 2", as_int=False) == ("1", "2")
+
+    def test_extra_columns_ignored(self):
+        assert parse_edge_line("1 2 1490283") == (1, 2)
+
+    def test_single_field_raises(self):
+        with pytest.raises(StreamFormatError):
+            parse_edge_line("only-one-field")
+
+
+class TestRoundTrip:
+    def test_write_then_read(self, tmp_path):
+        path = tmp_path / "edges.tsv"
+        edges = [(1, 2), (2, 3), (3, 4)]
+        written = write_edge_list(edges, path, header="test file")
+        assert written == 3
+        stream = read_edge_list(path)
+        assert stream.edges() == edges
+        assert stream.name == "edges"
+
+    def test_gzip_round_trip(self, tmp_path):
+        path = tmp_path / "edges.tsv.gz"
+        edges = [(10, 20), (30, 40)]
+        write_edge_list(edges, path)
+        with gzip.open(path, "rt") as handle:
+            assert len(handle.readlines()) == 2
+        assert read_edge_list(path).edges() == edges
+
+    def test_reader_drops_self_loops_by_default(self, tmp_path):
+        path = tmp_path / "loops.txt"
+        path.write_text("1 1\n1 2\n")
+        assert read_edge_list(path).edges() == [(1, 2)]
+
+    def test_reader_custom_name(self, tmp_path):
+        path = tmp_path / "data.txt"
+        path.write_text("1 2\n")
+        assert read_edge_list(path, name="custom").name == "custom"
+
+    def test_comma_separated_file(self, tmp_path):
+        path = tmp_path / "data.csv"
+        path.write_text("# header\n1,2\n2,3\n")
+        stream = read_edge_list(path, delimiter=",")
+        assert stream.edges() == [(1, 2), (2, 3)]

@@ -1,0 +1,68 @@
+"""Tests for stream transforms."""
+
+import pytest
+
+from repro.graph.triangles import count_triangles
+from repro.streaming.edge_stream import EdgeStream
+from repro.streaming.transforms import (
+    deduplicate_edges,
+    drop_self_loops,
+    relabel_nodes,
+    shuffle_stream,
+    subsample_stream,
+)
+
+
+class TestCleaning:
+    def test_drop_self_loops(self):
+        stream = EdgeStream([(1, 1), (1, 2), (2, 2)], validate=False)
+        assert drop_self_loops(stream).edges() == [(1, 2)]
+
+    def test_deduplicate_keeps_first_occurrence_order(self):
+        stream = EdgeStream([(1, 2), (3, 4), (2, 1), (3, 4), (4, 5)])
+        assert deduplicate_edges(stream).edges() == [(1, 2), (3, 4), (4, 5)]
+
+    def test_relabel_to_dense_integers(self):
+        stream = EdgeStream([("x", "y"), ("y", "z")])
+        relabeled = relabel_nodes(stream)
+        assert relabeled.edges() == [(0, 1), (1, 2)]
+
+    def test_relabel_with_explicit_mapping(self):
+        stream = EdgeStream([(10, 20)])
+        relabeled = relabel_nodes(stream, mapping={10: 0, 20: 1})
+        assert relabeled.edges() == [(0, 1)]
+
+
+class TestReordering:
+    def test_shuffle_preserves_multiset(self):
+        stream = EdgeStream([(i, i + 1) for i in range(50)])
+        shuffled = shuffle_stream(stream, seed=1)
+        assert sorted(shuffled.edges()) == sorted(stream.edges())
+        assert shuffled.edges() != stream.edges()
+
+    def test_shuffle_is_deterministic_for_seed(self):
+        stream = EdgeStream([(i, i + 1) for i in range(30)])
+        assert shuffle_stream(stream, seed=5).edges() == shuffle_stream(stream, seed=5).edges()
+
+    def test_shuffle_preserves_triangle_count(self, clique_stream):
+        shuffled = shuffle_stream(clique_stream, seed=3)
+        assert count_triangles(shuffled.to_graph()) == count_triangles(clique_stream.to_graph())
+
+
+class TestSubsample:
+    def test_probability_bounds(self):
+        stream = EdgeStream([(1, 2)])
+        with pytest.raises(ValueError):
+            subsample_stream(stream, 1.5)
+        with pytest.raises(ValueError):
+            subsample_stream(stream, -0.1)
+
+    def test_extremes(self):
+        stream = EdgeStream([(i, i + 1) for i in range(20)])
+        assert len(subsample_stream(stream, 0.0, seed=1)) == 0
+        assert len(subsample_stream(stream, 1.0, seed=1)) == 20
+
+    def test_roughly_half(self):
+        stream = EdgeStream([(i, i + 1) for i in range(2000)])
+        kept = len(subsample_stream(stream, 0.5, seed=7))
+        assert 800 < kept < 1200

@@ -1,0 +1,56 @@
+"""Tests for time-interval windowing."""
+
+import pytest
+
+from repro.streaming.windows import TimestampedRecord, TimeWindowedStream
+
+
+class TestTimeWindowedStream:
+    def test_window_count(self):
+        records = [(0, 1, 0.0), (1, 2, 30.0), (2, 3, 61.0)]
+        windowed = TimeWindowedStream(records, window_seconds=60.0)
+        assert len(windowed) == 2
+
+    def test_empty_input(self):
+        windowed = TimeWindowedStream([], window_seconds=10.0)
+        assert len(windowed) == 0
+        assert list(windowed.windows()) == []
+
+    def test_invalid_width_raises(self):
+        with pytest.raises(ValueError):
+            TimeWindowedStream([], window_seconds=0)
+
+    def test_records_assigned_to_correct_window(self):
+        records = [(0, 1, 5.0), (1, 2, 15.0), (2, 3, 25.0)]
+        windowed = TimeWindowedStream(records, window_seconds=10.0)
+        streams = windowed.window_streams()
+        assert [len(s) for s in streams] == [1, 1, 1]
+
+    def test_out_of_order_records_are_sorted(self):
+        records = [(0, 1, 25.0), (1, 2, 5.0)]
+        windowed = TimeWindowedStream(records, window_seconds=10.0)
+        starts = [start for start, _, _ in windowed.windows()]
+        assert starts == sorted(starts)
+
+    def test_self_loops_dropped_from_windows(self):
+        records = [(1, 1, 0.0), (1, 2, 1.0)]
+        windowed = TimeWindowedStream(records, window_seconds=10.0)
+        assert [len(s) for s in windowed.window_streams()] == [1]
+
+    def test_empty_windows_still_yielded(self):
+        records = [(0, 1, 0.0), (1, 2, 35.0)]
+        windowed = TimeWindowedStream(records, window_seconds=10.0)
+        lengths = [len(s) for s in windowed.window_streams()]
+        assert lengths == [1, 0, 0, 1]
+
+    def test_accepts_timestamped_record_objects(self):
+        records = [TimestampedRecord(0, 1, 2.0)]
+        windowed = TimeWindowedStream(records, window_seconds=5.0)
+        assert len(windowed.window_streams()) == 1
+
+    def test_window_bounds(self):
+        records = [(0, 1, 100.0), (1, 2, 130.0)]
+        windowed = TimeWindowedStream(records, window_seconds=20.0)
+        bounds = [(start, end) for start, end, _ in windowed.windows()]
+        assert bounds[0] == (100.0, 120.0)
+        assert bounds[1] == (120.0, 140.0)

@@ -1,0 +1,82 @@
+"""Sanity checks of the package's public surface.
+
+These tests protect downstream users: everything advertised in ``__all__``
+must be importable, the version string must be sane, and the top-level
+convenience imports must actually be the objects from their home modules.
+"""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+class TestTopLevelExports:
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version_is_semver_like(self):
+        parts = repro.__version__.split(".")
+        assert len(parts) == 3
+        assert all(part.isdigit() for part in parts)
+
+    def test_convenience_imports_are_canonical(self):
+        from repro.core.rept import ReptEstimator
+        from repro.baselines.mascot import MascotEstimator
+
+        assert repro.ReptEstimator is ReptEstimator
+        assert repro.MascotEstimator is MascotEstimator
+
+    def test_exceptions_hierarchy(self):
+        from repro import exceptions
+
+        for name in (
+            "ConfigurationError",
+            "StreamFormatError",
+            "DatasetNotFoundError",
+            "EstimatorStateError",
+            "ExperimentError",
+        ):
+            exc = getattr(exceptions, name)
+            assert issubclass(exc, exceptions.ReproError)
+
+
+SUBPACKAGES = [
+    "repro.core",
+    "repro.baselines",
+    "repro.graph",
+    "repro.streaming",
+    "repro.sampling",
+    "repro.hashing",
+    "repro.generators",
+    "repro.metrics",
+    "repro.analysis",
+    "repro.experiments",
+    "repro.applications",
+    "repro.utils",
+]
+
+
+class TestSubpackageExports:
+    @pytest.mark.parametrize("module_name", SUBPACKAGES)
+    def test_subpackage_all_resolves(self, module_name):
+        module = importlib.import_module(module_name)
+        for name in getattr(module, "__all__", []):
+            assert hasattr(module, name), f"{module_name}.{name}"
+
+    def test_estimators_share_the_streaming_interface(self):
+        from repro.baselines.base import StreamingTriangleEstimator
+
+        estimator_classes = [
+            repro.ReptEstimator,
+            repro.MascotEstimator,
+            repro.TriestImprEstimator,
+            repro.GpsInStreamEstimator,
+            repro.DoulionEstimator,
+            repro.ExactStreamingCounter,
+            repro.IndependentEnsemble,
+        ]
+        for cls in estimator_classes:
+            assert issubclass(cls, StreamingTriangleEstimator), cls

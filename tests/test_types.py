@@ -1,0 +1,63 @@
+"""Tests for the shared primitive types."""
+
+import pytest
+
+from repro.types import Edge, TimestampedEdge, canonical_edge, normalize_edges
+
+
+class TestCanonicalEdge:
+    def test_orders_comparable_endpoints(self):
+        assert canonical_edge(2, 1) == (1, 2)
+        assert canonical_edge("b", "a") == ("a", "b")
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            canonical_edge(3, 3)
+
+    def test_mixed_types_are_symmetric(self):
+        assert canonical_edge(5, "x") == canonical_edge("x", 5)
+        assert canonical_edge(5, "5") == canonical_edge("5", 5)
+
+
+class TestEdge:
+    def test_equality_and_hash_are_orientation_free(self):
+        assert Edge(1, 2) == Edge(2, 1)
+        assert hash(Edge(1, 2)) == hash(Edge(2, 1))
+        assert len({Edge(1, 2), Edge(2, 1)}) == 1
+
+    def test_as_tuple_and_iter(self):
+        edge = Edge(4, 3)
+        assert edge.as_tuple() == (3, 4)
+        assert list(edge) == [3, 4]
+
+    def test_other_endpoint(self):
+        edge = Edge(1, 2)
+        assert edge.other(1) == 2
+        assert edge.other(2) == 1
+        with pytest.raises(ValueError):
+            edge.other(9)
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Edge(7, 7)
+
+
+class TestTimestampedEdge:
+    def test_valid(self):
+        record = TimestampedEdge(Edge(2, 1), timestamp=3)
+        assert record.u == 1 and record.v == 2
+        assert record.timestamp == 3
+
+    def test_timestamp_must_be_positive(self):
+        with pytest.raises(ValueError):
+            TimestampedEdge(Edge(1, 2), timestamp=0)
+
+
+class TestNormalizeEdges:
+    def test_yields_edge_objects(self):
+        edges = list(normalize_edges([(2, 1), (3, 4)]))
+        assert edges == [Edge(1, 2), Edge(3, 4)]
+
+    def test_self_loop_raises(self):
+        with pytest.raises(ValueError):
+            list(normalize_edges([(1, 1)]))

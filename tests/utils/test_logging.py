@@ -1,0 +1,28 @@
+"""Tests for the logging helpers."""
+
+import logging
+
+from repro.utils.logging import enable_console_logging, get_logger
+
+
+class TestLoggingHelpers:
+    def test_get_logger_namespaces_under_package(self):
+        logger = get_logger("graph")
+        assert logger.name == "repro.graph"
+
+    def test_get_logger_keeps_existing_prefix(self):
+        logger = get_logger("repro.core")
+        assert logger.name == "repro.core"
+
+    def test_enable_console_logging_is_idempotent(self):
+        first = enable_console_logging(logging.WARNING)
+        handler_count = len(first.handlers)
+        second = enable_console_logging(logging.WARNING)
+        assert second is first
+        assert len(second.handlers) == handler_count
+
+    def test_library_does_not_configure_root_logger(self):
+        enable_console_logging()
+        assert not any(
+            getattr(handler, "_repro_marker", False) for handler in logging.getLogger().handlers
+        )

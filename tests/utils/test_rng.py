@@ -1,0 +1,83 @@
+"""Tests for the deterministic RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import RandomSource, as_random_source, derive_seed, spawn_rngs
+
+
+class TestRandomSource:
+    def test_same_seed_same_sequence(self):
+        a = RandomSource(42)
+        b = RandomSource(42)
+        assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1)
+        b = RandomSource(2)
+        assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+    def test_spawn_children_are_independent_and_deterministic(self):
+        children_a = RandomSource(7).spawn(3)
+        children_b = RandomSource(7).spawn(3)
+        values_a = [child.random() for child in children_a]
+        values_b = [child.random() for child in children_b]
+        assert values_a == values_b
+        assert len(set(values_a)) == 3
+
+    def test_spawn_negative_count_raises(self):
+        with pytest.raises(ValueError):
+            RandomSource(0).spawn(-1)
+
+    def test_spawn_zero_returns_empty(self):
+        assert RandomSource(0).spawn(0) == []
+
+    def test_accepts_existing_generator(self):
+        generator = np.random.default_rng(5)
+        source = RandomSource(generator)
+        assert source.generator is generator
+
+    def test_spawn_from_generator_backed_source(self):
+        source = RandomSource(np.random.default_rng(5))
+        children = source.spawn(2)
+        assert len(children) == 2
+
+    def test_integers_within_range(self):
+        source = RandomSource(3)
+        values = source.integers(0, 10, size=100)
+        assert values.min() >= 0
+        assert values.max() < 10
+
+    def test_random_uint64_range(self):
+        value = RandomSource(3).random_uint64()
+        assert 0 <= value < 2**64
+
+    def test_shuffle_is_permutation(self):
+        source = RandomSource(11)
+        data = list(range(20))
+        shuffled = list(data)
+        source.shuffle(shuffled)
+        assert sorted(shuffled) == data
+
+
+class TestHelpers:
+    def test_as_random_source_passthrough(self):
+        source = RandomSource(1)
+        assert as_random_source(source) is source
+
+    def test_as_random_source_from_int(self):
+        assert isinstance(as_random_source(9), RandomSource)
+
+    def test_spawn_rngs_count(self):
+        assert len(spawn_rngs(5, 4)) == 4
+
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_varies_with_tokens(self):
+        assert derive_seed(1, "a", 2) != derive_seed(1, "a", 3)
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_derive_seed_is_63_bit(self):
+        value = derive_seed(123, "x")
+        assert 0 <= value < 2**63

@@ -1,0 +1,73 @@
+"""Tests for the timer, timing log and text-table helpers."""
+
+import time
+
+import pytest
+
+from repro.utils.tables import format_series, format_table
+from repro.utils.timer import Timer, TimingLog
+
+
+class TestTimer:
+    def test_context_manager_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_restart_overwrites_elapsed(self):
+        timer = Timer()
+        timer.start()
+        first = timer.stop()
+        timer.start()
+        second = timer.stop()
+        assert first >= 0 and second >= 0
+
+
+class TestTimingLog:
+    def test_add_and_mean(self):
+        log = TimingLog()
+        log.add("m", 1.0)
+        log.add("m", 3.0)
+        assert log.mean("m") == 2.0
+        assert log.total("m") == 4.0
+
+    def test_names_in_insertion_order(self):
+        log = TimingLog()
+        log.add("b", 1.0)
+        log.add("a", 1.0)
+        assert log.names() == ["b", "a"]
+
+
+class TestFormatTable:
+    def test_contains_headers_and_values(self):
+        text = format_table(["name", "value"], [["x", 1], ["y", 2.5]])
+        assert "name" in text and "value" in text
+        assert "x" in text and "2.5" in text
+
+    def test_title_is_prepended(self):
+        text = format_table(["a"], [[1]], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_row_width_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_large_and_small_floats_use_scientific(self):
+        text = format_table(["v"], [[1e12], [1e-9]])
+        assert "e+" in text or "E+" in text
+        assert "e-" in text
+
+    def test_zero_rendered_plainly(self):
+        assert "0" in format_table(["v"], [[0.0]])
+
+
+class TestFormatSeries:
+    def test_aligns_series_with_axis(self):
+        text = format_series("c", [1, 2], [("m1", [0.5, 0.25]), ("m2", [1.0, 0.75])])
+        lines = text.splitlines()
+        assert "c" in lines[0] and "m1" in lines[0] and "m2" in lines[0]
+        assert len(lines) == 4  # header + separator + 2 rows
