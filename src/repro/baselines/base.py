@@ -53,6 +53,25 @@ class StreamingTriangleEstimator(abc.ABC):
 
     Subclasses implement :meth:`process_edge` and :meth:`estimate`;
     :meth:`process_stream` and :meth:`run` are shared conveniences.
+
+    Counted-vs-skipped semantics
+    ----------------------------
+    Every implementation follows one uniform contract for degenerate stream
+    records: **count first, then skip the update**.  Concretely,
+    :meth:`process_edge` calls :meth:`_count_edge` for *every* record it is
+    handed — including self-loops and duplicate observations — so
+    ``edges_processed`` always equals the number of records consumed, and
+    then returns early for self-loops without touching counters, samples or
+    stored edges.  Duplicates are *not* skipped by sampling estimators (a
+    re-observed edge closes semi-triangles); only structurally meaningless
+    records (self-loops) are.
+
+    One corollary for estimators with stream-position-dependent weights
+    (the TRIÈST reservoir variants): the inverse-probability weights must be
+    driven by the number of edges actually *offered* to the sample (i.e.
+    excluding self-loops), not by ``edges_processed`` — otherwise the
+    weights and the reservoir's acceptance probabilities disagree on
+    streams containing loops.
     """
 
     #: Human-readable method name used in experiment reports.
@@ -63,7 +82,11 @@ class StreamingTriangleEstimator(abc.ABC):
 
     @abc.abstractmethod
     def process_edge(self, u: NodeId, v: NodeId) -> None:
-        """Consume the next stream edge ``(u, v)``."""
+        """Consume the next stream edge ``(u, v)``.
+
+        Implementations must call :meth:`_count_edge` first, then skip the
+        estimator update when ``u == v`` (see the class docstring).
+        """
 
     @abc.abstractmethod
     def estimate(self) -> TriangleEstimate:

@@ -64,7 +64,10 @@ class TriestImprEstimator(StreamingTriangleEstimator):
         self._count_edge()
         if u == v:
             return
-        t = self.edges_processed
+        # Stream time for the weight must match the reservoir's clock, which
+        # counts offered (non-loop) edges; edges_processed also includes
+        # self-loops and would inflate the weight on dirty streams.
+        t = self._reservoir.num_offered + 1
         weight = self._increment_weight(t)
         common = self._sampled.common_neighbors(u, v)
         if common:

@@ -78,8 +78,13 @@ class TriestBaseEstimator(StreamingTriangleEstimator):
         self._sampled.add_edge(u, v)
 
     def _scaling(self) -> float:
-        """Return ξ(t): the inverse sampling probability of a triangle."""
-        t = self.edges_processed
+        """Return ξ(t): the inverse sampling probability of a triangle.
+
+        ``t`` is the reservoir's clock (offered, non-loop edges) so the
+        scaling matches the acceptance probabilities actually used; see the
+        counted-vs-skipped contract on :class:`StreamingTriangleEstimator`.
+        """
+        t = self._reservoir.num_offered
         k = self.budget
         if t <= k or k < 3:
             return 1.0

@@ -13,15 +13,16 @@ semi-triangle counts.  This subpackage contains:
   :class:`StreamingTriangleEstimator` interface;
 * :mod:`repro.core.combine` — estimate assembly, including the
   Graybill–Deal combination used when ``c > m`` and ``c mod m != 0``;
-* :mod:`repro.core.parallel` — serial, thread-pool and process-pool drivers
-  that advance the same processor states and produce identical estimates.
+* :mod:`repro.core.parallel` — serial, pooled and stream-sharded
+  (``chunked-*``) drivers that advance the same processor states and
+  produce bit-identical estimates.
 """
 
 from repro.core.config import ReptConfig
 from repro.core.state import ProcessorCounters, ProcessorGroup
 from repro.core.rept import ReptEstimator
 from repro.core.combine import GroupSummary, combine_group_estimates, graybill_deal
-from repro.core.parallel import run_rept, ParallelBackend
+from repro.core.parallel import DriverBackedRept, ParallelBackend, run_rept
 
 __all__ = [
     "ReptConfig",
@@ -32,5 +33,6 @@ __all__ = [
     "combine_group_estimates",
     "graybill_deal",
     "run_rept",
+    "DriverBackedRept",
     "ParallelBackend",
 ]

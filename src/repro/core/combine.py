@@ -125,6 +125,7 @@ def combine_group_estimates(
     c: int,
     edges_processed: int = 0,
     track_local: bool = True,
+    eta_tracked: Optional[bool] = None,
 ) -> TriangleEstimate:
     """Turn per-group counter summaries into the final REPT estimate.
 
@@ -138,6 +139,14 @@ def combine_group_estimates(
         Stream length, recorded on the returned estimate.
     track_local:
         Whether to assemble per-node estimates.
+    eta_tracked:
+        Whether the η counters were actually maintained during the run.
+        Recorded in ``metadata["eta_tracked"]`` so consumers can tell a true
+        ``η̂ = 0`` apart from "η was never counted" (the latter would corrupt
+        the Graybill–Deal plug-in variances if it occurred in the
+        partial-group regime; :class:`~repro.core.config.ReptConfig` now
+        force-resolves ``track_eta=True`` there).  ``None`` leaves the
+        metadata key unset (caller did not know).
     """
     complete = [s for s in summaries if s.is_complete]
     partial = [s for s in summaries if not s.is_complete]
@@ -169,6 +178,8 @@ def combine_group_estimates(
         )
 
     metadata = {"m": float(m), "c": float(c)}
+    if eta_tracked is not None:
+        metadata["eta_tracked"] = 1.0 if eta_tracked else 0.0
     metadata.update(diagnostics)
     return TriangleEstimate(
         global_count=global_count,

@@ -35,7 +35,11 @@ class ReptConfig:
         Maintain the η counters (``η(i)``, ``η_v(i)``).  Required when
         ``c > m`` with ``c mod m != 0`` (the Graybill–Deal weights need
         ``η̂``); optional otherwise but useful for diagnostics.  ``None``
-        (default) means "exactly when required".
+        (default) means "exactly when required".  An explicit ``False`` is
+        force-resolved to ``True`` in the partial-group regime: honouring it
+        would silently plug ``η̂ = 0`` into the Graybill–Deal variances and
+        corrupt the combined estimate.  Estimates record whether η was
+        actually tracked in ``metadata["eta_tracked"]``.
     """
 
     m: int
@@ -60,6 +64,11 @@ class ReptConfig:
             self.seed = int(np.random.SeedSequence().entropy % (2**63))
         if self.track_eta is None:
             self.track_eta = self.requires_eta
+        elif not self.track_eta and self.requires_eta:
+            # A partial group exists (c > m, c mod m != 0): the Graybill-Deal
+            # combination needs η̂, and running without the η counters would
+            # silently substitute η̂ = 0 into the plug-in variances.
+            self.track_eta = True
 
     @property
     def probability(self) -> float:

@@ -1,40 +1,144 @@
-"""Execution drivers for REPT: serial, thread pool, process pool.
+"""Execution drivers for REPT: serial, pooled, and stream-sharded backends.
 
 The estimator's accuracy is a property of its counters, not of how the
 counters are advanced, so the drivers all produce *identical* estimates for
 the same :class:`~repro.core.config.ReptConfig` (hash seeds are derived
 deterministically from the resolved config seed).  The backends differ only
-in how the processor groups are scheduled:
+in how the work is scheduled:
 
 * ``serial`` — one thread advances every group (reference implementation);
 * ``thread`` — a thread pool advances groups concurrently.  Under CPython's
   GIL this gives little speedup for pure-Python counting, but exercises the
   concurrency structure a multi-core implementation would use;
-* ``process`` — a process pool gives true parallelism at the cost of
-  shipping the stream to each worker and the counters back.
+* ``process`` — a process pool with one task per *group*; each worker
+  receives the entire stream, so wall-clock and shipping cost grow with
+  ``c`` and parallelism is capped at the number of groups (``c ≤ m`` gets
+  none at all);
+* ``chunked-process`` — the stream-sharded engine: the stream is split into
+  chunks and every (group × chunk) pair becomes an independent task, so
+  parallelism scales with stream length even for a single group and no task
+  ever receives more than one chunk of the stream;
+* ``chunked-serial`` — the same sharded schedule executed inline, used as
+  the equality reference for the merge logic and as the zero-overhead
+  fallback.
 
-This mirrors the paper's deployment story (a multi-core machine or a
-cluster) while keeping the laptop-scale experiments honest about where
-Python can and cannot show wall-clock speedups (see DESIGN.md).
+Shard-then-merge design
+-----------------------
+REPT's counters are mergeable (the paper's core point), and the chunked
+backends exploit the precise form of that mergeability:
+
+1. **Storing pass** (cheap, parallel over groups × chunks): which edges land
+   in which processor's sampled set depends only on the hash function and
+   the distinct edges seen — never on the counters.  Each storing task
+   returns its chunk's stored ``(slot, u, v)`` records; the driver folds
+   them into per-chunk-boundary *adjacency snapshots*.
+2. **Counting pass** (the hot path, parallel over groups × chunks): each
+   task seeds a fresh :class:`~repro.core.state.ProcessorGroup` with the
+   snapshot at its chunk boundary (:meth:`ProcessorGroup.seed_adjacency`)
+   and advances it over its chunk only.  Because the seeded adjacency is
+   exactly the serial algorithm's state at that stream position, every
+   closure count is exact, and ``τ``/``τ_v`` merge by pure summation.
+3. **Merge** (driver): chunk states fold left-to-right via
+   :meth:`ProcessorGroup.merge_snapshot`, which also applies the closed-form
+   η cross-chunk correction (η increments are linear in the per-edge
+   triangle counters; see :mod:`repro.core.state`).  The result is
+   bit-identical to the serial counters — the cross-backend equivalence
+   tests assert exact equality, not approximate.
+
+Chunk payloads are passed to pooled workers as index spans into the edge
+list (and keys into the boundary-snapshot table) that each pool receives
+through its initializer.  Under ``fork`` (Linux) the initializer arguments
+are inherited copy-on-write — per-task shipping is O(1); under ``spawn``
+(macOS/Windows) they are pickled once per worker rather than once per
+task.  Each pool owns its payload, so concurrent ``run_rept`` calls never
+share mutable module state.
+
+Counted-edge semantics
+----------------------
+All drivers follow the library-wide contract documented on
+:class:`~repro.baselines.base.StreamingTriangleEstimator`: every stream
+record — including self-loops and duplicate arrivals — counts toward
+``edges_processed``, but self-loops are skipped before any counter or
+stored-edge update.  Duplicates *do* drive counter updates (a re-observed
+edge closes semi-triangles) while the ``already_stored`` check keeps the
+sampled edge sets simple.
 """
 
 from __future__ import annotations
 
+import multiprocessing
+import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Iterable, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
-from repro.baselines.base import TriangleEstimate
+from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
 from repro.core.combine import GroupSummary, combine_group_estimates
 from repro.core.config import ReptConfig
-from repro.core.state import ProcessorGroup
+from repro.core.state import GroupSnapshot, ProcessorGroup
 from repro.exceptions import ConfigurationError
 from repro.hashing import make_hash_function
-from repro.types import EdgeTuple
+from repro.types import EdgeTuple, NodeId, canonical_edge
 
 ParallelBackend = str
-"""One of ``"serial"``, ``"thread"``, ``"process"``."""
+"""One of ``"serial"``, ``"thread"``, ``"process"``, ``"chunked-serial"``,
+``"chunked-process"``."""
 
-_BACKENDS = ("serial", "thread", "process")
+_BACKENDS = ("serial", "thread", "process", "chunked-serial", "chunked-process")
+
+#: Smallest chunk the auto-tuner will produce; below this the per-task
+#: overhead (pickling, pool dispatch, snapshot seeding) dominates the work.
+MIN_CHUNK_EDGES = 2048
+
+#: Oversubscription factor of the auto-tuner: aim for about this many tasks
+#: per worker per phase so stragglers even out.
+_TASKS_PER_WORKER = 4
+
+#: Per-worker-process payload, populated by :func:`_pool_initializer` when a
+#: chunked-process pool starts its workers: "edges" holds the materialised
+#: stream, "snapshots" the per-(group, chunk) boundary adjacency records.
+#: Under fork the initializer arguments are inherited copy-on-write; under
+#: spawn they are pickled once per worker.  The parent process never writes
+#: this dict, so concurrent runs (each with their own pools) cannot race.
+_WORKER_PAYLOAD: Dict[str, object] = {}
+
+
+def _pool_initializer(edges, snapshots) -> None:
+    """Stage the shared payload inside a pool worker process."""
+    _WORKER_PAYLOAD["edges"] = edges
+    _WORKER_PAYLOAD["snapshots"] = snapshots
+
+#: (slot, u, v) records describing stored edges at a chunk boundary.
+StoredEdgeRecord = Tuple[int, NodeId, NodeId]
+
+
+def _make_group(
+    hash_kind: str,
+    hash_seed: int,
+    group_size: int,
+    m: int,
+    track_local: bool,
+    track_eta: bool,
+) -> ProcessorGroup:
+    return ProcessorGroup(
+        hash_function=make_hash_function(hash_kind, buckets=m, seed=hash_seed),
+        group_size=group_size,
+        m=m,
+        track_local=track_local,
+        track_eta=track_eta,
+    )
+
+
+def _summarise_group(group: ProcessorGroup, is_complete: bool) -> GroupSummary:
+    """Detach a group's counters into a plain, picklable summary."""
+    return GroupSummary(
+        group_size=group.group_size,
+        is_complete=is_complete,
+        tau_sum=float(sum(group.tau_values())),
+        eta_sum=float(sum(group.eta_values())),
+        local_tau={node: float(v) for node, v in group.local_tau_sums().items()},
+        local_eta={node: float(v) for node, v in group.local_eta_sums().items()},
+        edges_stored=group.total_edges_stored(),
+    )
 
 
 def _group_worker(
@@ -51,25 +155,11 @@ def _group_worker(
 
     Module-level (not a closure) so it can be pickled by the process pool.
     """
-    group = ProcessorGroup(
-        hash_function=make_hash_function(hash_kind, buckets=m, seed=hash_seed),
-        group_size=group_size,
-        m=m,
-        track_local=track_local,
-        track_eta=track_eta,
-    )
+    group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
     for u, v in edges:
         if u != v:
             group.process_edge(u, v)
-    return GroupSummary(
-        group_size=group_size,
-        is_complete=is_complete,
-        tau_sum=float(sum(group.tau_values())),
-        eta_sum=float(sum(group.eta_values())),
-        local_tau={node: float(v) for node, v in group.local_tau_sums().items()},
-        local_eta={node: float(v) for node, v in group.local_eta_sums().items()},
-        edges_stored=group.total_edges_stored(),
-    )
+    return _summarise_group(group, is_complete)
 
 
 def _work_items(config: ReptConfig) -> List[Tuple[int, int, bool]]:
@@ -82,11 +172,300 @@ def _work_items(config: ReptConfig) -> List[Tuple[int, int, bool]]:
     ]
 
 
+# -- chunked engine ----------------------------------------------------------
+
+
+def _resolve_edges(payload) -> Sequence[EdgeTuple]:
+    """Resolve a task payload: an explicit edge list, or a span into the
+    pool-shared stream."""
+    if isinstance(payload, tuple):
+        start, stop = payload
+        return _WORKER_PAYLOAD["edges"][start:stop]  # type: ignore[index]
+    return payload
+
+
+def _resolve_stored(ref) -> Sequence[StoredEdgeRecord]:
+    """Resolve a boundary-snapshot reference: an explicit record list, or a
+    (group, chunk) key into the pool-shared snapshot table."""
+    if isinstance(ref, tuple) and ref and ref[0] == "shared":
+        return _WORKER_PAYLOAD["snapshots"][ref[1:]]  # type: ignore[index]
+    return ref
+
+
+def _storing_worker(
+    payload,
+    hash_kind: str,
+    hash_seed: int,
+    group_size: int,
+    m: int,
+) -> List[StoredEdgeRecord]:
+    """Storing pass over one chunk for one group.
+
+    Returns the chunk's distinct stored edges (canonical orientation) with
+    their processor slots, in arrival order.  Cross-chunk deduplication
+    happens in the driver when boundary snapshots are assembled.
+    """
+    hash_function = make_hash_function(hash_kind, buckets=m, seed=hash_seed)
+    seen: set = set()
+    stored: List[StoredEdgeRecord] = []
+    for u, v in _resolve_edges(payload):
+        if u == v:
+            continue
+        slot = hash_function.bucket(u, v)
+        if slot >= group_size:
+            continue
+        key = canonical_edge(u, v)
+        if key in seen:
+            continue
+        seen.add(key)
+        stored.append((slot, key[0], key[1]))
+    return stored
+
+
+def _chunk_counting_worker(
+    payload,
+    snapshot_ref,
+    hash_kind: str,
+    hash_seed: int,
+    group_size: int,
+    m: int,
+    track_local: bool,
+    track_eta: bool,
+) -> GroupSnapshot:
+    """Counting pass over one chunk for one group, seeded with the boundary
+    adjacency, returning the chunk's counter deltas as a group snapshot."""
+    group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
+    group.seed_adjacency(_resolve_stored(snapshot_ref))
+    for u, v in _resolve_edges(payload):
+        if u != v:
+            group.process_edge(u, v)
+    return group.snapshot()
+
+
+def auto_chunk_size(n_edges: int, workers: int, num_groups: int) -> int:
+    """Pick a chunk size from stream length and worker count.
+
+    Aims for roughly ``_TASKS_PER_WORKER`` tasks per worker per phase
+    (tasks = groups × chunks) so stragglers even out, while never producing
+    chunks smaller than :data:`MIN_CHUNK_EDGES`, below which task overhead
+    dominates the counting work.
+    """
+    if n_edges <= 0:
+        return 1
+    target_tasks = max(1, _TASKS_PER_WORKER * max(1, workers))
+    num_chunks = max(1, target_tasks // max(1, num_groups))
+    size = -(-n_edges // num_chunks)  # ceil division
+    return max(1, min(n_edges, max(MIN_CHUNK_EDGES, size)))
+
+
+def _chunk_spans(n_edges: int, chunk_size: int) -> List[Tuple[int, int]]:
+    """Split ``range(n_edges)`` into consecutive ``(start, stop)`` spans."""
+    if n_edges <= 0:
+        return [(0, 0)]
+    return [
+        (start, min(start + chunk_size, n_edges))
+        for start in range(0, n_edges, chunk_size)
+    ]
+
+
+def _prefix_snapshots(
+    stored_per_chunk: Sequence[Sequence[StoredEdgeRecord]],
+) -> List[List[StoredEdgeRecord]]:
+    """Turn per-chunk stored-edge lists into per-chunk *boundary* snapshots.
+
+    Snapshot ``k`` holds the distinct stored edges of chunks ``0..k-1``
+    (first arrival wins — the slot is hash-determined, so duplicates across
+    chunks agree on it and are simply dropped).
+    """
+    snapshots: List[List[StoredEdgeRecord]] = []
+    seen: set = set()
+    prefix: List[StoredEdgeRecord] = []
+    for stored in stored_per_chunk:
+        snapshots.append(list(prefix))
+        for slot, u, v in stored:
+            if (u, v) in seen:
+                continue
+            seen.add((u, v))
+            prefix.append((slot, u, v))
+    return snapshots
+
+
+def _run_chunked(
+    edge_list: List[EdgeTuple],
+    config: ReptConfig,
+    use_processes: bool,
+    max_workers: Optional[int],
+    chunk_size: Optional[int],
+) -> Tuple[List[GroupSummary], Dict[str, float]]:
+    """Execute the shard-then-merge schedule; returns (summaries, chunk info)."""
+    items = _work_items(config)
+    track_local = config.track_local
+    track_eta = bool(config.track_eta)
+    n = len(edge_list)
+    workers = max_workers or os.cpu_count() or 1
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    size = chunk_size or auto_chunk_size(n, workers, len(items))
+    spans = _chunk_spans(n, size)
+    info = {
+        "num_chunks": float(len(spans)),
+        "chunk_edges_max": float(max(stop - start for start, stop in spans)),
+    }
+
+    if len(spans) == 1 or not edge_list:
+        # A single chunk degenerates to the per-group schedule; skip the
+        # storing pass entirely.
+        summaries = [
+            _group_worker(
+                edge_list, config.hash_kind, seed, group_size, config.m,
+                complete, track_local, track_eta,
+            )
+            for seed, group_size, complete in items
+        ]
+        return summaries, info
+
+    if use_processes:
+        stored, chunk_states = _chunked_phases_pooled(
+            edge_list, config, items, spans, workers, track_local, track_eta
+        )
+    else:
+        stored, chunk_states = _chunked_phases_inline(
+            edge_list, config, items, spans, track_local, track_eta
+        )
+
+    summaries: List[GroupSummary] = []
+    for group_index, (seed, group_size, complete) in enumerate(items):
+        merged = _make_group(
+            config.hash_kind, seed, group_size, config.m, track_local, track_eta
+        )
+        for chunk_index in range(len(spans)):
+            merged.merge_snapshot(chunk_states[(group_index, chunk_index)])
+        summaries.append(_summarise_group(merged, complete))
+    return summaries, info
+
+
+def _chunked_phases_inline(
+    edge_list: List[EdgeTuple],
+    config: ReptConfig,
+    items: Sequence[Tuple[int, int, bool]],
+    spans: Sequence[Tuple[int, int]],
+    track_local: bool,
+    track_eta: bool,
+):
+    """Run both chunked phases inline (the ``chunked-serial`` backend)."""
+    chunk_states: Dict[Tuple[int, int], GroupSnapshot] = {}
+    stored_all: Dict[int, List[List[StoredEdgeRecord]]] = {}
+    for group_index, (seed, group_size, _complete) in enumerate(items):
+        stored_all[group_index] = [
+            _storing_worker(
+                edge_list[start:stop], config.hash_kind, seed, group_size, config.m
+            )
+            for start, stop in spans
+        ]
+    for group_index, (seed, group_size, _complete) in enumerate(items):
+        snapshots = _prefix_snapshots(stored_all[group_index])
+        for chunk_index, (start, stop) in enumerate(spans):
+            chunk_states[(group_index, chunk_index)] = _chunk_counting_worker(
+                edge_list[start:stop],
+                snapshots[chunk_index],
+                config.hash_kind,
+                seed,
+                group_size,
+                config.m,
+                track_local,
+                track_eta,
+            )
+    return stored_all, chunk_states
+
+
+def _chunked_phases_pooled(
+    edge_list: List[EdgeTuple],
+    config: ReptConfig,
+    items: Sequence[Tuple[int, int, bool]],
+    spans: Sequence[Tuple[int, int]],
+    workers: int,
+    track_local: bool,
+    track_eta: bool,
+):
+    """Run both chunked phases on process pools (the ``chunked-process``
+    backend).  Each pool receives its payload through its initializer —
+    inherited copy-on-write under fork, pickled once per worker under
+    spawn — and tasks carry only spans and snapshot keys."""
+    use_fork = "fork" in multiprocessing.get_all_start_methods()
+    mp_context = multiprocessing.get_context("fork") if use_fork else None
+    num_tasks = len(items) * len(spans)
+    pool_size = max(1, min(workers, num_tasks))
+
+    # Phase 1: storing pass.
+    stored_all: Dict[int, List[List[StoredEdgeRecord]]] = {}
+    with ProcessPoolExecutor(
+        max_workers=pool_size,
+        mp_context=mp_context,
+        initializer=_pool_initializer,
+        initargs=(edge_list, None),
+    ) as pool:
+        futures = {
+            (group_index, chunk_index): pool.submit(
+                _storing_worker,
+                span,
+                config.hash_kind,
+                seed,
+                group_size,
+                config.m,
+            )
+            for group_index, (seed, group_size, _c) in enumerate(items)
+            for chunk_index, span in enumerate(spans)
+        }
+        for group_index in range(len(items)):
+            stored_all[group_index] = [
+                futures[(group_index, chunk_index)].result()
+                for chunk_index in range(len(spans))
+            ]
+
+    snapshot_table = {
+        (group_index, chunk_index): snapshot
+        for group_index in range(len(items))
+        for chunk_index, snapshot in enumerate(_prefix_snapshots(stored_all[group_index]))
+    }
+
+    # Phase 2: counting pass, on a fresh pool whose initializer also carries
+    # the boundary snapshots.
+    chunk_states: Dict[Tuple[int, int], GroupSnapshot] = {}
+    with ProcessPoolExecutor(
+        max_workers=pool_size,
+        mp_context=mp_context,
+        initializer=_pool_initializer,
+        initargs=(edge_list, snapshot_table),
+    ) as pool:
+        futures = {
+            (group_index, chunk_index): pool.submit(
+                _chunk_counting_worker,
+                span,
+                ("shared", group_index, chunk_index),
+                config.hash_kind,
+                seed,
+                group_size,
+                config.m,
+                track_local,
+                track_eta,
+            )
+            for group_index, (seed, group_size, _c) in enumerate(items)
+            for chunk_index, span in enumerate(spans)
+        }
+        for key, future in futures.items():
+            chunk_states[key] = future.result()
+    return stored_all, chunk_states
+
+
+# -- public driver -----------------------------------------------------------
+
+
 def run_rept(
     edges: Iterable[EdgeTuple],
     config: ReptConfig,
     backend: ParallelBackend = "serial",
     max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
 ) -> TriangleEstimate:
     """Run REPT over ``edges`` with the chosen execution backend.
 
@@ -99,9 +478,15 @@ def run_rept(
     config:
         REPT parameters.
     backend:
-        ``"serial"``, ``"thread"`` or ``"process"``.
+        ``"serial"``, ``"thread"``, ``"process"``, ``"chunked-serial"`` or
+        ``"chunked-process"``.
     max_workers:
-        Worker cap for the pooled backends (default: number of groups).
+        Worker cap for the pooled backends (default: number of groups for
+        the per-group backends, CPU count for the chunked backends).
+    chunk_size:
+        Edges per chunk for the chunked backends (default: auto-tuned from
+        stream length and worker count, see :func:`auto_chunk_size`).
+        Ignored by the per-group backends.
 
     Returns
     -------
@@ -116,8 +501,13 @@ def run_rept(
     items = _work_items(config)
     track_local = config.track_local
     track_eta = bool(config.track_eta)
+    chunk_info: Dict[str, float] = {}
 
-    if backend == "serial" or len(items) == 1:
+    if backend in ("chunked-serial", "chunked-process"):
+        summaries, chunk_info = _run_chunked(
+            edge_list, config, backend == "chunked-process", max_workers, chunk_size
+        )
+    elif backend == "serial" or len(items) == 1:
         summaries = [
             _group_worker(
                 edge_list, config.hash_kind, seed, size, config.m, complete,
@@ -145,10 +535,65 @@ def run_rept(
             ]
             summaries = [future.result() for future in futures]
 
-    return combine_group_estimates(
+    estimate = combine_group_estimates(
         summaries,
         m=config.m,
         c=config.c,
         edges_processed=len(edge_list),
         track_local=track_local,
+        eta_tracked=track_eta,
     )
+    estimate.metadata.update(chunk_info)
+    return estimate
+
+
+class DriverBackedRept(StreamingTriangleEstimator):
+    """REPT behind the streaming-estimator interface, executed by a driver.
+
+    The one-pass estimators advance counters on every
+    :meth:`process_edge`; this adapter instead buffers the stream and runs
+    the configured :func:`run_rept` backend when an estimate is requested,
+    so the experiment harness can sweep execution backends through the same
+    :class:`~repro.experiments.spec.MethodSpec` machinery.  Estimates are
+    bit-identical to :class:`~repro.core.rept.ReptEstimator` with the same
+    config.
+    """
+
+    name = "rept"
+
+    def __init__(
+        self,
+        config: ReptConfig,
+        backend: ParallelBackend = "chunked-serial",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ) -> None:
+        super().__init__()
+        if backend not in _BACKENDS:
+            raise ConfigurationError(
+                f"unknown backend {backend!r}; expected one of {_BACKENDS}"
+            )
+        self.config = config
+        self.backend = backend
+        self.max_workers = max_workers
+        self.chunk_size = chunk_size
+        self._buffer: List[EdgeTuple] = []
+
+    def process_edge(self, u: NodeId, v: NodeId) -> None:
+        self._count_edge()
+        self._buffer.append((u, v))
+
+    def estimate(self) -> TriangleEstimate:
+        estimate = run_rept(
+            self._buffer,
+            self.config,
+            backend=self.backend,
+            max_workers=self.max_workers,
+            chunk_size=self.chunk_size,
+        )
+        estimate.metadata["algorithm"] = 2.0 if self.config.uses_groups else 1.0
+        return estimate
+
+    def describe(self) -> str:
+        """Human-readable configuration summary."""
+        return f"{self.config.describe()} via backend={self.backend}"

@@ -122,6 +122,7 @@ class ReptEstimator(StreamingTriangleEstimator):
             c=self.config.c,
             edges_processed=self.edges_processed,
             track_local=self.config.track_local,
+            eta_tracked=bool(self.config.track_eta),
         )
         estimate.metadata["algorithm"] = 2.0 if self.config.uses_groups else 1.0
         return estimate

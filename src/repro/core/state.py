@@ -17,6 +17,30 @@ stored edge, each group maintains a per-node index of the slots holding the
 node; per edge we only visit the slots in the intersection of the two
 endpoints' index sets.  This is an exact optimisation (identical counters),
 not an approximation.
+
+Mergeable chunk state
+---------------------
+The counters are *mergeable* across disjoint chunks of the stream, which is
+what the chunked execution backends in :mod:`repro.core.parallel` exploit.
+The key observation is that the **storing** process (which edges end up in
+which processor's sampled edge set) depends only on the hash function and
+the set of distinct edges seen — never on the counters.  A worker that is
+handed (a) the stored-edge index as it stood at its chunk boundary (via
+:meth:`ProcessorGroup.seed_adjacency`) and (b) its chunk of arrivals
+therefore computes *exact* per-event closure counts, so ``τ`` and the
+``τ_v`` merge by pure summation.
+
+The pair counters are only slightly harder: every η increment reads the
+per-edge counters ``τ_(u,w)(i)`` and ``τ_(v,w)(i)``, which accumulate across
+chunks, but the increment is *linear* in those counters.  A worker that
+starts its ``edge_triangles`` map at zero therefore under-counts each usage
+of a stored edge as a wedge by exactly the edge's accumulated count from
+earlier chunks, and :meth:`ProcessorCounters.merge` repairs this with the
+closed-form correction ``Σ_key Δ_later[key] · τ_key(prefix)`` (the same
+correction applies to ``η_v`` on the key's two endpoints).  The merge is
+exact — every backend produces bit-identical counters — because all the
+quantities involved are integers and the correction is an identity, not an
+approximation.
 """
 
 from __future__ import annotations
@@ -26,6 +50,12 @@ from typing import Dict, List, Optional, Set
 
 from repro.hashing.base import EdgeHashFunction
 from repro.types import EdgeTuple, NodeId, canonical_edge
+
+#: Picklable snapshot of one processor's state (see ProcessorCounters.snapshot).
+ProcessorSnapshot = Dict[str, object]
+
+#: Picklable snapshot of a whole group's state (see ProcessorGroup.snapshot).
+GroupSnapshot = Dict[str, object]
 
 
 @dataclass
@@ -65,6 +95,77 @@ class ProcessorCounters:
         self.adjacency.setdefault(v, set()).add(u)
         self.edge_triangles[canonical_edge(u, v)] = closing_triangles
         self.edges_stored += 1
+
+    # -- chunked execution support -------------------------------------------
+
+    def snapshot(self) -> ProcessorSnapshot:
+        """Return a picklable copy of the full processor state."""
+        return {
+            "adjacency": {node: list(neigh) for node, neigh in self.adjacency.items()},
+            "tau": self.tau,
+            "tau_local": dict(self.tau_local),
+            "edge_triangles": dict(self.edge_triangles),
+            "eta": self.eta,
+            "eta_local": dict(self.eta_local),
+            "edges_stored": self.edges_stored,
+        }
+
+    @classmethod
+    def restore(cls, snapshot: ProcessorSnapshot) -> "ProcessorCounters":
+        """Rebuild a processor from :meth:`snapshot` output."""
+        return cls(
+            adjacency={node: set(neigh) for node, neigh in snapshot["adjacency"].items()},
+            tau=snapshot["tau"],
+            tau_local=dict(snapshot["tau_local"]),
+            edge_triangles=dict(snapshot["edge_triangles"]),
+            eta=snapshot["eta"],
+            eta_local=dict(snapshot["eta_local"]),
+            edges_stored=snapshot["edges_stored"],
+        )
+
+    def merge(self, later: "ProcessorCounters", track_local: bool = True) -> None:
+        """Fold in the state of the same processor advanced over the *next* chunk.
+
+        Contract: ``later`` must have been advanced, with all counters zeroed,
+        over the stream chunk immediately following the one(s) this processor
+        has seen, starting from this processor's stored-edge index (seeded via
+        :meth:`ProcessorGroup.seed_adjacency`).  Under that contract the merge
+        reproduces the counters of an uninterrupted run exactly:
+
+        * ``τ``/``τ_v`` increments were computed against the true adjacency,
+          so they sum directly;
+        * each η increment in ``later`` read per-edge counters that were
+          missing this prefix's contribution.  ``later.edge_triangles[key]``
+          equals the number of times ``key`` served as a wedge edge during the
+          chunk (its initialisation term only exists for edges first stored in
+          the chunk, whose prefix count is zero), so the missing mass is
+          ``Δ_later[key] · τ_key(prefix)`` — added to ``η`` and to ``η_v`` of
+          both endpoints of ``key``.
+        """
+        for key, delta in later.edge_triangles.items():
+            prior = self.edge_triangles.get(key, 0)
+            if prior:
+                correction = delta * prior
+                self.eta += correction
+                if track_local:
+                    a, b = key
+                    self.eta_local[a] = self.eta_local.get(a, 0) + correction
+                    self.eta_local[b] = self.eta_local.get(b, 0) + correction
+            self.edge_triangles[key] = prior + delta
+
+        self.tau += later.tau
+        self.eta += later.eta
+        for node, value in later.tau_local.items():
+            self.tau_local[node] = self.tau_local.get(node, 0) + value
+        for node, value in later.eta_local.items():
+            self.eta_local[node] = self.eta_local.get(node, 0) + value
+        self.edges_stored += later.edges_stored
+        for node, neighbors in later.adjacency.items():
+            mine = self.adjacency.get(node)
+            if mine is None:
+                self.adjacency[node] = set(neighbors)
+            else:
+                mine |= neighbors
 
 
 _EMPTY: Set[NodeId] = frozenset()  # type: ignore[assignment]
@@ -183,6 +284,90 @@ class ProcessorGroup:
                 edge_triangles[key_uw] = count_uw + 1
                 edge_triangles[key_vw] = count_vw + 1
         return closed
+
+    # -- chunked execution support -------------------------------------------
+
+    def snapshot(self) -> GroupSnapshot:
+        """Return a picklable copy of the group's full state.
+
+        The per-node slot index is not serialised — :meth:`restore` rebuilds
+        it from the adjacencies.
+        """
+        return {
+            "group_size": self.group_size,
+            "m": self.m,
+            "processors": [processor.snapshot() for processor in self.processors],
+        }
+
+    def restore(self, snapshot: GroupSnapshot) -> None:
+        """Replace this group's state with :meth:`snapshot` output."""
+        if snapshot["group_size"] != self.group_size or snapshot["m"] != self.m:
+            raise ValueError(
+                "snapshot shape mismatch: expected "
+                f"(group_size={self.group_size}, m={self.m}), got "
+                f"(group_size={snapshot['group_size']}, m={snapshot['m']})"
+            )
+        self.processors = [
+            ProcessorCounters.restore(entry) for entry in snapshot["processors"]
+        ]
+        self._reindex_node_slots()
+
+    def seed_adjacency(self, stored_edges: "List[tuple]") -> None:
+        """Pre-load the stored-edge index as it stood at a chunk boundary.
+
+        ``stored_edges`` is a sequence of ``(slot, u, v)`` records: the edges
+        stored by earlier chunks and the processor slots holding them.  Only
+        the adjacency (and the node-slot index) is populated — counters,
+        per-edge triangle counts and ``edges_stored`` stay zero, so a group
+        advanced from this state accumulates exactly one chunk's worth of
+        counter deltas (the shape :meth:`merge` expects), while closure
+        checks, the ``already_stored`` test and ``closing_at_store`` all see
+        the true cross-chunk adjacency.
+        """
+        for slot, u, v in stored_edges:
+            if not 0 <= slot < self.group_size:
+                raise ValueError(f"stored edge ({u!r}, {v!r}) names invalid slot {slot}")
+            processor = self.processors[slot]
+            processor.adjacency.setdefault(u, set()).add(v)
+            processor.adjacency.setdefault(v, set()).add(u)
+            self._node_slots.setdefault(u, set()).add(slot)
+            self._node_slots.setdefault(v, set()).add(slot)
+
+    def merge(self, later: "ProcessorGroup") -> None:
+        """Fold in a group advanced over the next chunk (see ProcessorCounters.merge).
+
+        ``later`` must share this group's shape and hash function and must
+        have been advanced from this group's adjacency (seeded, counters
+        zero) over the stream chunk immediately following this group's.
+        """
+        self.merge_snapshot(later.snapshot())
+
+    def merge_snapshot(self, snapshot: GroupSnapshot) -> None:
+        """Fold in a chunk-state snapshot without materialising the other group."""
+        if snapshot["group_size"] != self.group_size or snapshot["m"] != self.m:
+            raise ValueError(
+                "cannot merge groups of different shape: expected "
+                f"(group_size={self.group_size}, m={self.m}), got "
+                f"(group_size={snapshot['group_size']}, m={snapshot['m']})"
+            )
+        for slot, (processor, entry) in enumerate(
+            zip(self.processors, snapshot["processors"])
+        ):
+            later = ProcessorCounters.restore(entry)
+            processor.merge(later, track_local=self.track_local)
+            # Incremental index update: only the incoming chunk's nodes can
+            # gain this slot (a full rebuild per merge would dominate the
+            # driver's merge phase on many-chunk runs).
+            for node in later.adjacency:
+                self._node_slots.setdefault(node, set()).add(slot)
+
+    def _reindex_node_slots(self) -> None:
+        """Rebuild the node -> slots index from the processor adjacencies."""
+        index: Dict[NodeId, Set[int]] = {}
+        for slot, processor in enumerate(self.processors):
+            for node in processor.adjacency:
+                index.setdefault(node, set()).add(slot)
+        self._node_slots = index
 
     # -- aggregates ----------------------------------------------------------
 

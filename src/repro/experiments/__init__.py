@@ -28,8 +28,10 @@ from repro.experiments.figures import (
     figure8,
 )
 from repro.experiments.tables import table2
+from repro.experiments.backends import backend_comparison
 
 __all__ = [
+    "backend_comparison",
     "ExperimentResult",
     "MethodSpec",
     "SweepSpec",

@@ -1,0 +1,107 @@
+"""Execution-backend comparison artefact.
+
+Not a figure of the paper, but the experiment that backs its deployment
+story: the same :class:`~repro.core.config.ReptConfig` run through every
+execution backend of :func:`repro.core.parallel.run_rept` must produce
+bit-identical estimates, while wall-clock and per-task payload vary with
+the scheduling strategy.  The comparison reports both, and is exposed on
+the CLI as ``rept-experiment backends``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.core.config import ReptConfig
+from repro.core.parallel import run_rept
+from repro.exceptions import ExperimentError
+from repro.experiments.spec import ExperimentResult
+from repro.generators.datasets import load_dataset
+from repro.utils.tables import format_table
+from repro.utils.timer import Timer
+
+#: Backends compared by default, reference first.
+DEFAULT_BACKENDS = ("serial", "thread", "process", "chunked-serial", "chunked-process")
+
+
+def backend_comparison(
+    dataset: str = "flickr-sim",
+    backends: Sequence[str] = DEFAULT_BACKENDS,
+    m: int = 8,
+    c: int = 24,
+    seed: int = 2024,
+    max_edges: Optional[int] = None,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> ExperimentResult:
+    """Run one REPT configuration through every execution backend.
+
+    Returns a table of wall-clock seconds, the estimate, and whether each
+    backend's estimate is bit-identical to the first (reference) backend —
+    which it must be; a mismatch raises :class:`ExperimentError` because it
+    indicates a broken merge, not a tuning problem.
+    """
+    if not backends:
+        raise ExperimentError("at least one backend is required")
+    stream = load_dataset(dataset)
+    if max_edges is not None and len(stream) > max_edges:
+        stream = stream.prefix(max_edges)
+    edges = stream.edges()
+    config = ReptConfig(m=m, c=c, seed=seed, track_local=False)
+
+    headers = ["backend", "seconds", "global estimate", "edges stored", "chunks", "identical"]
+    rows: List[List] = []
+    reference = None
+    timings = {}
+    for backend in backends:
+        with Timer() as timer:
+            estimate = run_rept(
+                edges,
+                config,
+                backend=backend,
+                max_workers=max_workers,
+                chunk_size=chunk_size,
+            )
+        if reference is None:
+            reference = estimate
+        identical = (
+            estimate.global_count == reference.global_count
+            and estimate.edges_stored == reference.edges_stored
+        )
+        if not identical:
+            raise ExperimentError(
+                f"backend {backend!r} diverged from {backends[0]!r}: "
+                f"{estimate.global_count!r} != {reference.global_count!r}"
+            )
+        timings[backend] = timer.elapsed
+        rows.append(
+            [
+                backend,
+                round(timer.elapsed, 3),
+                estimate.global_count,
+                estimate.edges_stored,
+                int(estimate.metadata.get("num_chunks", 1)),
+                "yes",
+            ]
+        )
+
+    text = format_table(
+        headers,
+        rows,
+        title=f"Execution backends on {dataset} ({len(edges)} edges, {config.describe()})",
+    )
+    return ExperimentResult(
+        experiment_id="backends",
+        description="Same REPT configuration through every execution backend",
+        rows=rows,
+        headers=headers,
+        text=text,
+        metadata={
+            "dataset": dataset,
+            "m": m,
+            "c": c,
+            "seed": seed,
+            "num_edges": len(edges),
+            "timings": timings,
+        },
+    )

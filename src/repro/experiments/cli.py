@@ -17,6 +17,7 @@ import argparse
 import sys
 from typing import Callable, Dict, List, Optional
 
+from repro.experiments import backends as backends_module
 from repro.experiments import figures, tables
 from repro.experiments import ablations
 from repro.experiments.spec import ExperimentResult
@@ -53,6 +54,19 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="override the processor-count axis for the accuracy figures",
     )
+    parser.add_argument(
+        "--backends",
+        nargs="*",
+        default=None,
+        help="execution backends for the 'backends' artefact "
+        "(default: serial thread process chunked-serial chunked-process)",
+    )
+    parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        help="edges per chunk for the chunked backends (default: auto-tuned)",
+    )
     return parser
 
 
@@ -88,6 +102,15 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
     elif name == "table2":
         if args.datasets is not None:
             kwargs["datasets"] = args.datasets
+    elif name == "backends":
+        if args.datasets:
+            kwargs["dataset"] = args.datasets[0]
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.backends:
+            kwargs["backends"] = args.backends
+        if args.chunk_size is not None:
+            kwargs["chunk_size"] = args.chunk_size
     else:  # ablations
         if args.datasets:
             kwargs["dataset"] = args.datasets[0]
@@ -113,6 +136,7 @@ _ARTEFACTS: Dict[str, Callable[..., ExperimentResult]] = {
     "figure7": figures.figure7,
     "figure8": figures.figure8,
     "table2": tables.table2,
+    "backends": backends_module.backend_comparison,
     "ablation-variance": ablations.ablation_variance,
     "ablation-combination": ablations.ablation_combination,
     "ablation-hash": ablations.ablation_hash_family,

@@ -19,6 +19,7 @@ from repro.baselines.single_threaded import (
     make_single_threaded_triest,
 )
 from repro.core.config import ReptConfig
+from repro.core.parallel import DriverBackedRept
 from repro.core.rept import ReptEstimator
 from repro.exceptions import ConfigurationError
 from repro.experiments.spec import MethodSpec
@@ -38,6 +39,7 @@ def default_method_specs(
     stream_length: int,
     methods: Sequence[str] = PARALLEL_METHODS,
     track_local: bool = False,
+    rept_backend: Optional[str] = None,
 ) -> List[MethodSpec]:
     """Build the standard method line-up of the paper's figures.
 
@@ -55,6 +57,11 @@ def default_method_specs(
         ``gps``, ``mascot-s``, ``triest-s``, ``gps-s``.
     track_local:
         Whether estimators should maintain local (per-node) counts.
+    rept_backend:
+        ``None`` (default) runs REPT through the in-process
+        :class:`ReptEstimator`; any :data:`~repro.core.parallel.ParallelBackend`
+        name runs it through the matching :func:`~repro.core.parallel.run_rept`
+        driver instead (estimates are bit-identical either way).
     """
     m = int(round(1.0 / p))
     if m < 1 or abs(1.0 / m - p) > 1e-9:
@@ -67,8 +74,15 @@ def default_method_specs(
             specs.append(
                 MethodSpec(
                     name="REPT",
-                    factory=lambda seed, _m=m, _c=c, _tl=track_local: ReptEstimator(
-                        ReptConfig(m=_m, c=_c, seed=_coerce_seed(seed), track_local=_tl)
+                    factory=lambda seed, _m=m, _c=c, _tl=track_local, _be=rept_backend: (
+                        ReptEstimator(
+                            ReptConfig(m=_m, c=_c, seed=_coerce_seed(seed), track_local=_tl)
+                        )
+                        if _be is None
+                        else DriverBackedRept(
+                            ReptConfig(m=_m, c=_c, seed=_coerce_seed(seed), track_local=_tl),
+                            backend=_be,
+                        )
                     ),
                 )
             )

@@ -48,7 +48,10 @@ def planted_clique_stream(
         anchor = int(rng.integers(0, clique_size))
         pendant = clique_size + i
         edges.append((anchor, pendant))
-    return EdgeStream(edges, name=name or f"clique-{clique_size}", validate=False)
+    stream = EdgeStream(edges, name=name or f"clique-{clique_size}", validate=False)
+    # Loop-free by construction (distinct endpoints throughout).
+    stream.validated = True
+    return stream
 
 
 def planted_triangles_stream(
@@ -85,4 +88,7 @@ def planted_triangles_stream(
     # eta; keep the natural order for reproducibility.
     _ = as_random_source(seed)
     label = "book" if shared_edge else "disjoint"
-    return EdgeStream(edges, name=name or f"planted-{label}-{num_triangles}", validate=False)
+    stream = EdgeStream(edges, name=name or f"planted-{label}-{num_triangles}", validate=False)
+    # Loop-free by construction (distinct endpoints throughout).
+    stream.validated = True
+    return stream

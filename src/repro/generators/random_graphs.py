@@ -44,7 +44,10 @@ def erdos_renyi_stream(
             continue
         chosen.add(key)
         edges.append(key)
-    return EdgeStream(edges, name=name or f"er-{num_nodes}-{num_edges}", validate=False)
+    stream = EdgeStream(edges, name=name or f"er-{num_nodes}-{num_edges}", validate=False)
+    # Loop-free by construction (u == v rejected above).
+    stream.validated = True
+    return stream
 
 
 def barabasi_albert_stream(
@@ -113,9 +116,12 @@ def barabasi_albert_stream(
             if add_edge(new_node, target):
                 targets_added += 1
                 last_target = target
-    return EdgeStream(
+    stream = EdgeStream(
         edges, name=name or f"ba-{num_nodes}-{edges_per_node}", validate=False
     )
+    # Loop-free by construction (add_edge rejects u == v).
+    stream.validated = True
+    return stream
 
 
 def chung_lu_stream(
@@ -175,7 +181,10 @@ def chung_lu_stream(
             "chung_lu_stream could not place the requested number of distinct "
             f"edges ({len(edges)}/{num_edges}); increase the node count"
         )
-    return EdgeStream(edges, name=name or f"cl-{num_nodes}-{num_edges}", validate=False)
+    stream = EdgeStream(edges, name=name or f"cl-{num_nodes}-{num_edges}", validate=False)
+    # Loop-free by construction (u == v rejected above).
+    stream.validated = True
+    return stream
 
 
 def powerlaw_weights(num_nodes: int, exponent: float = 2.5, minimum: float = 1.0) -> np.ndarray:

@@ -30,6 +30,17 @@ class EdgeStream:
         If ``True`` (default), self-loops raise :class:`StreamFormatError`.
         Duplicate edges are allowed — the aggregate graph collapses them —
         because real streams contain re-observed edges.
+
+    Attributes
+    ----------
+    validated:
+        Whether this stream is *known* to be free of self-loops: either the
+        constructor checked (``validate=True``), or the stream was derived
+        from a checked/loop-free source (slices, prefixes and filters of a
+        validated stream, streams built from an :class:`AdjacencyGraph`).
+        Derivations propagate the flag so a slice of an *unvalidated* stream
+        is re-checked instead of silently carrying self-loops into
+        estimators.
     """
 
     def __init__(
@@ -48,6 +59,7 @@ class EdgeStream:
             materialised.append((u, v))
         self._edges = materialised
         self.name = name
+        self.validated = bool(validate)
 
     # -- sequence protocol --------------------------------------------------
 
@@ -59,7 +71,13 @@ class EdgeStream:
 
     def __getitem__(self, index):
         if isinstance(index, slice):
-            return EdgeStream(self._edges[index], name=self.name, validate=False)
+            # Skip re-validation only when the parent is itself known
+            # loop-free; a slice of an unvalidated stream must be checked.
+            child = EdgeStream(
+                self._edges[index], name=self.name, validate=not self.validated
+            )
+            child.validated = True
+            return child
         return self._edges[index]
 
     def __repr__(self) -> str:
@@ -114,28 +132,47 @@ class EdgeStream:
     # -- derivation -------------------------------------------------------------
 
     def map(self, fn: Callable[[EdgeTuple], EdgeTuple], name: Optional[str] = None) -> "EdgeStream":
-        """Return a new stream with ``fn`` applied to every edge."""
+        """Return a new stream with ``fn`` applied to every edge.
+
+        The result is *unvalidated* regardless of this stream's status:
+        ``fn`` may map distinct endpoints onto the same node.
+        """
         return EdgeStream(
             (fn(edge) for edge in self._edges), name=name or self.name, validate=False
         )
 
     def filter(self, predicate: Callable[[EdgeTuple], bool], name: Optional[str] = None) -> "EdgeStream":
-        """Return a new stream containing only edges where ``predicate`` holds."""
-        return EdgeStream(
+        """Return a new stream containing only edges where ``predicate`` holds.
+
+        Filtering cannot introduce self-loops, so the child inherits this
+        stream's :attr:`validated` status.
+        """
+        child = EdgeStream(
             (edge for edge in self._edges if predicate(edge)),
             name=name or self.name,
             validate=False,
         )
+        child.validated = self.validated
+        return child
 
     def prefix(self, count: int) -> "EdgeStream":
         """Return the stream consisting of the first ``count`` edges."""
         if count < 0:
             raise ValueError("count must be non-negative")
-        return EdgeStream(self._edges[:count], name=self.name, validate=False)
+        child = EdgeStream(
+            self._edges[:count], name=self.name, validate=not self.validated
+        )
+        child.validated = True
+        return child
 
     def concat(self, other: "EdgeStream") -> "EdgeStream":
-        """Return the concatenation of this stream and ``other``."""
-        return EdgeStream(self._edges + other.edges(), name=self.name, validate=False)
+        """Return the concatenation of this stream and ``other``.
+
+        The result is validated exactly when both inputs are.
+        """
+        child = EdgeStream(self._edges + other.edges(), name=self.name, validate=False)
+        child.validated = self.validated and other.validated
+        return child
 
     # -- constructors -------------------------------------------------------------
 
@@ -153,4 +190,8 @@ class EdgeStream:
         :func:`repro.streaming.transforms.shuffle_stream` for a random order.
         """
         edges = sorted(graph.edges(), key=lambda e: (str(e[0]), str(e[1])))
-        return cls(edges, name=name, validate=False)
+        stream = cls(edges, name=name, validate=False)
+        # AdjacencyGraph rejects self-loops, so the stream is loop-free by
+        # construction.
+        stream.validated = True
+        return stream

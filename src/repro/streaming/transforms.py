@@ -16,9 +16,11 @@ from repro.utils.rng import SeedLike, as_random_source
 
 def drop_self_loops(stream: EdgeStream) -> EdgeStream:
     """Return a stream with all ``u == v`` records removed."""
-    return EdgeStream(
+    cleaned = EdgeStream(
         ((u, v) for u, v in stream if u != v), name=stream.name, validate=False
     )
+    cleaned.validated = True
+    return cleaned
 
 
 def deduplicate_edges(stream: EdgeStream) -> EdgeStream:
@@ -37,7 +39,9 @@ def deduplicate_edges(stream: EdgeStream) -> EdgeStream:
                 seen.add(key)
                 yield (u, v)
 
-    return EdgeStream(_first_occurrences(), name=stream.name, validate=False)
+    deduplicated = EdgeStream(_first_occurrences(), name=stream.name, validate=False)
+    deduplicated.validated = stream.validated
+    return deduplicated
 
 
 def relabel_nodes(
@@ -73,7 +77,9 @@ def shuffle_stream(stream: EdgeStream, seed: SeedLike = None) -> EdgeStream:
     """
     edges = stream.edges()
     as_random_source(seed).shuffle(edges)
-    return EdgeStream(edges, name=stream.name, validate=False)
+    shuffled = EdgeStream(edges, name=stream.name, validate=False)
+    shuffled.validated = stream.validated
+    return shuffled
 
 
 def subsample_stream(
@@ -89,4 +95,6 @@ def subsample_stream(
         raise ValueError("probability must be in [0, 1]")
     rng = as_random_source(seed)
     kept = [edge for edge in stream if rng.random() < probability]
-    return EdgeStream(kept, name=stream.name, validate=False)
+    subsampled = EdgeStream(kept, name=stream.name, validate=False)
+    subsampled.validated = stream.validated
+    return subsampled

@@ -30,10 +30,12 @@ class TestTriestBaseBasics:
         assert estimator.edges_stored <= 100
 
     def test_scaling_factor(self):
+        # ξ(t) is driven by the reservoir clock (offered, non-loop edges),
+        # per the counted-vs-skipped contract on the base class.
         estimator = TriestBaseEstimator(10, seed=1)
-        estimator.edges_processed = 5
+        estimator._reservoir.num_offered = 5
         assert estimator._scaling() == 1.0
-        estimator.edges_processed = 100
+        estimator._reservoir.num_offered = 100
         assert estimator._scaling() == pytest.approx(100 * 99 * 98 / (10 * 9 * 8))
 
     def test_raw_counters_never_negative_globally(self, medium_stream):

@@ -111,3 +111,12 @@ class TestCombineAlgorithm2:
         groups = [_summary(2, True, 2.0, local_tau={"a": 2.0})]
         estimate = combine_group_estimates(groups, m=2, c=2, track_local=False)
         assert estimate.local_counts == {}
+
+    def test_eta_tracked_recorded_in_metadata(self):
+        groups = [_summary(2, False, 1.0)]
+        tracked = combine_group_estimates(groups, m=2, c=2, eta_tracked=True)
+        untracked = combine_group_estimates(groups, m=2, c=2, eta_tracked=False)
+        unknown = combine_group_estimates(groups, m=2, c=2)
+        assert tracked.metadata["eta_tracked"] == 1.0
+        assert untracked.metadata["eta_tracked"] == 0.0
+        assert "eta_tracked" not in unknown.metadata

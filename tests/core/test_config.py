@@ -65,6 +65,16 @@ class TestDerivedQuantities:
         config = ReptConfig(m=4, c=2, seed=1, track_eta=True)
         assert config.track_eta
 
+    def test_track_eta_false_force_resolved_when_required(self):
+        # c > m with c % m != 0: the Graybill-Deal combination needs η̂, so
+        # an explicit False would silently corrupt the plug-in variances.
+        config = ReptConfig(m=4, c=10, seed=1, track_eta=False)
+        assert config.track_eta
+
+    def test_track_eta_false_honoured_when_not_required(self):
+        assert not ReptConfig(m=4, c=2, seed=1, track_eta=False).track_eta
+        assert not ReptConfig(m=4, c=12, seed=1, track_eta=False).track_eta
+
     def test_group_hash_seeds_deterministic_and_distinct(self):
         config_a = ReptConfig(m=4, c=10, seed=5)
         config_b = ReptConfig(m=4, c=10, seed=5)

@@ -1,0 +1,164 @@
+"""Tests for the mergeable chunk state of ProcessorCounters / ProcessorGroup.
+
+The merge contract (see :mod:`repro.core.state`): a group advanced over a
+later chunk, seeded with the earlier chunks' stored-edge index and zeroed
+counters, folds into the earlier state *exactly* — every counter, including
+the η pair counters, matches an uninterrupted run bit for bit.
+"""
+
+import pytest
+
+from repro.core.state import ProcessorCounters, ProcessorGroup
+from repro.generators.planted import planted_triangles_stream
+from repro.generators.random_graphs import barabasi_albert_stream
+from repro.hashing import make_hash_function
+from repro.types import canonical_edge
+
+
+def make_group(m=3, group_size=2, seed=42, track_local=True, track_eta=True):
+    return ProcessorGroup(
+        hash_function=make_hash_function("splitmix", buckets=m, seed=seed),
+        group_size=group_size,
+        m=m,
+        track_local=track_local,
+        track_eta=track_eta,
+    )
+
+
+def advance(group, edges):
+    for u, v in edges:
+        if u != v:
+            group.process_edge(u, v)
+    return group
+
+
+def stored_records(edges, m, group_size, seed, seen):
+    """Reference storing pass: distinct stored (slot, u, v) of one chunk."""
+    hash_function = make_hash_function("splitmix", buckets=m, seed=seed)
+    out = []
+    for u, v in edges:
+        if u == v:
+            continue
+        slot = hash_function.bucket(u, v)
+        if slot >= group_size:
+            continue
+        key = canonical_edge(u, v)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append((slot, key[0], key[1]))
+    return out
+
+
+def positive_entries(mapping):
+    """Drop zero-valued entries: serial and chunked runs may differ only in
+    which zero-count local entries were ever touched."""
+    return {key: value for key, value in mapping.items() if value}
+
+
+def assert_same_state(reference, merged):
+    for ref, got in zip(reference.processors, merged.processors):
+        assert got.tau == ref.tau
+        assert got.eta == ref.eta
+        assert got.edges_stored == ref.edges_stored
+        assert got.edge_triangles == ref.edge_triangles
+        assert got.adjacency == ref.adjacency
+        assert positive_entries(got.tau_local) == positive_entries(ref.tau_local)
+        assert positive_entries(got.eta_local) == positive_entries(ref.eta_local)
+
+
+def run_chunked(edges, boundaries, **group_kwargs):
+    """Advance a group over ``edges`` in chunks via seed_adjacency + merge."""
+    bounds = [0] + list(boundaries) + [len(edges)]
+    chunks = [edges[a:b] for a, b in zip(bounds, bounds[1:])]
+    merged = make_group(**group_kwargs)
+    seen = set()
+    prefix = []
+    for chunk in chunks:
+        worker = make_group(**group_kwargs)
+        worker.seed_adjacency(prefix)
+        advance(worker, chunk)
+        merged.merge(worker)
+        prefix = prefix + stored_records(
+            chunk, merged.m, merged.group_size, 42, seen
+        )
+    return merged
+
+
+class TestSnapshotRestore:
+    def test_roundtrip_resumes_exactly(self):
+        edges = barabasi_albert_stream(80, 3, triad_closure=0.5, seed=9).edges()
+        reference = advance(make_group(), edges)
+
+        interrupted = advance(make_group(), edges[:100])
+        resumed = make_group()
+        resumed.restore(interrupted.snapshot())
+        advance(resumed, edges[100:])
+        assert_same_state(reference, resumed)
+
+    def test_snapshot_is_a_copy(self):
+        group = advance(make_group(), [(0, 1), (1, 2), (0, 2)])
+        snapshot = group.snapshot()
+        advance(group, [(2, 3), (3, 0)])
+        fresh = make_group()
+        fresh.restore(snapshot)
+        assert fresh.total_edges_stored() <= 3
+
+    def test_restore_rejects_shape_mismatch(self):
+        snapshot = make_group(group_size=2).snapshot()
+        with pytest.raises(ValueError):
+            make_group(group_size=1).restore(snapshot)
+
+    def test_counters_snapshot_roundtrip(self):
+        counters = ProcessorCounters()
+        counters.store_edge(1, 2, 0)
+        counters.tau = 7
+        restored = ProcessorCounters.restore(counters.snapshot())
+        assert restored.tau == 7
+        assert restored.adjacency == counters.adjacency
+        assert restored.adjacency is not counters.adjacency
+
+
+class TestChunkMerge:
+    def test_two_chunk_merge_matches_serial(self):
+        edges = barabasi_albert_stream(100, 3, triad_closure=0.5, seed=3).edges()
+        reference = advance(make_group(), edges)
+        merged = run_chunked(edges, [len(edges) // 2])
+        assert_same_state(reference, merged)
+
+    def test_many_chunks_with_duplicates_match_serial(self):
+        base = barabasi_albert_stream(100, 3, triad_closure=0.5, seed=5).edges()
+        edges = base + base[:60]  # re-arrivals exercise already_stored across chunks
+        reference = advance(make_group(), edges)
+        merged = run_chunked(edges, [40, 170, 260])
+        assert_same_state(reference, merged)
+
+    def test_eta_heavy_stream_matches_serial(self):
+        # Six triangles sharing one edge: maximal pair-counter coupling, so
+        # the cross-chunk η correction carries real weight.
+        edges = planted_triangles_stream(6, shared_edge=True).edges()
+        reference = advance(make_group(m=2, group_size=2), edges)
+        merged = run_chunked(edges, [5], m=2, group_size=2)
+        assert_same_state(reference, merged)
+
+    def test_merge_without_eta_tracking(self):
+        edges = barabasi_albert_stream(60, 3, triad_closure=0.5, seed=7).edges()
+        kwargs = dict(track_eta=False, track_local=False)
+        reference = advance(make_group(**kwargs), edges)
+        merged = run_chunked(edges, [70], **kwargs)
+        assert_same_state(reference, merged)
+
+    def test_merge_rejects_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            make_group(group_size=2).merge(make_group(group_size=1))
+
+    def test_seed_adjacency_rejects_invalid_slot(self):
+        with pytest.raises(ValueError):
+            make_group(group_size=1).seed_adjacency([(1, 0, 1)])
+
+    def test_seed_adjacency_leaves_counters_zero(self):
+        group = make_group()
+        group.seed_adjacency([(0, 1, 2), (1, 2, 3)])
+        assert group.tau_values() == [0, 0]
+        assert group.total_edges_stored() == 0
+        assert group.processors[0].neighbors(1) == {2}

@@ -32,6 +32,22 @@ class TestCli:
         assert exit_code == 0
         assert "REPT" in captured.out
 
+    def test_backends_artefact_runs(self, capsys):
+        exit_code = main(
+            [
+                "backends",
+                "--datasets", "youtube-sim",
+                "--max-edges", "600",
+                "--backends", "serial", "chunked-serial",
+                "--chunk-size", "200",
+                "--seed", "3",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "chunked-serial" in captured.out
+        assert "yes" in captured.out
+
     def test_ablation_entry_point(self, capsys):
         exit_code = main(["ablation-hash", "--datasets", "youtube-sim", "--trials", "5"])
         assert exit_code == 0

@@ -27,6 +27,16 @@ class TestDefaultMethodSpecs:
         with pytest.raises(ConfigurationError):
             default_method_specs(0.3, 2, 100)  # not 1/m
 
+    def test_rept_backend_produces_identical_trials(self, clique_stream):
+        edges = clique_stream.edges()
+        in_process = default_method_specs(0.5, 2, len(edges), methods=("rept",))[0]
+        driven = default_method_specs(
+            0.5, 2, len(edges), methods=("rept",), rept_backend="chunked-serial"
+        )[0]
+        a = [e.global_count for e in run_trials(in_process, edges, 3, seed=9)]
+        b = [e.global_count for e in run_trials(driven, edges, 3, seed=9)]
+        assert a == b
+
     def test_unknown_method_rejected(self):
         with pytest.raises(ConfigurationError):
             default_method_specs(0.5, 2, 100, methods=("magic",))

@@ -63,6 +63,48 @@ class TestViews:
         assert graph.num_edges == 2
 
 
+class TestValidationPropagation:
+    def test_constructor_sets_validated(self):
+        assert EdgeStream([(1, 2)]).validated
+        assert not EdgeStream([(1, 2)], validate=False).validated
+
+    def test_slice_of_validated_stream_skips_revalidation(self):
+        stream = EdgeStream([(1, 2), (2, 3)])
+        assert stream[:1].validated
+
+    def test_slice_of_unvalidated_stream_is_revalidated(self):
+        dirty = EdgeStream([(1, 2), (3, 3)], validate=False)
+        with pytest.raises(StreamFormatError):
+            dirty[:2]
+        clean_part = dirty[:1]  # the loop-free part passes and is now checked
+        assert clean_part.validated
+
+    def test_prefix_of_unvalidated_stream_is_revalidated(self):
+        dirty = EdgeStream([(1, 2), (3, 3)], validate=False)
+        with pytest.raises(StreamFormatError):
+            dirty.prefix(2)
+
+    def test_filter_and_concat_propagate_flag(self):
+        validated = EdgeStream([(1, 2), (2, 3)])
+        unvalidated = EdgeStream([(4, 5)], validate=False)
+        assert validated.filter(lambda e: True).validated
+        assert not unvalidated.filter(lambda e: True).validated
+        assert validated.concat(validated).validated
+        assert not validated.concat(unvalidated).validated
+
+    def test_map_result_is_unvalidated(self):
+        # A mapping may merge endpoints into a self-loop, so the child must
+        # not claim loop-freedom.
+        mapped = EdgeStream([(1, 2)]).map(lambda e: (0, 0))
+        assert not mapped.validated
+        with pytest.raises(StreamFormatError):
+            mapped[:1]
+
+    def test_from_graph_is_validated(self):
+        graph = AdjacencyGraph([(1, 2)])
+        assert EdgeStream.from_graph(graph).validated
+
+
 class TestDerivation:
     def test_map(self):
         stream = EdgeStream([(1, 2)]).map(lambda e: (e[0] + 10, e[1] + 10))
