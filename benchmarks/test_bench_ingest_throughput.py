@@ -1,0 +1,161 @@
+"""Ingestion-throughput benchmark: per-edge vs batched REPT ingestion.
+
+Measures edges/second for the per-edge streaming path against the batched
+pipeline (``process_stream(batch_size=...)``) across (m, c) shapes, both
+hash families and two stream sizes, on the packet-flow workload the paper
+motivates (duplicate-heavy arrivals over a scale-free host topology).
+Every cell asserts bit-identical estimates between the two paths; the
+headline cell — m=16, c=32, tabulation hashing, the full-size stream —
+asserts the batch path is at least ``REPRO_BENCH_INGEST_MIN_SPEEDUP``
+(default 3×) faster, and every other cell asserts the batch path is not
+slower (with a small noise allowance).
+
+Each run rewrites ``benchmarks/BENCH_ingest.json`` with the measured
+numbers so the repository carries a throughput trajectory across PRs; the
+CI smoke job uploads the file as an artifact.
+
+Scale knobs: ``REPRO_BENCH_INGEST_EDGES`` (default 250000; CI uses a
+smaller stream), ``REPRO_BENCH_INGEST_ROUNDS`` (interleaved best-of
+rounds) and ``REPRO_BENCH_INGEST_MIN_SPEEDUP``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.core import ReptConfig, ReptEstimator
+from repro.generators.traffic import packet_flow_stream
+
+BENCH_EDGES = int(os.environ.get("REPRO_BENCH_INGEST_EDGES", "250000"))
+BENCH_ROUNDS = int(os.environ.get("REPRO_BENCH_INGEST_ROUNDS", "2"))
+MIN_HEADLINE_SPEEDUP = float(os.environ.get("REPRO_BENCH_INGEST_MIN_SPEEDUP", "3.0"))
+#: Noise allowance for the "batch is not slower" assertion on non-headline
+#: cells (process schedulers on shared CI runners jitter second-scale runs).
+NOT_SLOWER_TOLERANCE = 0.9
+BATCH_SIZE = 65536
+RESULTS_PATH = Path(__file__).with_name("BENCH_ingest.json")
+
+#: (m, c, hash_kind, fraction of BENCH_EDGES, headline?).  The headline row
+#: is the acceptance-criterion configuration: two complete processor groups
+#: (c = 2m) at m=16 over a ≥200k-record stream, with the hash family whose
+#: scalar path is the most expensive — exactly what vectorization amortises.
+GRID = [
+    (16, 32, "tabulation", 1.0, True),
+    (16, 32, "splitmix", 1.0, False),
+    (16, 16, "tabulation", 0.2, False),
+    (16, 32, "splitmix", 0.2, False),
+    (4, 8, "splitmix", 0.2, False),
+]
+
+_cells = []
+
+
+def _measure(edges, m, c, hash_kind):
+    """Interleaved best-of-``BENCH_ROUNDS`` timing of both ingestion paths."""
+    config = dict(m=m, c=c, seed=7, hash_kind=hash_kind, track_local=False)
+    per_edge_best = batch_best = float("inf")
+    per_edge_estimate = batch_estimate = None
+    for _ in range(BENCH_ROUNDS):
+        estimator = ReptEstimator(ReptConfig(**config))
+        start = time.perf_counter()
+        estimator.process_stream(edges)
+        per_edge_best = min(per_edge_best, time.perf_counter() - start)
+        per_edge_estimate = estimator.estimate()
+        del estimator
+
+        estimator = ReptEstimator(ReptConfig(**config))
+        start = time.perf_counter()
+        estimator.process_stream(edges, batch_size=BATCH_SIZE)
+        batch_best = min(batch_best, time.perf_counter() - start)
+        batch_estimate = estimator.estimate()
+        del estimator
+    return per_edge_best, batch_best, per_edge_estimate, batch_estimate
+
+
+@pytest.fixture(scope="module")
+def full_stream():
+    return packet_flow_stream(BENCH_EDGES, seed=13)
+
+
+@pytest.mark.parametrize(
+    "m,c,hash_kind,fraction,headline",
+    GRID,
+    ids=[f"m{m}-c{c}-{kind}-{int(frac * 100)}pct" for m, c, kind, frac, _ in GRID],
+)
+def test_bench_ingest_throughput(full_stream, m, c, hash_kind, fraction, headline):
+    edges = full_stream.edges()
+    if fraction < 1.0:
+        edges = edges[: int(len(edges) * fraction)]
+    num_distinct = len({tuple(sorted(edge)) for edge in edges})
+
+    per_edge_seconds, batch_seconds, per_edge_estimate, batch_estimate = _measure(
+        edges, m, c, hash_kind
+    )
+
+    # Exactness first: the batch pipeline is an optimisation, not an
+    # approximation.
+    assert batch_estimate.global_count == per_edge_estimate.global_count
+    assert batch_estimate.local_counts == per_edge_estimate.local_counts
+    assert batch_estimate.edges_stored == per_edge_estimate.edges_stored
+
+    speedup = per_edge_seconds / batch_seconds
+    _cells.append(
+        {
+            "m": m,
+            "c": c,
+            "hash": hash_kind,
+            "num_records": len(edges),
+            "num_distinct": num_distinct,
+            "per_edge_seconds": round(per_edge_seconds, 4),
+            "batch_seconds": round(batch_seconds, 4),
+            "per_edge_eps": int(len(edges) / per_edge_seconds),
+            "batch_eps": int(len(edges) / batch_seconds),
+            "speedup": round(speedup, 3),
+            "headline": headline,
+        }
+    )
+    print(
+        f"\n  m={m} c={c} hash={hash_kind} records={len(edges)}: "
+        f"per-edge {len(edges) / per_edge_seconds / 1e3:.0f}k eps, "
+        f"batch {len(edges) / batch_seconds / 1e3:.0f}k eps ({speedup:.2f}x)"
+    )
+
+    if headline and len(edges) >= 200_000:
+        # The acceptance-criterion cell; at reduced smoke scale
+        # (REPRO_BENCH_INGEST_EDGES < 200k) it degrades to the
+        # not-slower assertion like every other cell.
+        assert speedup >= MIN_HEADLINE_SPEEDUP, (
+            f"batch ingestion speedup {speedup:.2f}x below the "
+            f"{MIN_HEADLINE_SPEEDUP}x acceptance bar at m={m}, c={c}"
+        )
+    else:
+        assert speedup >= NOT_SLOWER_TOLERANCE, (
+            f"batch ingestion slower than per-edge ({speedup:.2f}x) at "
+            f"m={m}, c={c}, hash={hash_kind}"
+        )
+
+
+def test_bench_ingest_writes_baseline():
+    """Persist the measured cells as the repo's throughput baseline."""
+    assert _cells, "benchmark cells did not run"
+    payload = {
+        "benchmark": "ingest-throughput",
+        "created_unix": int(time.time()),
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": platform.python_version(),
+            "machine": platform.machine(),
+        },
+        "batch_size": BATCH_SIZE,
+        "rounds": BENCH_ROUNDS,
+        "min_headline_speedup": MIN_HEADLINE_SPEEDUP,
+        "cells": _cells,
+    }
+    RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    assert RESULTS_PATH.exists()

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Mapping
+from typing import Dict, Iterable, Mapping, Optional
 
 from repro.types import EdgeTuple, NodeId
 
@@ -92,14 +92,55 @@ class StreamingTriangleEstimator(abc.ABC):
     def estimate(self) -> TriangleEstimate:
         """Return the current estimate of global and local triangle counts."""
 
-    def process_stream(self, edges: Iterable[EdgeTuple]) -> None:
-        """Consume every edge of ``edges`` in order."""
+    def process_edges(self, edges: Iterable[EdgeTuple]) -> None:
+        """Consume a batch of stream edges, in order.
+
+        The contract is strict equivalence: for every estimator,
+        ``process_edges(batch)`` must leave the state bit-identical to
+        calling :meth:`process_edge` per record (the batch-ingestion
+        property tests assert this).  The base implementation *is* that
+        per-edge loop; estimators with a vectorized ingestion pipeline
+        (REPT) override it.
+        """
         for u, v in edges:
             self.process_edge(u, v)
 
-    def run(self, edges: Iterable[EdgeTuple]) -> TriangleEstimate:
+    def process_stream(
+        self, edges: Iterable[EdgeTuple], batch_size: Optional[int] = None
+    ) -> None:
+        """Consume every edge of ``edges`` in order.
+
+        ``batch_size`` routes the stream through :meth:`process_edges` in
+        chunks of that many records — identical results, but estimators
+        with a batched pipeline ingest far faster.  ``None`` (default)
+        keeps the plain per-edge loop.
+        """
+        if batch_size is None:
+            for u, v in edges:
+                self.process_edge(u, v)
+            return
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        iter_batches = getattr(edges, "iter_batches", None)
+        if iter_batches is not None:
+            for batch in iter_batches(batch_size):
+                self.process_edges(batch)
+            return
+        batch = []
+        append = batch.append
+        for edge in edges:
+            append(edge)
+            if len(batch) >= batch_size:
+                self.process_edges(batch)
+                batch.clear()
+        if batch:
+            self.process_edges(batch)
+
+    def run(
+        self, edges: Iterable[EdgeTuple], batch_size: Optional[int] = None
+    ) -> TriangleEstimate:
         """Consume the whole stream and return the final estimate."""
-        self.process_stream(edges)
+        self.process_stream(edges, batch_size=batch_size)
         return self.estimate()
 
     def _count_edge(self) -> None:

@@ -19,6 +19,7 @@ semi-triangle counts.  This subpackage contains:
 """
 
 from repro.core.config import ReptConfig
+from repro.core.interning import NodeInterner
 from repro.core.state import ProcessorCounters, ProcessorGroup
 from repro.core.rept import ReptEstimator
 from repro.core.combine import GroupSummary, combine_group_estimates, graybill_deal
@@ -26,6 +27,7 @@ from repro.core.parallel import DriverBackedRept, ParallelBackend, run_rept
 
 __all__ = [
     "ReptConfig",
+    "NodeInterner",
     "ProcessorCounters",
     "ProcessorGroup",
     "ReptEstimator",

@@ -47,11 +47,21 @@ backends exploit the precise form of that mergeability:
 
 Chunk payloads are passed to pooled workers as index spans into the edge
 list (and keys into the boundary-snapshot table) that each pool receives
-through its initializer.  Under ``fork`` (Linux) the initializer arguments
-are inherited copy-on-write — per-task shipping is O(1); under ``spawn``
-(macOS/Windows) they are pickled once per worker rather than once per
-task.  Each pool owns its payload, so concurrent ``run_rept`` calls never
-share mutable module state.
+through its initializer.  The shared stream is staged *columnar*: all-int
+streams become two ``int64`` NumPy arrays (see
+:func:`repro.streaming.edge_stream.edge_columns`), whose binary buffers
+pickle far cheaper than lists of tuples.  Under ``fork`` (Linux) the
+initializer arguments are inherited copy-on-write — per-task shipping is
+O(1); under ``spawn`` (macOS/Windows) they are pickled once per worker
+rather than once per task.  Each pool owns its payload, so concurrent
+``run_rept`` calls never share mutable module state.
+
+Workers themselves ingest through the batched pipeline: the storing pass
+hashes whole chunks vectorially and the counting pass drives
+:meth:`~repro.core.state.ProcessorGroup.process_edges`, so the chunked
+backends get the same per-edge-overhead amortisation as the estimator's
+batch API (results stay bit-identical — the cross-backend equivalence
+tests assert exact equality).
 
 Counted-edge semantics
 ----------------------
@@ -71,13 +81,17 @@ import os
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
 from repro.core.combine import GroupSummary, combine_group_estimates
 from repro.core.config import ReptConfig
+from repro.core.interning import NodeInterner
 from repro.core.state import GroupSnapshot, ProcessorGroup
 from repro.exceptions import ConfigurationError
 from repro.hashing import make_hash_function
-from repro.types import EdgeTuple, NodeId, canonical_edge
+from repro.streaming.edge_stream import edge_columns
+from repro.types import EdgeTuple, NodeId
 
 ParallelBackend = str
 """One of ``"serial"``, ``"thread"``, ``"process"``, ``"chunked-serial"``,
@@ -130,15 +144,12 @@ def _make_group(
 
 def _summarise_group(group: ProcessorGroup, is_complete: bool) -> GroupSummary:
     """Detach a group's counters into a plain, picklable summary."""
-    return GroupSummary(
-        group_size=group.group_size,
-        is_complete=is_complete,
-        tau_sum=float(sum(group.tau_values())),
-        eta_sum=float(sum(group.eta_values())),
-        local_tau={node: float(v) for node, v in group.local_tau_sums().items()},
-        local_eta={node: float(v) for node, v in group.local_eta_sums().items()},
-        edges_stored=group.total_edges_stored(),
-    )
+    return group.summarise(is_complete)
+
+
+#: Edges per ``ProcessorGroup.process_edges`` call inside workers — bounds
+#: the transient encode arrays without giving up the batch amortisation.
+_WORKER_BATCH_EDGES = 65536
 
 
 def _group_worker(
@@ -154,11 +165,13 @@ def _group_worker(
     """Advance one processor group over the whole stream and summarise it.
 
     Module-level (not a closure) so it can be pickled by the process pool.
+    Ingestion runs through the batched pipeline (bit-identical to the
+    per-edge loop), with a persistent first-occurrence set across batches.
     """
     group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
-    for u, v in edges:
-        if u != v:
-            group.process_edge(u, v)
+    seen: set = set()
+    for start in range(0, len(edges), _WORKER_BATCH_EDGES):
+        group.process_edges(edges[start : start + _WORKER_BATCH_EDGES], seen=seen)
     return _summarise_group(group, is_complete)
 
 
@@ -175,12 +188,28 @@ def _work_items(config: ReptConfig) -> List[Tuple[int, int, bool]]:
 # -- chunked engine ----------------------------------------------------------
 
 
+def _stage_columns(edge_list: List[EdgeTuple]):
+    """Stage an edge list for pool shipping: columnar where possible."""
+    return ("columns",) + edge_columns(edge_list)
+
+
 def _resolve_edges(payload) -> Sequence[EdgeTuple]:
     """Resolve a task payload: an explicit edge list, or a span into the
-    pool-shared stream."""
+    pool-shared stream.
+
+    The shared stream is stored as endpoint columns; int64 column slices
+    round-trip through ``tolist()`` so workers see plain Python ints (the
+    hash and interning layers key on exact types).
+    """
     if isinstance(payload, tuple):
         start, stop = payload
-        return _WORKER_PAYLOAD["edges"][start:stop]  # type: ignore[index]
+        us, vs = _WORKER_PAYLOAD["edges"][1:]  # type: ignore[index]
+        us = us[start:stop]
+        vs = vs[start:stop]
+        if isinstance(us, np.ndarray):
+            us = us.tolist()
+            vs = vs.tolist()
+        return list(zip(us, vs))
     return payload
 
 
@@ -202,23 +231,23 @@ def _storing_worker(
     """Storing pass over one chunk for one group.
 
     Returns the chunk's distinct stored edges (canonical orientation) with
-    their processor slots, in arrival order.  Cross-chunk deduplication
-    happens in the driver when boundary snapshots are assembled.
+    their processor slots, in arrival order.  The whole chunk is hashed
+    vectorially; cross-chunk deduplication happens in the driver when
+    boundary snapshots are assembled.
     """
     hash_function = make_hash_function(hash_kind, buckets=m, seed=hash_seed)
-    seen: set = set()
+    interner = NodeInterner()
+    cu, cv, firsts, _ = interner.encode_pairs(_resolve_edges(payload), set())
+    if not cu:
+        return []
+    slots = hash_function.bucket_from_keys(interner.edge_key_array(cu, cv)).tolist()
+    nodes = interner.nodes
     stored: List[StoredEdgeRecord] = []
-    for u, v in _resolve_edges(payload):
-        if u == v:
-            continue
-        slot = hash_function.bucket(u, v)
-        if slot >= group_size:
-            continue
-        key = canonical_edge(u, v)
-        if key in seen:
-            continue
-        seen.add(key)
-        stored.append((slot, key[0], key[1]))
+    for iu, iv, slot, first in zip(cu, cv, slots, firsts):
+        if first and slot < group_size:
+            # encode_pairs emits canonical orientation, so (nodes[iu],
+            # nodes[iv]) is exactly canonical_edge(u, v).
+            stored.append((slot, nodes[iu], nodes[iv]))
     return stored
 
 
@@ -236,9 +265,10 @@ def _chunk_counting_worker(
     adjacency, returning the chunk's counter deltas as a group snapshot."""
     group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
     group.seed_adjacency(_resolve_stored(snapshot_ref))
-    for u, v in _resolve_edges(payload):
-        if u != v:
-            group.process_edge(u, v)
+    edges = _resolve_edges(payload)
+    seen = group._stored_pairs()
+    for start in range(0, len(edges), _WORKER_BATCH_EDGES):
+        group.process_edges(edges[start : start + _WORKER_BATCH_EDGES], seen=seen)
     return group.snapshot()
 
 
@@ -395,6 +425,7 @@ def _chunked_phases_pooled(
     mp_context = multiprocessing.get_context("fork") if use_fork else None
     num_tasks = len(items) * len(spans)
     pool_size = max(1, min(workers, num_tasks))
+    staged = _stage_columns(edge_list)
 
     # Phase 1: storing pass.
     stored_all: Dict[int, List[List[StoredEdgeRecord]]] = {}
@@ -402,7 +433,7 @@ def _chunked_phases_pooled(
         max_workers=pool_size,
         mp_context=mp_context,
         initializer=_pool_initializer,
-        initargs=(edge_list, None),
+        initargs=(staged, None),
     ) as pool:
         futures = {
             (group_index, chunk_index): pool.submit(
@@ -435,7 +466,7 @@ def _chunked_phases_pooled(
         max_workers=pool_size,
         mp_context=mp_context,
         initializer=_pool_initializer,
-        initargs=(edge_list, snapshot_table),
+        initargs=(staged, snapshot_table),
     ) as pool:
         futures = {
             (group_index, chunk_index): pool.submit(
@@ -582,6 +613,12 @@ class DriverBackedRept(StreamingTriangleEstimator):
     def process_edge(self, u: NodeId, v: NodeId) -> None:
         self._count_edge()
         self._buffer.append((u, v))
+
+    def process_edges(self, edges: Iterable[EdgeTuple]) -> None:
+        """Bulk-append a batch to the buffered stream (no per-edge cost)."""
+        before = len(self._buffer)
+        self._buffer.extend(edges)
+        self.edges_processed += len(self._buffer) - before
 
     def estimate(self) -> TriangleEstimate:
         estimate = run_rept(

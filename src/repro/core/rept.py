@@ -9,14 +9,15 @@ final arithmetic to :func:`repro.core.combine.combine_group_estimates`.
 
 from __future__ import annotations
 
-from typing import List
+from typing import Iterable, List, Set, Tuple
 
 from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
 from repro.core.combine import GroupSummary, combine_group_estimates
 from repro.core.config import ReptConfig
+from repro.core.interning import NodeInterner
 from repro.core.state import ProcessorGroup
 from repro.hashing import make_hash_function
-from repro.types import NodeId
+from repro.types import EdgeTuple, NodeId
 
 
 class ReptEstimator(StreamingTriangleEstimator):
@@ -46,6 +47,13 @@ class ReptEstimator(StreamingTriangleEstimator):
         self.config = config
         sizes = config.group_sizes()
         hash_seeds = config.group_hash_seeds()
+        # One interning table serves every group, so one encoded batch is
+        # valid for all of them (only the hash seeds differ per group).
+        self.interner = NodeInterner()
+        # Canonical interned edges seen so far; an edge always hashes to the
+        # same slot, so "seen before" is exactly the per-slot already_stored
+        # test, computed once per edge instead of once per group.
+        self._seen_edges: Set[Tuple[int, int]] = set()
         self.groups: List[ProcessorGroup] = [
             ProcessorGroup(
                 hash_function=make_hash_function(
@@ -55,6 +63,7 @@ class ReptEstimator(StreamingTriangleEstimator):
                 m=config.m,
                 track_local=config.track_local,
                 track_eta=bool(config.track_eta),
+                interner=self.interner,
             )
             for index, size in enumerate(sizes)
         ]
@@ -87,33 +96,52 @@ class ReptEstimator(StreamingTriangleEstimator):
         self._count_edge()
         if u == v:
             return
+        intern = self.interner.intern
+        iu = intern(u)
+        iv = intern(v)
+        key = (iu, iv) if iu < iv else (iv, iu)
+        # Wrong orientation for hashing, but fine as a set key: interning is
+        # injective, so id order identifies the undirected edge.  Keep the
+        # canonical *raw* orientation out of this path — the scalar
+        # hash_function.bucket below re-derives it itself.
+        if key not in self._seen_edges:
+            self._seen_edges.add(key)
         for group in self.groups:
             group.process_edge(u, v)
+
+    def process_edges(self, edges: Iterable[EdgeTuple]) -> None:
+        """Batched ingestion: canonicalise, hash and route whole chunks.
+
+        Exactly equivalent to calling :meth:`process_edge` per record
+        (identical counters, bit for bit), but the per-edge hashing and
+        canonicalisation run as array operations shared by all groups; only
+        the residual state updates (and the closure logic, for edges whose
+        endpoints co-occur in a slot) execute per edge.
+        """
+        cu, cv, firsts, n_records = self.interner.encode_pairs(edges, self._seen_edges)
+        self.edges_processed += n_records
+        if not cu:
+            return
+        edge_keys = self.interner.edge_key_array(cu, cv)
+        for group in self.groups:
+            slots = group.hash_function.bucket_from_keys(edge_keys).tolist()
+            group.process_encoded(cu, cv, slots, firsts)
 
     # -- estimation -----------------------------------------------------------
 
     def group_summaries(self) -> List[GroupSummary]:
-        """Snapshot the counters of every group as plain :class:`GroupSummary`."""
-        summaries: List[GroupSummary] = []
-        for group in self.groups:
-            summaries.append(
-                GroupSummary(
-                    group_size=group.group_size,
-                    is_complete=self.config.uses_groups and group.group_size == self.config.m,
-                    tau_sum=float(sum(group.tau_values())),
-                    eta_sum=float(sum(group.eta_values())),
-                    local_tau={
-                        node: float(value)
-                        for node, value in group.local_tau_sums().items()
-                    },
-                    local_eta={
-                        node: float(value)
-                        for node, value in group.local_eta_sums().items()
-                    },
-                    edges_stored=group.total_edges_stored(),
-                )
+        """Snapshot the counters of every group as plain :class:`GroupSummary`.
+
+        Local and η maps are only materialised when the configuration
+        actually tracks them — untracked runs skip the dict passes entirely
+        (see :meth:`ProcessorGroup.summarise`).
+        """
+        return [
+            group.summarise(
+                self.config.uses_groups and group.group_size == self.config.m
             )
-        return summaries
+            for group in self.groups
+        ]
 
     def estimate(self) -> TriangleEstimate:
         estimate = combine_group_estimates(

@@ -13,10 +13,23 @@ A literal transcription would, for every arriving edge, visit every
 processor and intersect its neighbor sets — O(c) dictionary probes per edge
 even though most processors store neither endpoint.  Because an update can
 only occur on a processor where *both* endpoints already have at least one
-stored edge, each group maintains a per-node index of the slots holding the
-node; per edge we only visit the slots in the intersection of the two
-endpoints' index sets.  This is an exact optimisation (identical counters),
-not an approximation.
+stored edge, each group maintains a per-node *bitmask* of the slots holding
+the node; per edge the candidate slots are one integer AND of the two
+endpoints' masks.  This is an exact optimisation (identical counters), not
+an approximation.
+
+Two further exact optimisations serve the batched ingestion pipeline:
+
+* node identifiers are interned to dense small ints on entry (see
+  :mod:`repro.core.interning`), so every adjacency set, counter dict and
+  bitmask probe operates on small ints; raw identifiers reappear only at
+  the public boundaries (aggregates, snapshots, stored-edge records);
+* :meth:`ProcessorGroup.process_encoded` consumes whole batches whose
+  canonicalisation, hashing and first-occurrence flags were precomputed as
+  array operations, dropping into per-edge Python only for the residual
+  state updates.  It advances the counters through the same update rules as
+  :meth:`ProcessorGroup.process_edge`, so both paths produce bit-identical
+  state (asserted by the batch-equivalence tests).
 
 Mergeable chunk state
 ---------------------
@@ -46,8 +59,10 @@ approximation.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core.combine import GroupSummary
+from repro.core.interning import NodeInterner
 from repro.hashing.base import EdgeHashFunction
 from repro.types import EdgeTuple, NodeId, canonical_edge
 
@@ -85,15 +100,29 @@ class ProcessorCounters:
         """Return the stored neighbor set of ``node`` (empty if absent)."""
         return self.adjacency.get(node, _EMPTY)
 
-    def store_edge(self, u: NodeId, v: NodeId, closing_triangles: int) -> None:
+    def store_edge(
+        self, u: NodeId, v: NodeId, closing_triangles: int, track_pairs: bool = True
+    ) -> None:
         """Insert edge ``(u, v)`` into ``E(i)``.
 
         ``closing_triangles`` is ``|N_u,v(i)|`` at insertion time, which
-        initialises the per-edge triangle counter ``τ_(u,v)(i)``.
+        initialises the per-edge triangle counter ``τ_(u,v)(i)``.  With
+        ``track_pairs=False`` (groups that do not maintain the η counters)
+        the per-edge counter is not materialised at all.
         """
-        self.adjacency.setdefault(u, set()).add(v)
-        self.adjacency.setdefault(v, set()).add(u)
-        self.edge_triangles[canonical_edge(u, v)] = closing_triangles
+        adjacency = self.adjacency
+        neighbors = adjacency.get(u)
+        if neighbors is None:
+            adjacency[u] = {v}
+        else:
+            neighbors.add(v)
+        neighbors = adjacency.get(v)
+        if neighbors is None:
+            adjacency[v] = {u}
+        else:
+            neighbors.add(u)
+        if track_pairs:
+            self.edge_triangles[canonical_edge(u, v)] = closing_triangles
         self.edges_stored += 1
 
     # -- chunked execution support -------------------------------------------
@@ -174,6 +203,10 @@ _EMPTY: Set[NodeId] = frozenset()  # type: ignore[assignment]
 class ProcessorGroup:
     """A group of processors sharing one edge-partition hash function.
 
+    Internally every node is interned to a dense int (see
+    :mod:`repro.core.interning`); all public outputs — aggregates,
+    snapshots, stored-edge records — speak raw node identifiers.
+
     Parameters
     ----------
     hash_function:
@@ -190,6 +223,10 @@ class ProcessorGroup:
     track_eta:
         Maintain the pair counters ``η(i)`` / ``η_v(i)`` and the per-edge
         triangle counters they require.
+    interner:
+        Node-interning table; an estimator shares one across its groups so
+        encoded batches are valid for all of them.  A private table is
+        created when omitted (standalone use).
     """
 
     def __init__(
@@ -199,6 +236,7 @@ class ProcessorGroup:
         m: int,
         track_local: bool = True,
         track_eta: bool = False,
+        interner: Optional[NodeInterner] = None,
     ) -> None:
         if group_size < 1:
             raise ValueError("group_size must be >= 1")
@@ -213,52 +251,198 @@ class ProcessorGroup:
         self.m = m
         self.track_local = track_local
         self.track_eta = track_eta
+        self.interner = interner if interner is not None else NodeInterner()
         self.processors: List[ProcessorCounters] = [
             ProcessorCounters() for _ in range(group_size)
         ]
-        # node -> set of slots where the node has at least one stored edge.
-        self._node_slots: Dict[NodeId, Set[int]] = {}
+        # dense node id -> bitmask of slots where the node has a stored edge.
+        self._node_bits: Dict[int, int] = {}
 
     # -- per-edge update ----------------------------------------------------
 
     def process_edge(self, u: NodeId, v: NodeId) -> None:
         """Advance every processor of the group with the arriving edge."""
-        slots_u = self._node_slots.get(u)
-        slots_v = self._node_slots.get(v)
-        closing_at_store = 0
-        store_slot = self.hash_function.bucket(u, v)
-        storeable = store_slot < self.group_size
+        intern = self.interner.intern
+        self._ingest(intern(u), intern(v), self.hash_function.bucket(u, v), None)
 
-        if slots_u and slots_v:
-            candidates = slots_u & slots_v
-            for slot in candidates:
-                closed = self._update_processor(self.processors[slot], u, v)
-                if storeable and slot == store_slot:
+    def _ingest(self, iu: int, iv: int, slot: int, first: Optional[bool]) -> None:
+        """Advance the group with one interned edge.
+
+        ``slot`` is the edge's hash bucket; ``first`` is the precomputed
+        first-occurrence flag of the canonical edge (None: derive it from
+        the stored adjacency, the standalone path).
+        """
+        node_bits = self._node_bits
+        bits_u = node_bits.get(iu, 0)
+        bits_v = node_bits.get(iv, 0)
+        storeable = slot < self.group_size
+        closing_at_store = 0
+
+        candidates = bits_u & bits_v
+        if candidates:
+            processors = self.processors
+            update = self._update_processor
+            while candidates:
+                low = candidates & -candidates
+                candidates -= low
+                s = low.bit_length() - 1
+                closed = update(processors[s], iu, iv)
+                if storeable and s == slot:
                     closing_at_store = closed
 
         if storeable:
-            processor = self.processors[store_slot]
-            already_stored = v in processor.neighbors(u)
-            if not already_stored:
-                processor.store_edge(u, v, closing_at_store if self.track_eta else 0)
-                self._node_slots.setdefault(u, set()).add(store_slot)
-                self._node_slots.setdefault(v, set()).add(store_slot)
+            processor = self.processors[slot]
+            if first is None:
+                neighbors = processor.adjacency.get(iu)
+                first = neighbors is None or iv not in neighbors
+            if first:
+                track_eta = self.track_eta
+                processor.store_edge(
+                    iu, iv, closing_at_store if track_eta else 0, track_pairs=track_eta
+                )
+                bit = 1 << slot
+                node_bits[iu] = bits_u | bit
+                node_bits[iv] = bits_v | bit
 
-    def _update_processor(self, processor: ProcessorCounters, u: NodeId, v: NodeId) -> int:
+    # -- batched update ------------------------------------------------------
+
+    def process_encoded(
+        self,
+        cu: Sequence[int],
+        cv: Sequence[int],
+        slots: Sequence[int],
+        firsts: Sequence[bool],
+    ) -> None:
+        """Advance the group over a whole encoded batch.
+
+        ``cu``/``cv`` are canonical interned id pairs (self-loops already
+        dropped), ``slots`` this group's precomputed hash buckets (see
+        :meth:`~repro.hashing.base.EdgeHashFunction.bucket_from_keys`) and
+        ``firsts`` the stream-global first-occurrence flags from
+        :meth:`~repro.core.interning.NodeInterner.encode_pairs`.  The loop
+        applies exactly the update rules of :meth:`process_edge`; only the
+        edges whose endpoints actually co-occur in a slot reach the closure
+        logic, everything else is a handful of int operations.
+        """
+        node_bits = self._node_bits
+        processors = self.processors
+        group_size = self.group_size
+        track_eta = self.track_eta
+        apply_closure = self._apply_closure
+        bits_get = node_bits.get
+        # Hoisted per-slot structures: one list index instead of an
+        # attribute chain on every probe and store.
+        adjacencies = [processor.adjacency for processor in processors]
+        stored_counts = [0] * group_size
+        # ``slot < group_size`` can only fail for a partial group; complete
+        # groups (group_size == m) take a branch-free specialisation.
+        complete = group_size == self.m
+        for iu, iv, slot, first in zip(cu, cv, slots, firsts):
+            bits_u = bits_get(iu, 0)
+            bits_v = bits_get(iv, 0)
+            closing_at_store = 0
+
+            candidates = bits_u & bits_v
+            if candidates:
+                storeable = complete or slot < group_size
+                while candidates:
+                    low = candidates & -candidates
+                    candidates -= low
+                    s = low.bit_length() - 1
+                    adjacency = adjacencies[s]
+                    # Both endpoints have stored edges on this slot (that is
+                    # what the bitmask intersection says), so the adjacency
+                    # entries exist.  isdisjoint runs in C with no set
+                    # allocation, so the common case — nothing closes —
+                    # costs a single early-exit probe.
+                    neighbors_u = adjacency[iu]
+                    neighbors_v = adjacency[iv]
+                    if not neighbors_u.isdisjoint(neighbors_v):
+                        closed = apply_closure(
+                            processors[s], iu, iv, neighbors_u & neighbors_v
+                        )
+                        if storeable and s == slot:
+                            closing_at_store = closed
+
+            if first and (complete or slot < group_size):
+                adjacency = adjacencies[slot]
+                neighbors = adjacency.get(iu)
+                if neighbors is None:
+                    adjacency[iu] = {iv}
+                else:
+                    neighbors.add(iv)
+                neighbors = adjacency.get(iv)
+                if neighbors is None:
+                    adjacency[iv] = {iu}
+                else:
+                    neighbors.add(iu)
+                if track_eta:
+                    processors[slot].edge_triangles[
+                        (iu, iv) if iu < iv else (iv, iu)
+                    ] = closing_at_store
+                stored_counts[slot] += 1
+                bit = 1 << slot
+                node_bits[iu] = bits_u | bit
+                node_bits[iv] = bits_v | bit
+        for slot, count in enumerate(stored_counts):
+            if count:
+                processors[slot].edges_stored += count
+
+    def process_edges(self, edges, seen: Optional[Set[Tuple[int, int]]] = None) -> None:
+        """Standalone batched ingestion for one group.
+
+        Encodes ``edges`` through this group's interner, hashes the batch
+        vectorially and advances the counters via :meth:`process_encoded` —
+        bit-identical to per-edge :meth:`process_edge` calls.
+
+        ``seen`` carries first-occurrence state across calls (the id-ordered
+        interned pairs already consumed); when omitted it is derived from
+        the stored adjacency, which is exact even after
+        :meth:`seed_adjacency` (an edge is stored iff it was seen and its
+        slot is real, and unstoreable edges never consult the flag).
+        """
+        if seen is None:
+            seen = self._stored_pairs()
+        interner = self.interner
+        cu, cv, firsts, _ = interner.encode_pairs(edges, seen)
+        if not cu:
+            return
+        slots = self.hash_function.bucket_from_keys(
+            interner.edge_key_array(cu, cv)
+        ).tolist()
+        self.process_encoded(cu, cv, slots, firsts)
+
+    def _stored_pairs(self) -> Set[Tuple[int, int]]:
+        """Return the id-ordered interned pairs of every stored edge."""
+        seen: Set[Tuple[int, int]] = set()
+        for processor in self.processors:
+            for iu, neighbors in processor.adjacency.items():
+                for iv in neighbors:
+                    if iu < iv:
+                        seen.add((iu, iv))
+        return seen
+
+    def _update_processor(self, processor: ProcessorCounters, u: int, v: int) -> int:
         """Apply UpdateTriangleCNT / UpdateTrianglePairCNT for one processor.
 
-        Returns the number of semi-triangles closed by ``(u, v)`` on this
-        processor, i.e. ``|N_u(i) ∩ N_v(i)|``.
+        ``u``/``v`` are interned ids.  Returns the number of semi-triangles
+        closed by ``(u, v)`` on this processor, i.e. ``|N_u(i) ∩ N_v(i)|``.
         """
-        neighbors_u = processor.neighbors(u)
-        neighbors_v = processor.neighbors(v)
-        if len(neighbors_u) > len(neighbors_v):
-            neighbors_u, neighbors_v = neighbors_v, neighbors_u
-        common = [w for w in neighbors_u if w in neighbors_v]
-        closed = len(common)
-        if not closed:
+        common = processor.neighbors(u) & processor.neighbors(v)
+        if not common:
             return 0
+        return self._apply_closure(processor, u, v, common)
 
+    def _apply_closure(
+        self, processor: ProcessorCounters, u: int, v: int, common: Set[int]
+    ) -> int:
+        """Credit the semi-triangles closed by ``(u, v)`` via ``common``.
+
+        ``common`` is the (non-empty) set of shared stored neighbors on this
+        processor; every per-``w`` update touches distinct keys, so the
+        iteration order of the set does not affect any counter.
+        """
+        closed = len(common)
         processor.tau += closed
         if self.track_local:
             local = processor.tau_local
@@ -270,14 +454,15 @@ class ProcessorGroup:
         if self.track_eta:
             edge_triangles = processor.edge_triangles
             eta_local = processor.eta_local
+            track_local = self.track_local
             for w in common:
-                key_uw = canonical_edge(u, w)
-                key_vw = canonical_edge(v, w)
+                key_uw = (u, w) if u < w else (w, u)
+                key_vw = (v, w) if v < w else (w, v)
                 count_uw = edge_triangles.get(key_uw, 0)
                 count_vw = edge_triangles.get(key_vw, 0)
                 pair_increment = count_uw + count_vw
                 processor.eta += pair_increment
-                if self.track_local:
+                if track_local:
                     eta_local[w] = eta_local.get(w, 0) + pair_increment
                     eta_local[u] = eta_local.get(u, 0) + count_uw
                     eta_local[v] = eta_local.get(v, 0) + count_vw
@@ -290,13 +475,19 @@ class ProcessorGroup:
     def snapshot(self) -> GroupSnapshot:
         """Return a picklable copy of the group's full state.
 
-        The per-node slot index is not serialised — :meth:`restore` rebuilds
-        it from the adjacencies.
+        Snapshots are *externalized*: all keys are raw node identifiers and
+        pair keys are canonical edges, so a snapshot taken in one process
+        (with its own interning order) restores or merges exactly in any
+        other.  The per-node slot index is not serialised — :meth:`restore`
+        rebuilds it from the adjacencies.
         """
+        nodes = self.interner.nodes
         return {
             "group_size": self.group_size,
             "m": self.m,
-            "processors": [processor.snapshot() for processor in self.processors],
+            "processors": [
+                _externalize_processor(processor, nodes) for processor in self.processors
+            ],
         }
 
     def restore(self, snapshot: GroupSnapshot) -> None:
@@ -307,12 +498,13 @@ class ProcessorGroup:
                 f"(group_size={self.group_size}, m={self.m}), got "
                 f"(group_size={snapshot['group_size']}, m={snapshot['m']})"
             )
+        intern = self.interner.intern
         self.processors = [
-            ProcessorCounters.restore(entry) for entry in snapshot["processors"]
+            _internalize_processor(entry, intern) for entry in snapshot["processors"]
         ]
-        self._reindex_node_slots()
+        self._reindex_node_bits()
 
-    def seed_adjacency(self, stored_edges: "List[tuple]") -> None:
+    def seed_adjacency(self, stored_edges: Sequence[Tuple[int, NodeId, NodeId]]) -> None:
         """Pre-load the stored-edge index as it stood at a chunk boundary.
 
         ``stored_edges`` is a sequence of ``(slot, u, v)`` records: the edges
@@ -324,14 +516,28 @@ class ProcessorGroup:
         checks, the ``already_stored`` test and ``closing_at_store`` all see
         the true cross-chunk adjacency.
         """
+        intern = self.interner.intern
+        node_bits = self._node_bits
+        group_size = self.group_size
         for slot, u, v in stored_edges:
-            if not 0 <= slot < self.group_size:
+            if not 0 <= slot < group_size:
                 raise ValueError(f"stored edge ({u!r}, {v!r}) names invalid slot {slot}")
-            processor = self.processors[slot]
-            processor.adjacency.setdefault(u, set()).add(v)
-            processor.adjacency.setdefault(v, set()).add(u)
-            self._node_slots.setdefault(u, set()).add(slot)
-            self._node_slots.setdefault(v, set()).add(slot)
+            iu = intern(u)
+            iv = intern(v)
+            adjacency = self.processors[slot].adjacency
+            neighbors = adjacency.get(iu)
+            if neighbors is None:
+                adjacency[iu] = {iv}
+            else:
+                neighbors.add(iv)
+            neighbors = adjacency.get(iv)
+            if neighbors is None:
+                adjacency[iv] = {iu}
+            else:
+                neighbors.add(iu)
+            bit = 1 << slot
+            node_bits[iu] = node_bits.get(iu, 0) | bit
+            node_bits[iv] = node_bits.get(iv, 0) | bit
 
     def merge(self, later: "ProcessorGroup") -> None:
         """Fold in a group advanced over the next chunk (see ProcessorCounters.merge).
@@ -339,6 +545,8 @@ class ProcessorGroup:
         ``later`` must share this group's shape and hash function and must
         have been advanced from this group's adjacency (seeded, counters
         zero) over the stream chunk immediately following this group's.
+        ``later`` may use a different interning table — the snapshot
+        externalizes its state.
         """
         self.merge_snapshot(later.snapshot())
 
@@ -350,26 +558,50 @@ class ProcessorGroup:
                 f"(group_size={self.group_size}, m={self.m}), got "
                 f"(group_size={snapshot['group_size']}, m={snapshot['m']})"
             )
+        intern = self.interner.intern
+        node_bits = self._node_bits
         for slot, (processor, entry) in enumerate(
             zip(self.processors, snapshot["processors"])
         ):
-            later = ProcessorCounters.restore(entry)
+            later = _internalize_processor(entry, intern)
             processor.merge(later, track_local=self.track_local)
             # Incremental index update: only the incoming chunk's nodes can
             # gain this slot (a full rebuild per merge would dominate the
             # driver's merge phase on many-chunk runs).
+            bit = 1 << slot
             for node in later.adjacency:
-                self._node_slots.setdefault(node, set()).add(slot)
+                node_bits[node] = node_bits.get(node, 0) | bit
 
-    def _reindex_node_slots(self) -> None:
-        """Rebuild the node -> slots index from the processor adjacencies."""
-        index: Dict[NodeId, Set[int]] = {}
+    def _reindex_node_bits(self) -> None:
+        """Rebuild the node -> slot-bitmask index from the processor adjacencies."""
+        index: Dict[int, int] = {}
         for slot, processor in enumerate(self.processors):
+            bit = 1 << slot
             for node in processor.adjacency:
-                index.setdefault(node, set()).add(slot)
-        self._node_slots = index
+                index[node] = index.get(node, 0) | bit
+        self._node_bits = index
 
     # -- aggregates ----------------------------------------------------------
+
+    def summarise(self, is_complete: bool) -> GroupSummary:
+        """Detach the counters into a plain, picklable ``GroupSummary``.
+
+        Local and η aggregations only run when the group actually tracks
+        them — untracked runs skip the dict passes entirely.
+        """
+        return GroupSummary(
+            group_size=self.group_size,
+            is_complete=is_complete,
+            tau_sum=float(sum(self.tau_values())),
+            eta_sum=float(sum(self.eta_values())) if self.track_eta else 0.0,
+            local_tau=self.local_tau_sums(as_float=True) if self.track_local else {},
+            local_eta=(
+                self.local_eta_sums(as_float=True)
+                if self.track_local and self.track_eta
+                else {}
+            ),
+            edges_stored=self.total_edges_stored(),
+        )
 
     def tau_values(self) -> List[int]:
         """Return ``[τ(i)]`` for the processors of this group."""
@@ -383,18 +615,97 @@ class ProcessorGroup:
         """Total number of edges stored across the group's processors."""
         return sum(processor.edges_stored for processor in self.processors)
 
-    def local_tau_sums(self) -> Dict[NodeId, int]:
-        """Return ``Σ_i τ_v(i)`` over this group's processors, per node."""
-        sums: Dict[NodeId, int] = {}
-        for processor in self.processors:
-            for node, value in processor.tau_local.items():
-                sums[node] = sums.get(node, 0) + value
-        return sums
+    def local_tau_sums(self, as_float: bool = False) -> "Dict[NodeId, Union[int, float]]":
+        """Return ``Σ_i τ_v(i)`` over this group's processors, per (raw) node.
 
-    def local_eta_sums(self) -> Dict[NodeId, int]:
-        """Return ``Σ_i η_v(i)`` over this group's processors, per node."""
-        sums: Dict[NodeId, int] = {}
+        Values are ints by default; ``as_float=True`` accumulates float
+        values directly (exact for counts below 2**53), saving the summary
+        layer a second conversion pass.
+        """
+        return self._local_sums("tau_local", as_float)
+
+    def local_eta_sums(self, as_float: bool = False) -> "Dict[NodeId, Union[int, float]]":
+        """Return ``Σ_i η_v(i)`` over this group's processors, per (raw) node."""
+        return self._local_sums("eta_local", as_float)
+
+    def _local_sums(self, attribute: str, as_float: bool) -> "Dict[NodeId, Union[int, float]]":
+        zero = 0.0 if as_float else 0
+        sums: Dict[int, int] = {}
         for processor in self.processors:
-            for node, value in processor.eta_local.items():
-                sums[node] = sums.get(node, 0) + value
-        return sums
+            for node, value in getattr(processor, attribute).items():
+                sums[node] = sums.get(node, zero) + value
+        nodes = self.interner.nodes
+        return {nodes[node]: value for node, value in sums.items()}
+
+    # -- raw-keyed introspection ----------------------------------------------
+
+    def stored_edges(self) -> List[Tuple[int, NodeId, NodeId]]:
+        """Return every stored edge as raw ``(slot, u, v)`` records.
+
+        Endpoints are in canonical order; record order is unspecified.
+        """
+        nodes = self.interner.nodes
+        records: List[Tuple[int, NodeId, NodeId]] = []
+        for slot, processor in enumerate(self.processors):
+            for iu, neighbors in processor.adjacency.items():
+                for iv in neighbors:
+                    if iu < iv:
+                        cu, cv = canonical_edge(nodes[iu], nodes[iv])
+                        records.append((slot, cu, cv))
+        return records
+
+    def stored_neighbors(self, slot: int, node: NodeId) -> Set[NodeId]:
+        """Return the raw stored neighbor set of ``node`` on processor ``slot``."""
+        dense = self.interner.id_of(node)
+        if dense is None:
+            return set()
+        neighbors = self.processors[slot].adjacency.get(dense)
+        if not neighbors:
+            return set()
+        nodes = self.interner.nodes
+        return {nodes[iv] for iv in neighbors}
+
+
+# -- snapshot translation ------------------------------------------------------
+
+
+def _externalize_processor(
+    processor: ProcessorCounters, nodes: List[NodeId]
+) -> ProcessorSnapshot:
+    """Translate an interned processor state into a raw-keyed snapshot."""
+    return {
+        "adjacency": {
+            nodes[iu]: [nodes[iv] for iv in neighbors]
+            for iu, neighbors in processor.adjacency.items()
+        },
+        "tau": processor.tau,
+        "tau_local": {nodes[iu]: value for iu, value in processor.tau_local.items()},
+        "edge_triangles": {
+            canonical_edge(nodes[a], nodes[b]): value
+            for (a, b), value in processor.edge_triangles.items()
+        },
+        "eta": processor.eta,
+        "eta_local": {nodes[iu]: value for iu, value in processor.eta_local.items()},
+        "edges_stored": processor.edges_stored,
+    }
+
+
+def _internalize_processor(entry: ProcessorSnapshot, intern) -> ProcessorCounters:
+    """Rebuild an interned processor from a raw-keyed snapshot."""
+    edge_triangles: Dict[EdgeTuple, int] = {}
+    for (a, b), value in entry["edge_triangles"].items():
+        ia = intern(a)
+        ib = intern(b)
+        edge_triangles[(ia, ib) if ia < ib else (ib, ia)] = value
+    return ProcessorCounters(
+        adjacency={
+            intern(node): {intern(other) for other in neighbors}
+            for node, neighbors in entry["adjacency"].items()
+        },
+        tau=entry["tau"],
+        tau_local={intern(node): value for node, value in entry["tau_local"].items()},
+        edge_triangles=edge_triangles,
+        eta=entry["eta"],
+        eta_local={intern(node): value for node, value in entry["eta_local"].items()},
+        edges_stored=entry["edges_stored"],
+    )

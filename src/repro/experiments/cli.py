@@ -67,6 +67,13 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         help="edges per chunk for the chunked backends (default: auto-tuned)",
     )
+    parser.add_argument(
+        "--batch-size",
+        type=int,
+        default=None,
+        help="records per ingestion batch for the 'ingest' artefact "
+        "(default: 65536)",
+    )
     return parser
 
 
@@ -111,6 +118,14 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
             kwargs["backends"] = args.backends
         if args.chunk_size is not None:
             kwargs["chunk_size"] = args.chunk_size
+    elif name == "ingest":
+        kwargs.pop("max_edges", None)
+        if args.max_edges is not None:
+            kwargs["num_edges"] = args.max_edges
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.batch_size is not None:
+            kwargs["batch_size"] = args.batch_size
     else:  # ablations
         if args.datasets:
             kwargs["dataset"] = args.datasets[0]
@@ -127,7 +142,14 @@ def _prediction_artefact(**kwargs) -> ExperimentResult:
     return prediction_vs_measurement(**kwargs)
 
 
+def _ingest_artefact(**kwargs) -> ExperimentResult:
+    from repro.experiments.ingest import ingest_throughput
+
+    return ingest_throughput(**kwargs)
+
+
 _ARTEFACTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "ingest": _ingest_artefact,
     "figure1": figures.figure1,
     "figure3": figures.figure3,
     "figure4": figures.figure4,

@@ -14,8 +14,14 @@ Two interchangeable families are provided:
   the mixed key.  3-independent, used by the hash-family ablation.
 """
 
-from repro.hashing.base import EdgeHashFunction, HashFamily
-from repro.hashing.splitmix import SplitMixEdgeHash, splitmix64
+from repro.hashing.base import (
+    EdgeHashFunction,
+    HashFamily,
+    edge_key_array,
+    node_key_array,
+    stable_node_key,
+)
+from repro.hashing.splitmix import SplitMixEdgeHash, splitmix64, splitmix64_array
 from repro.hashing.tabulation import TabulationEdgeHash
 
 __all__ = [
@@ -24,6 +30,10 @@ __all__ = [
     "SplitMixEdgeHash",
     "TabulationEdgeHash",
     "splitmix64",
+    "splitmix64_array",
+    "edge_key_array",
+    "node_key_array",
+    "stable_node_key",
     "make_hash_family",
     "make_hash_function",
 ]

@@ -1,9 +1,28 @@
-"""Abstract interface for edge-partitioning hash functions."""
+"""Abstract interface for edge-partitioning hash functions.
+
+Besides the scalar :meth:`EdgeHashFunction.bucket` used by the per-edge
+path, every function exposes a *vectorized* entry point for the batched
+ingestion pipeline:
+
+* :meth:`EdgeHashFunction.bucket_many` hashes whole arrays of endpoint
+  pairs in one call;
+* :meth:`EdgeHashFunction.bucket_from_keys` skips straight to the seeded
+  mixing stage when the caller already holds the canonical 64-bit edge keys
+  (which are seed-independent, so one key array serves every processor
+  group of an estimator).
+
+Both are exact: for every pair they return the same bucket as the scalar
+path, bit for bit, which the hashing tests assert over int, string and
+mixed node identifiers.
+"""
 
 from __future__ import annotations
 
 import abc
+import numbers
 from typing import List, Sequence
+
+import numpy as np
 
 from repro.types import NodeId, canonical_edge
 
@@ -24,6 +43,18 @@ class EdgeHashFunction(abc.ABC):
     def _hash_key(self, key: int) -> int:
         """Hash a non-negative integer key to a 64-bit value."""
 
+    def _hash_keys_many(self, keys: np.ndarray) -> np.ndarray:
+        """Hash a ``uint64`` array of edge keys to 64-bit values.
+
+        The base implementation loops over the scalar :meth:`_hash_key`;
+        the built-in families override it with pure NumPy pipelines.
+        """
+        return np.fromiter(
+            (self._hash_key(int(key)) for key in keys),
+            dtype=np.uint64,
+            count=len(keys),
+        )
+
     def _edge_key(self, u: NodeId, v: NodeId) -> int:
         cu, cv = canonical_edge(u, v)
         # Combine endpoint hashes order-insensitively but injectively enough
@@ -35,6 +66,34 @@ class EdgeHashFunction(abc.ABC):
     def bucket(self, u: NodeId, v: NodeId) -> int:
         """Return the bucket of edge ``{u, v}`` in ``{0, ..., buckets-1}``."""
         return self._hash_key(self._edge_key(u, v)) % self.buckets
+
+    def bucket_many(self, u_nodes: Sequence[NodeId], v_nodes: Sequence[NodeId]) -> np.ndarray:
+        """Vectorized :meth:`bucket` over parallel endpoint sequences.
+
+        Returns a ``uint64`` array of buckets, one per pair, identical to
+        calling :meth:`bucket` element-wise.  Self-loops are rejected just
+        like the scalar path (via :func:`canonical_edge`).
+        """
+        if len(u_nodes) != len(v_nodes):
+            raise ValueError("u_nodes and v_nodes must have equal length")
+        first_keys: List[int] = []
+        second_keys: List[int] = []
+        for u, v in zip(u_nodes, v_nodes):
+            cu, cv = canonical_edge(u, v)
+            first_keys.append(_stable_node_key(cu))
+            second_keys.append(_stable_node_key(cv))
+        return self.bucket_from_keys(edge_key_array(first_keys, second_keys))
+
+    def bucket_from_keys(self, edge_keys: np.ndarray) -> np.ndarray:
+        """Vectorized bucketing of precomputed canonical edge keys.
+
+        ``edge_keys`` is the ``uint64`` array produced by
+        :func:`edge_key_array` (or, equivalently, scalar :meth:`_edge_key`
+        values).  The keys are seed-independent, so callers with several
+        hash functions compute them once and reuse the array.
+        """
+        edge_keys = np.ascontiguousarray(edge_keys, dtype=np.uint64)
+        return self._hash_keys_many(edge_keys) % np.uint64(self.buckets)
 
     def __call__(self, u: NodeId, v: NodeId) -> int:
         return self.bucket(u, v)
@@ -64,13 +123,56 @@ class HashFamily:
 
 _MASK64 = (1 << 64) - 1
 
+#: 64-bit golden-ratio constant used to fold the two endpoint keys.
+_GOLDEN64 = 0x9E3779B97F4A7C15
+
+
+def edge_key_array(first_keys, second_keys) -> np.ndarray:
+    """Vectorized :meth:`EdgeHashFunction._edge_key` from stable node keys.
+
+    ``first_keys``/``second_keys`` hold :func:`stable_node_key` values of
+    the *canonically ordered* endpoints (first ≤ second in canonical-edge
+    order).  Arithmetic is ``uint64`` with wraparound, matching the scalar
+    path's ``& _MASK64`` exactly.
+    """
+    first = np.ascontiguousarray(first_keys, dtype=np.uint64)
+    second = np.ascontiguousarray(second_keys, dtype=np.uint64)
+    return first * np.uint64(_GOLDEN64) + second
+
+
+def node_key_array(nodes: Sequence[NodeId]) -> np.ndarray:
+    """Return the :func:`stable_node_key` of every node as a ``uint64`` array."""
+    return np.fromiter(
+        (_stable_node_key(node) for node in nodes), dtype=np.uint64, count=len(nodes)
+    )
+
+
+def stable_node_key(node: NodeId) -> int:
+    """Public alias of :func:`_stable_node_key` (stable 64-bit node key)."""
+    return _stable_node_key(node)
+
 
 def _stable_node_key(node: NodeId) -> int:
-    """Map a node identifier to a stable non-negative 64-bit integer."""
-    if isinstance(node, bool):  # bool is an int subclass; treat explicitly
-        return int(node)
-    if isinstance(node, int):
+    """Map a node identifier to a stable non-negative 64-bit integer.
+
+    Identifiers that are *equal* must map to the same key: dict/set
+    semantics treat ``1``, ``1.0``, ``True`` and ``numpy.int64(1)`` as one
+    node everywhere else in the library (adjacency keys, interning), so the
+    hash layer canonicalises numeric equality classes to the integer branch
+    before hashing.  Without this, the per-edge path (which hashes each raw
+    arrival) and the batched path (which memoises one key per interned
+    node) could route the same edge to different processor slots.
+    """
+    if type(node) is int:  # fast path: the overwhelmingly common case
         return node & _MASK64
+    if isinstance(node, bool):
+        return int(node)
+    if isinstance(node, numbers.Integral):  # numpy integer scalars, etc.
+        return int(node) & _MASK64
+    if isinstance(node, numbers.Real):
+        as_float = float(node)
+        if as_float.is_integer():
+            return int(as_float) & _MASK64
     data = str(node).encode("utf-8")
     acc = 0xCBF29CE484222325  # FNV-1a 64-bit offset basis
     for byte in data:

@@ -7,6 +7,8 @@ for partitioning purposes, which is what REPT's analysis assumes of ``h``.
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.hashing.base import EdgeHashFunction, _MASK64
 from repro.utils.rng import SeedLike, as_random_source
 
@@ -19,6 +21,18 @@ def splitmix64(x: int) -> int:
     z = ((z ^ (z >> 30)) * 0xBF58476D1CE4E5B9) & _MASK64
     z = ((z ^ (z >> 27)) * 0x94D049BB133111EB) & _MASK64
     return (z ^ (z >> 31)) & _MASK64
+
+
+def splitmix64_array(x: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`splitmix64` over a ``uint64`` array.
+
+    Bit-identical to the scalar version element-wise: ``uint64`` arithmetic
+    wraps modulo :math:`2^{64}`, which is exactly the scalar ``& _MASK64``.
+    """
+    z = np.ascontiguousarray(x, dtype=np.uint64) + np.uint64(0x9E3779B97F4A7C15)
+    z = (z ^ (z >> np.uint64(30))) * np.uint64(0xBF58476D1CE4E5B9)
+    z = (z ^ (z >> np.uint64(27))) * np.uint64(0x94D049BB133111EB)
+    return z ^ (z >> np.uint64(31))
 
 
 class SplitMixEdgeHash(EdgeHashFunction):
@@ -39,3 +53,6 @@ class SplitMixEdgeHash(EdgeHashFunction):
 
     def _hash_key(self, key: int) -> int:
         return splitmix64(key ^ self._seed)
+
+    def _hash_keys_many(self, keys):
+        return splitmix64_array(keys ^ np.uint64(self._seed))

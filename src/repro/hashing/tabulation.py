@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.hashing.base import EdgeHashFunction, _MASK64
-from repro.hashing.splitmix import splitmix64
+from repro.hashing.splitmix import splitmix64, splitmix64_array
 from repro.utils.rng import SeedLike, as_random_source
 
 
@@ -39,3 +39,12 @@ class TabulationEdgeHash(EdgeHashFunction):
             byte = (mixed >> (8 * i)) & 0xFF
             acc ^= int(self._tables[i, byte])
         return acc & _MASK64
+
+    def _hash_keys_many(self, keys):
+        mixed = splitmix64_array(keys)
+        acc = np.zeros(len(mixed), dtype=np.uint64)
+        byte_mask = np.uint64(0xFF)
+        for i in range(self._NUM_TABLES):
+            bytes_i = (mixed >> np.uint64(8 * i)) & byte_mask
+            acc ^= self._tables[i][bytes_i]
+        return acc

@@ -96,13 +96,9 @@ class TestSemiTriangleCounting:
         group = make_group(m=4, group_size=4, seed=5, track_eta=False)
         for u, v in medium_stream.prefix(2000):
             group.process_edge(u, v)
-        edge_sets = []
-        for processor in group.processors:
-            edges = set()
-            for node, neighbors in processor.adjacency.items():
-                for other in neighbors:
-                    edges.add(tuple(sorted((str(node), str(other)))))
-            edge_sets.append(edges)
+        edge_sets = [set() for _ in group.processors]
+        for slot, u, v in group.stored_edges():
+            edge_sets[slot].add((u, v))
         for i in range(len(edge_sets)):
             for j in range(i + 1, len(edge_sets)):
                 assert not (edge_sets[i] & edge_sets[j])
@@ -112,10 +108,10 @@ class TestSemiTriangleCounting:
         edges = [(i, j) for i in range(20) for j in range(i + 1, 20)]
         for u, v in edges:
             group.process_edge(u, v)
-        for slot, processor in enumerate(group.processors):
-            for node, neighbors in processor.adjacency.items():
-                for other in neighbors:
-                    assert group.hash_function.bucket(node, other) == slot
+        records = group.stored_edges()
+        assert len(records) == len(edges)
+        for slot, u, v in records:
+            assert group.hash_function.bucket(u, v) == slot
 
     def test_track_local_disabled_keeps_dicts_empty(self, clique_stream):
         group = make_group(m=2, group_size=2, track_local=False, track_eta=False)

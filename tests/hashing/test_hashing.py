@@ -2,15 +2,20 @@
 
 import collections
 
+import numpy as np
 import pytest
 
 from repro.hashing import (
     HashFamily,
     SplitMixEdgeHash,
     TabulationEdgeHash,
+    edge_key_array,
     make_hash_family,
     make_hash_function,
+    node_key_array,
     splitmix64,
+    splitmix64_array,
+    stable_node_key,
 )
 
 
@@ -110,3 +115,54 @@ class TestHashFamily:
     def test_family_iteration(self):
         family = make_hash_family("tabulation", buckets=4, seed=2, count=2)
         assert len(list(iter(family))) == 2
+
+
+class TestVectorizedHashing:
+    """The vectorized batch entry points must match the scalar path exactly."""
+
+    # int, negative, huge, string and mixed-type endpoints all exercised.
+    US = [1, 5, "alpha", 9, 3, "b", 2**70, -4, 0, 7]
+    VS = [2, 5_000_000, "beta", "9", 10, 1, 7, 11, "zero", 7_000_000_000]
+
+    @pytest.mark.parametrize("kind", ["splitmix", "tabulation"])
+    @pytest.mark.parametrize("buckets", [1, 7, 16, 1024])
+    def test_bucket_many_matches_scalar(self, kind, buckets):
+        h = make_hash_function(kind, buckets=buckets, seed=42)
+        scalar = [h.bucket(u, v) for u, v in zip(self.US, self.VS)]
+        vectorized = h.bucket_many(self.US, self.VS)
+        assert vectorized.tolist() == scalar
+
+    @pytest.mark.parametrize("kind", ["splitmix", "tabulation"])
+    def test_bucket_from_keys_matches_scalar(self, kind):
+        h = make_hash_function(kind, buckets=13, seed=7)
+        keys = np.array(
+            [h._edge_key(u, v) for u, v in zip(self.US, self.VS)], dtype=np.uint64
+        )
+        scalar = [h.bucket(u, v) for u, v in zip(self.US, self.VS)]
+        assert h.bucket_from_keys(keys).tolist() == scalar
+
+    def test_bucket_many_rejects_length_mismatch(self):
+        h = make_hash_function("splitmix", buckets=4, seed=1)
+        with pytest.raises(ValueError):
+            h.bucket_many([1, 2], [3])
+
+    def test_splitmix64_array_matches_scalar(self):
+        values = [0, 1, 12345, 2**63, 2**64 - 1]
+        array = splitmix64_array(np.array(values, dtype=np.uint64))
+        assert array.tolist() == [splitmix64(value) for value in values]
+
+    def test_node_key_array_matches_scalar(self):
+        nodes = [0, -1, "x", 2**70, True]
+        keys = node_key_array(nodes)
+        assert keys.dtype == np.uint64
+        assert keys.tolist() == [stable_node_key(node) % 2**64 for node in nodes]
+
+    def test_edge_key_array_wraps_like_scalar(self):
+        h = make_hash_function("splitmix", buckets=8, seed=0)
+        first = [stable_node_key(1) % 2**64, stable_node_key(2**70) % 2**64]
+        second = [stable_node_key(2) % 2**64, stable_node_key("x") % 2**64]
+        keys = edge_key_array(first, second)
+        # Spot-check the uint64 wraparound against Python big-int masking.
+        for index in range(2):
+            expected = (first[index] * 0x9E3779B97F4A7C15 + second[index]) % 2**64
+            assert int(keys[index]) == expected
