@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""CI throughput-regression gate for the ingest benchmark.
+
+Diffs a fresh ``BENCH_ingest.json`` (written by
+``benchmarks/test_bench_ingest_throughput.py``) against the baseline
+committed in the repository and fails if any cell's **batch throughput**
+regressed by more than a configurable tolerance (default 20%).
+
+Cross-machine calibration
+-------------------------
+CI runners and the machine that produced the committed baseline rarely
+share clock speed, so absolute edges/second are not directly comparable.
+The gate therefore rescales the baseline by a *calibration factor*: the
+median ratio of fresh vs baseline **per-edge** throughput across matched
+cells.  The per-edge path is the un-optimised reference loop — a slower
+machine slows both paths by the same factor, so calibrating on it isolates
+regressions in the batch pipeline (the thing this repo optimises) from
+hardware drift.  A regression in code shared by both paths shows up in the
+calibration factor itself, which is printed and bounded (a factor outside
+[1/5, 5] aborts with a diagnostic rather than silently gating nonsense).
+Disable with ``--no-calibrate`` (or ``REPRO_BENCH_REGRESSION_CALIBRATE=0``)
+when baseline and fresh run share hardware.
+
+Cells are matched on ``(m, c, hash, fraction-of-full-stream)`` so the gate
+works even when CI runs a reduced stream (``REPRO_BENCH_INGEST_EDGES``):
+the fraction each cell used of its run's full stream is scale-invariant.
+
+Environment overrides (also available as flags):
+
+* ``REPRO_BENCH_REGRESSION_TOLERANCE`` — allowed fractional regression
+  per cell (default ``0.20``);
+* ``REPRO_BENCH_REGRESSION_CALIBRATE`` — ``0`` disables calibration;
+* ``REPRO_BENCH_REGRESSION_METRIC`` — ``batch_eps`` (default) gates
+  calibrated batch throughput, ``speedup`` gates the machine-independent
+  batch/per-edge ratio instead.
+
+Exit codes: 0 pass, 1 regression detected, 2 malformed/unmatched input.
+Standalone by design — no imports from the package, runnable without
+``PYTHONPATH``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from statistics import median
+from typing import Dict, List, Optional, Tuple
+
+DEFAULT_TOLERANCE = 0.20
+#: Calibration factors outside this band mean the per-edge reference itself
+#: moved too much to trust a cross-machine comparison.
+CALIBRATION_BAND = (0.2, 5.0)
+
+CellKey = Tuple[int, int, str, float]
+
+
+def _load_cells(path: Path) -> Dict[CellKey, dict]:
+    """Index a benchmark payload's cells by their scale-invariant key."""
+    try:
+        payload = json.loads(path.read_text())
+        cells = payload["cells"]
+        full = max(int(cell["num_records"]) for cell in cells)
+    except (OSError, ValueError, KeyError) as error:
+        raise SystemExit(f"error: cannot read benchmark payload {path}: {error}")
+    indexed: Dict[CellKey, dict] = {}
+    for cell in cells:
+        key = (
+            int(cell["m"]),
+            int(cell["c"]),
+            str(cell["hash"]),
+            round(int(cell["num_records"]) / full, 3),
+        )
+        indexed[key] = cell
+    return indexed
+
+
+def _env_flag(name: str, default: bool) -> bool:
+    value = os.environ.get(name)
+    if value is None:
+        return default
+    return value.strip().lower() not in ("0", "false", "no", "off")
+
+
+def check_regression(
+    baseline: Dict[CellKey, dict],
+    fresh: Dict[CellKey, dict],
+    tolerance: float,
+    calibrate: bool = True,
+    metric: str = "batch_eps",
+    out=sys.stdout,
+) -> int:
+    """Compare fresh cells against the baseline; returns a process exit code."""
+    if metric not in ("batch_eps", "speedup"):
+        print(f"error: unknown metric {metric!r}", file=out)
+        return 2
+    matched = sorted(set(baseline) & set(fresh))
+    if not matched:
+        print(
+            "error: no cells match between baseline and fresh run "
+            f"(baseline keys: {sorted(baseline)}, fresh keys: {sorted(fresh)})",
+            file=out,
+        )
+        return 2
+
+    factor = 1.0
+    if calibrate and metric == "batch_eps":
+        ratios = [
+            fresh[key]["per_edge_eps"] / baseline[key]["per_edge_eps"]
+            for key in matched
+            if baseline[key].get("per_edge_eps")
+        ]
+        if ratios:
+            factor = median(ratios)
+        low, high = CALIBRATION_BAND
+        if not low <= factor <= high:
+            print(
+                f"error: per-edge calibration factor {factor:.3f} is outside "
+                f"[{low}, {high}] — the un-optimised reference path moved too "
+                "much for a trustworthy cross-machine comparison; refresh the "
+                "committed baseline or investigate the per-edge path",
+                file=out,
+            )
+            return 2
+
+    print(
+        f"ingest-throughput regression gate: metric={metric}, "
+        f"tolerance={tolerance:.0%}, calibration={factor:.3f} "
+        f"({len(matched)} matched cells)",
+        file=out,
+    )
+    failures: List[str] = []
+    for key in matched:
+        m, c, hash_kind, fraction = key
+        base_cell = baseline[key]
+        fresh_cell = fresh[key]
+        if metric == "speedup":
+            expected = float(base_cell["speedup"])
+            observed = float(fresh_cell["speedup"])
+        else:
+            expected = float(base_cell["batch_eps"]) * factor
+            observed = float(fresh_cell["batch_eps"])
+        floor = expected * (1.0 - tolerance)
+        status = "ok" if observed >= floor else "REGRESSED"
+        print(
+            f"  m={m} c={c} hash={hash_kind} frac={fraction}: "
+            f"{metric} {observed:,.2f} vs expected {expected:,.2f} "
+            f"(floor {floor:,.2f}) {status}",
+            file=out,
+        )
+        if observed < floor:
+            failures.append(
+                f"m={m} c={c} hash={hash_kind} frac={fraction}: "
+                f"{observed:,.2f} < {floor:,.2f} "
+                f"({1.0 - observed / expected:.1%} below baseline)"
+            )
+    if failures:
+        print(
+            f"FAIL: {len(failures)} cell(s) regressed more than "
+            f"{tolerance:.0%}:",
+            file=out,
+        )
+        for line in failures:
+            print(f"  {line}", file=out)
+        return 1
+    print("PASS: no cell regressed beyond tolerance", file=out)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="committed BENCH_ingest.json to gate against",
+    )
+    parser.add_argument(
+        "--fresh",
+        type=Path,
+        required=True,
+        help="BENCH_ingest.json written by the fresh benchmark run",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=float(
+            os.environ.get("REPRO_BENCH_REGRESSION_TOLERANCE", DEFAULT_TOLERANCE)
+        ),
+        help="allowed fractional regression per cell (default 0.20)",
+    )
+    parser.add_argument(
+        "--metric",
+        choices=("batch_eps", "speedup"),
+        default=os.environ.get("REPRO_BENCH_REGRESSION_METRIC", "batch_eps"),
+        help="what to gate: calibrated batch throughput (default) or the "
+        "machine-independent batch/per-edge speedup",
+    )
+    parser.add_argument(
+        "--no-calibrate",
+        action="store_true",
+        help="compare absolute batch_eps without per-edge calibration "
+        "(same-hardware runs)",
+    )
+    args = parser.parse_args(argv)
+    if not 0.0 <= args.tolerance < 1.0:
+        parser.error(f"--tolerance must be in [0, 1), got {args.tolerance}")
+    calibrate = not args.no_calibrate and _env_flag(
+        "REPRO_BENCH_REGRESSION_CALIBRATE", True
+    )
+    return check_regression(
+        _load_cells(args.baseline),
+        _load_cells(args.fresh),
+        tolerance=args.tolerance,
+        calibrate=calibrate,
+        metric=args.metric,
+    )
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,7 +20,12 @@ semi-triangle counts.  This subpackage contains:
 
 from repro.core.config import ReptConfig
 from repro.core.interning import NodeInterner
-from repro.core.state import ProcessorCounters, ProcessorGroup
+from repro.core.state import (
+    EncodedBatch,
+    GroupStateSet,
+    ProcessorCounters,
+    ProcessorGroup,
+)
 from repro.core.rept import ReptEstimator
 from repro.core.combine import GroupSummary, combine_group_estimates, graybill_deal
 from repro.core.parallel import DriverBackedRept, ParallelBackend, run_rept
@@ -30,6 +35,8 @@ __all__ = [
     "NodeInterner",
     "ProcessorCounters",
     "ProcessorGroup",
+    "EncodedBatch",
+    "GroupStateSet",
     "ReptEstimator",
     "GroupSummary",
     "combine_group_estimates",

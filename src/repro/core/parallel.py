@@ -87,7 +87,12 @@ from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
 from repro.core.combine import GroupSummary, combine_group_estimates
 from repro.core.config import ReptConfig
 from repro.core.interning import NodeInterner
-from repro.core.state import GroupSnapshot, ProcessorGroup
+from repro.core.state import (
+    GroupSnapshot,
+    GroupStateSet,
+    ProcessorGroup,
+    ingest_edge_batches,
+)
 from repro.exceptions import ConfigurationError
 from repro.hashing import make_hash_function
 from repro.streaming.edge_stream import edge_columns
@@ -169,9 +174,7 @@ def _group_worker(
     per-edge loop), with a persistent first-occurrence set across batches.
     """
     group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
-    seen: set = set()
-    for start in range(0, len(edges), _WORKER_BATCH_EDGES):
-        group.process_edges(edges[start : start + _WORKER_BATCH_EDGES], seen=seen)
+    ingest_edge_batches(group, edges, seen=set(), batch_edges=_WORKER_BATCH_EDGES)
     return _summarise_group(group, is_complete)
 
 
@@ -265,10 +268,9 @@ def _chunk_counting_worker(
     adjacency, returning the chunk's counter deltas as a group snapshot."""
     group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
     group.seed_adjacency(_resolve_stored(snapshot_ref))
-    edges = _resolve_edges(payload)
-    seen = group._stored_pairs()
-    for start in range(0, len(edges), _WORKER_BATCH_EDGES):
-        group.process_edges(edges[start : start + _WORKER_BATCH_EDGES], seen=seen)
+    ingest_edge_batches(
+        group, _resolve_edges(payload), batch_edges=_WORKER_BATCH_EDGES
+    )
     return group.snapshot()
 
 
@@ -343,16 +345,12 @@ def _run_chunked(
     }
 
     if len(spans) == 1 or not edge_list:
-        # A single chunk degenerates to the per-group schedule; skip the
-        # storing pass entirely.
-        summaries = [
-            _group_worker(
-                edge_list, config.hash_kind, seed, group_size, config.m,
-                complete, track_local, track_eta,
-            )
-            for seed, group_size, complete in items
-        ]
-        return summaries, info
+        # A single chunk degenerates to the in-process schedule: one shared
+        # state set advances every group (one encode serves all groups) and
+        # the storing pass is skipped entirely.
+        state = GroupStateSet(config)
+        state.ingest_stream(edge_list, batch_edges=_WORKER_BATCH_EDGES)
+        return state.summaries(), info
 
     if use_processes:
         stored, chunk_states = _chunked_phases_pooled(
@@ -363,15 +361,17 @@ def _run_chunked(
             edge_list, config, items, spans, track_local, track_eta
         )
 
-    summaries: List[GroupSummary] = []
-    for group_index, (seed, group_size, complete) in enumerate(items):
-        merged = _make_group(
-            config.hash_kind, seed, group_size, config.m, track_local, track_eta
+    # Fold the chunk states left-to-right into one fresh state set (the η
+    # cross-chunk correction is applied inside each group merge).
+    merged = GroupStateSet(config)
+    for chunk_index in range(len(spans)):
+        merged.merge_snapshots(
+            [
+                chunk_states[(group_index, chunk_index)]
+                for group_index in range(len(items))
+            ]
         )
-        for chunk_index in range(len(spans)):
-            merged.merge_snapshot(chunk_states[(group_index, chunk_index)])
-        summaries.append(_summarise_group(merged, complete))
-    return summaries, info
+    return merged.summaries(), info
 
 
 def _chunked_phases_inline(
@@ -539,13 +539,12 @@ def run_rept(
             edge_list, config, backend == "chunked-process", max_workers, chunk_size
         )
     elif backend == "serial" or len(items) == 1:
-        summaries = [
-            _group_worker(
-                edge_list, config.hash_kind, seed, size, config.m, complete,
-                track_local, track_eta,
-            )
-            for seed, size, complete in items
-        ]
+        # The in-process reference: one shared state set advances every
+        # group, so canonicalisation/interning run once per batch for all
+        # of them (bit-identical to the per-group schedule).
+        state = GroupStateSet(config)
+        state.ingest_stream(edge_list, batch_edges=_WORKER_BATCH_EDGES)
+        summaries = state.summaries()
     else:
         executor_cls = ThreadPoolExecutor if backend == "thread" else ProcessPoolExecutor
         workers = max_workers or len(items)

@@ -2,9 +2,11 @@
 
 :class:`ReptEstimator` exposes the same one-pass interface as the baselines
 (:class:`~repro.baselines.base.StreamingTriangleEstimator`): feed it edges,
-ask for an estimate at any time.  Internally it owns the processor groups
-described by its :class:`~repro.core.config.ReptConfig` and delegates the
-final arithmetic to :func:`repro.core.combine.combine_group_estimates`.
+ask for an estimate at any time.  Internally it owns one
+:class:`~repro.core.state.GroupStateSet` — the shared mergeable-state
+abstraction also used by the execution backends and the windowed monitor —
+and delegates the final arithmetic to
+:func:`repro.core.combine.combine_group_estimates`.
 """
 
 from __future__ import annotations
@@ -12,11 +14,10 @@ from __future__ import annotations
 from typing import Iterable, List, Set, Tuple
 
 from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
-from repro.core.combine import GroupSummary, combine_group_estimates
+from repro.core.combine import GroupSummary
 from repro.core.config import ReptConfig
 from repro.core.interning import NodeInterner
-from repro.core.state import ProcessorGroup
-from repro.hashing import make_hash_function
+from repro.core.state import GroupStateSet, ProcessorGroup
 from repro.types import EdgeTuple, NodeId
 
 
@@ -45,28 +46,11 @@ class ReptEstimator(StreamingTriangleEstimator):
     def __init__(self, config: ReptConfig) -> None:
         super().__init__()
         self.config = config
-        sizes = config.group_sizes()
-        hash_seeds = config.group_hash_seeds()
-        # One interning table serves every group, so one encoded batch is
-        # valid for all of them (only the hash seeds differ per group).
-        self.interner = NodeInterner()
-        # Canonical interned edges seen so far; an edge always hashes to the
-        # same slot, so "seen before" is exactly the per-slot already_stored
-        # test, computed once per edge instead of once per group.
-        self._seen_edges: Set[Tuple[int, int]] = set()
-        self.groups: List[ProcessorGroup] = [
-            ProcessorGroup(
-                hash_function=make_hash_function(
-                    config.hash_kind, buckets=config.m, seed=hash_seeds[index]
-                ),
-                group_size=size,
-                m=config.m,
-                track_local=config.track_local,
-                track_eta=bool(config.track_eta),
-                interner=self.interner,
-            )
-            for index, size in enumerate(sizes)
-        ]
+        # One state set holds every group, the shared interning table (one
+        # encoded batch is valid for all groups — only hash seeds differ)
+        # and the canonical seen-edge set ("seen before" is exactly the
+        # per-slot already_stored test, computed once per edge).
+        self._state = GroupStateSet(config)
 
     @classmethod
     def with_params(
@@ -90,24 +74,28 @@ class ReptEstimator(StreamingTriangleEstimator):
             )
         )
 
+    # -- shared-state accessors ------------------------------------------------
+
+    @property
+    def groups(self) -> List[ProcessorGroup]:
+        """The processor groups of the underlying state set."""
+        return self._state.groups
+
+    @property
+    def interner(self) -> NodeInterner:
+        """The interning table shared by every group."""
+        return self._state.interner
+
+    @property
+    def _seen_edges(self) -> Set[Tuple[int, int]]:
+        """Canonical interned edges seen so far (id-ordered keys)."""
+        return self._state.seen
+
     # -- streaming ------------------------------------------------------------
 
     def process_edge(self, u: NodeId, v: NodeId) -> None:
         self._count_edge()
-        if u == v:
-            return
-        intern = self.interner.intern
-        iu = intern(u)
-        iv = intern(v)
-        key = (iu, iv) if iu < iv else (iv, iu)
-        # Wrong orientation for hashing, but fine as a set key: interning is
-        # injective, so id order identifies the undirected edge.  Keep the
-        # canonical *raw* orientation out of this path — the scalar
-        # hash_function.bucket below re-derives it itself.
-        if key not in self._seen_edges:
-            self._seen_edges.add(key)
-        for group in self.groups:
-            group.process_edge(u, v)
+        self._state.process_edge(u, v)
 
     def process_edges(self, edges: Iterable[EdgeTuple]) -> None:
         """Batched ingestion: canonicalise, hash and route whole chunks.
@@ -118,14 +106,7 @@ class ReptEstimator(StreamingTriangleEstimator):
         the residual state updates (and the closure logic, for edges whose
         endpoints co-occur in a slot) execute per edge.
         """
-        cu, cv, firsts, n_records = self.interner.encode_pairs(edges, self._seen_edges)
-        self.edges_processed += n_records
-        if not cu:
-            return
-        edge_keys = self.interner.edge_key_array(cu, cv)
-        for group in self.groups:
-            slots = group.hash_function.bucket_from_keys(edge_keys).tolist()
-            group.process_encoded(cu, cv, slots, firsts)
+        self.edges_processed += self._state.process_edges(edges)
 
     # -- estimation -----------------------------------------------------------
 
@@ -136,22 +117,10 @@ class ReptEstimator(StreamingTriangleEstimator):
         actually tracks them — untracked runs skip the dict passes entirely
         (see :meth:`ProcessorGroup.summarise`).
         """
-        return [
-            group.summarise(
-                self.config.uses_groups and group.group_size == self.config.m
-            )
-            for group in self.groups
-        ]
+        return self._state.summaries()
 
     def estimate(self) -> TriangleEstimate:
-        estimate = combine_group_estimates(
-            self.group_summaries(),
-            m=self.config.m,
-            c=self.config.c,
-            edges_processed=self.edges_processed,
-            track_local=self.config.track_local,
-            eta_tracked=bool(self.config.track_eta),
-        )
+        estimate = self._state.estimate(self.edges_processed)
         estimate.metadata["algorithm"] = 2.0 if self.config.uses_groups else 1.0
         return estimate
 
@@ -160,7 +129,7 @@ class ReptEstimator(StreamingTriangleEstimator):
     @property
     def edges_stored(self) -> int:
         """Total edges currently stored across all processors."""
-        return sum(group.total_edges_stored() for group in self.groups)
+        return self._state.total_edges_stored()
 
     def describe(self) -> str:
         """Human-readable configuration summary."""

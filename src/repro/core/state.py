@@ -54,14 +54,32 @@ correction applies to ``η_v`` on the key's two endpoints).  The merge is
 exact — every backend produces bit-identical counters — because all the
 quantities involved are integers and the correction is an identity, not an
 approximation.
+
+Shared mergeable-state abstraction
+----------------------------------
+Three consumers exploit that mergeability: the chunked execution backends
+(:mod:`repro.core.parallel`), the estimator itself
+(:class:`~repro.core.rept.ReptEstimator`), and the sliding-window monitor
+(:mod:`repro.streaming.monitor`).  :class:`GroupStateSet` is the shared
+abstraction they all build on: the complete counter state of one
+:class:`~repro.core.config.ReptConfig` — every processor group, the shared
+interning table and the stream-global first-occurrence set — with batch
+ingestion, snapshot/merge and summarisation in one place.  The monitor
+additionally uses the *pane delta* protocol
+(:meth:`ProcessorGroup.take_pane_deltas` / :meth:`ProcessorGroup.merge_deltas`):
+a live group keeps its stored-edge index while its counters are detached
+and re-zeroed at every pane boundary, which leaves the group in exactly the
+seeded-at-a-chunk-boundary state the merge contract expects — so a window
+advances by folding one O(pane) delta instead of re-ingesting the window.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
-from repro.core.combine import GroupSummary
+from repro.core.combine import GroupSummary, combine_group_estimates
+from repro.core.config import ReptConfig
 from repro.core.interning import NodeInterner
 from repro.hashing.base import EdgeHashFunction
 from repro.types import EdgeTuple, NodeId, canonical_edge
@@ -572,6 +590,96 @@ class ProcessorGroup:
             for node in later.adjacency:
                 node_bits[node] = node_bits.get(node, 0) | bit
 
+    # -- pane-delta protocol (windowed monitoring) ----------------------------
+
+    def take_pane_deltas(
+        self, new_stored: Sequence[Tuple[int, int, int]]
+    ) -> List[ProcessorCounters]:
+        """Detach the counters accumulated since the last call as per-slot deltas.
+
+        ``new_stored`` lists the ``(slot, iu, iv)`` records (interned ids,
+        id-ordered or canonical — only set membership matters) of the edges
+        stored since the previous boundary; the caller collects them from
+        the first-occurrence flags it already computes per batch.  The
+        returned :class:`ProcessorCounters` carry the pane's counter deltas
+        plus an adjacency holding *only* the pane-new stored edges.
+
+        After the call this group keeps its full stored-edge index (and node
+        bitmasks) but has all counters zeroed — exactly the state
+        :meth:`seed_adjacency` would produce at this boundary, so the next
+        pane accumulates one pane's worth of deltas, the shape
+        :meth:`ProcessorCounters.merge` expects.
+        """
+        per_slot_adjacency: List[Dict[int, Set[int]]] = [
+            {} for _ in self.processors
+        ]
+        for slot, iu, iv in new_stored:
+            adjacency = per_slot_adjacency[slot]
+            neighbors = adjacency.get(iu)
+            if neighbors is None:
+                adjacency[iu] = {iv}
+            else:
+                neighbors.add(iv)
+            neighbors = adjacency.get(iv)
+            if neighbors is None:
+                adjacency[iv] = {iu}
+            else:
+                neighbors.add(iu)
+        deltas: List[ProcessorCounters] = []
+        for slot, processor in enumerate(self.processors):
+            deltas.append(
+                ProcessorCounters(
+                    adjacency=per_slot_adjacency[slot],
+                    tau=processor.tau,
+                    tau_local=processor.tau_local,
+                    edge_triangles=processor.edge_triangles,
+                    eta=processor.eta,
+                    eta_local=processor.eta_local,
+                    edges_stored=processor.edges_stored,
+                )
+            )
+            processor.tau = 0
+            processor.tau_local = {}
+            processor.edge_triangles = {}
+            processor.eta = 0
+            processor.eta_local = {}
+            processor.edges_stored = 0
+        return deltas
+
+    def merge_deltas(self, deltas: Sequence[ProcessorCounters]) -> None:
+        """Fold per-slot pane deltas from a group sharing this group's interner.
+
+        The counterpart of :meth:`merge_snapshot` for deltas produced by
+        :meth:`take_pane_deltas` on a live group that shares this group's
+        interning table: keys are dense ids already, so no
+        externalize/internalize round trip is paid.  Applies the same exact
+        η cross-chunk correction through :meth:`ProcessorCounters.merge`.
+        """
+        if len(deltas) != len(self.processors):
+            raise ValueError(
+                f"expected {len(self.processors)} per-slot deltas, got {len(deltas)}"
+            )
+        node_bits = self._node_bits
+        track_local = self.track_local
+        for slot, (processor, delta) in enumerate(zip(self.processors, deltas)):
+            processor.merge(delta, track_local=track_local)
+            bit = 1 << slot
+            for node in delta.adjacency:
+                node_bits[node] = node_bits.get(node, 0) | bit
+
+    def externalize_deltas(
+        self, deltas: Sequence[ProcessorCounters]
+    ) -> GroupSnapshot:
+        """Turn pane deltas into a raw-keyed :data:`GroupSnapshot`.
+
+        The result is a genuine snapshot — mergeable anywhere via
+        :meth:`merge_snapshot` — whose adjacency covers only the pane-new
+        stored edges, so its size is O(pane), not O(stream prefix).
+        """
+        return externalize_delta_snapshot(
+            self.group_size, self.m, self.interner.nodes, deltas
+        )
+
     def _reindex_node_bits(self) -> None:
         """Rebuild the node -> slot-bitmask index from the processor adjacencies."""
         index: Dict[int, int] = {}
@@ -688,6 +796,304 @@ def _externalize_processor(
         "eta_local": {nodes[iu]: value for iu, value in processor.eta_local.items()},
         "edges_stored": processor.edges_stored,
     }
+
+
+def externalize_delta_snapshot(
+    group_size: int,
+    m: int,
+    nodes: List[NodeId],
+    deltas: Sequence[ProcessorCounters],
+) -> GroupSnapshot:
+    """Raw-keyed :data:`GroupSnapshot` from per-slot (interned) pane deltas.
+
+    Standalone so delta holders (the monitor's pane ring) can externalize
+    without keeping a reference to the originating
+    :class:`ProcessorGroup` — only the group shape and the interner's
+    append-only id→node table are needed, and the table is shared
+    monitor-wide rather than per-window state.
+    """
+    return {
+        "group_size": group_size,
+        "m": m,
+        "processors": [_externalize_processor(delta, nodes) for delta in deltas],
+    }
+
+
+def first_flags(
+    seen: Set[Tuple[int, int]], cu: Sequence[int], cv: Sequence[int]
+) -> List[bool]:
+    """Stream-global first-occurrence flags of encoded canonical id pairs.
+
+    The standalone counterpart of the flags
+    :meth:`~repro.core.interning.NodeInterner.encode_pairs` computes inline:
+    given an already-encoded batch, flag each record whose undirected edge
+    (id-ordered key) is new to ``seen``, updating ``seen`` in place.  Used
+    by consumers that share one encoded batch across several independent
+    first-occurrence scopes (the windowed monitor's overlapping windows).
+    """
+    flags: List[bool] = []
+    append = flags.append
+    add = seen.add
+    size = len(seen)
+    for iu, iv in zip(cu, cv):
+        add((iu, iv) if iu < iv else (iv, iu))
+        new_size = len(seen)
+        append(new_size != size)
+        size = new_size
+    return flags
+
+
+def ingest_edge_batches(
+    group: ProcessorGroup,
+    edges: Sequence[EdgeTuple],
+    seen: Optional[Set[Tuple[int, int]]] = None,
+    batch_edges: int = 65536,
+) -> None:
+    """Drive one group over ``edges`` through the batched pipeline.
+
+    Splits the sequence into bounded chunks so the transient encode arrays
+    stay small without giving up the batch amortisation; ``seen`` carries
+    first-occurrence state across chunks (derived from the stored adjacency
+    when omitted — exact even after :meth:`ProcessorGroup.seed_adjacency`).
+    Shared by the parallel workers and any standalone group consumer.
+    """
+    if seen is None:
+        seen = group._stored_pairs()
+    for start in range(0, len(edges), batch_edges):
+        group.process_edges(edges[start : start + batch_edges], seen=seen)
+
+
+@dataclass
+class EncodedBatch:
+    """One batch of records encoded once for every group of a config.
+
+    ``cu``/``cv`` are canonical interned id pairs (self-loops dropped),
+    ``slots`` holds each group's hash buckets for the batch (hash seeds are
+    derived from the config, so one encoding serves every
+    :class:`GroupStateSet` of that config sharing the same interner), and
+    ``n_records`` counts all input records including dropped self-loops.
+    First-occurrence flags are deliberately *not* part of the encoding —
+    they are scope-local (each consumer derives them from its own ``seen``
+    set via :func:`first_flags`).
+    """
+
+    cu: List[int]
+    cv: List[int]
+    slots: List[List[int]]
+    n_records: int
+
+
+class GroupStateSet:
+    """The complete mergeable counter state of one REPT configuration.
+
+    Owns the processor groups described by a
+    :class:`~repro.core.config.ReptConfig`, the interning table shared by
+    all of them and the stream-global first-occurrence set.  This is the
+    abstraction shared by :class:`~repro.core.rept.ReptEstimator` (one
+    state set advanced in process), the chunked execution backends (state
+    sets folded from per-chunk snapshots) and the windowed monitor (one
+    live + one accumulator state set per open window).
+
+    Parameters
+    ----------
+    config:
+        Validated REPT parameters; hash seeds derive from it, so two state
+        sets built from the same config are hash-compatible (their encoded
+        batches and slot assignments agree).
+    interner:
+        Optional shared interning table.  Consumers that exchange
+        *interned* data between state sets (encoded batches, pane deltas)
+        must share one; when omitted a private table is created.
+    hash_functions:
+        Optional pre-built hash functions (one per group), letting many
+        state sets of the same config share the table-backed functions
+        instead of rebuilding them; must match the config's seeds.
+    """
+
+    def __init__(
+        self,
+        config: ReptConfig,
+        interner: Optional[NodeInterner] = None,
+        hash_functions: Optional[Sequence[EdgeHashFunction]] = None,
+    ) -> None:
+        # Local import: the hashing package depends only on repro.hashing
+        # internals, but importing it lazily keeps this module importable
+        # from anywhere in the package without ordering constraints.
+        from repro.hashing import make_hash_function
+
+        self.config = config
+        self.interner = interner if interner is not None else NodeInterner()
+        self.seen: Set[Tuple[int, int]] = set()
+        sizes = config.group_sizes()
+        if hash_functions is None:
+            seeds = config.group_hash_seeds()
+            hash_functions = [
+                make_hash_function(config.hash_kind, buckets=config.m, seed=seeds[i])
+                for i in range(len(sizes))
+            ]
+        elif len(hash_functions) != len(sizes):
+            raise ValueError(
+                f"expected {len(sizes)} hash functions, got {len(hash_functions)}"
+            )
+        self.groups: List[ProcessorGroup] = [
+            ProcessorGroup(
+                hash_function=hash_functions[index],
+                group_size=size,
+                m=config.m,
+                track_local=config.track_local,
+                track_eta=bool(config.track_eta),
+                interner=self.interner,
+            )
+            for index, size in enumerate(sizes)
+        ]
+
+    # -- ingestion -----------------------------------------------------------
+
+    def process_edge(self, u: NodeId, v: NodeId) -> None:
+        """Advance every group with one raw edge (scalar path)."""
+        if u == v:
+            return
+        intern = self.interner.intern
+        iu = intern(u)
+        iv = intern(v)
+        self.seen.add((iu, iv) if iu < iv else (iv, iu))
+        for group in self.groups:
+            group.process_edge(u, v)
+
+    def process_edges(self, edges: Iterable[EdgeTuple]) -> int:
+        """Advance every group over a raw batch; returns records consumed.
+
+        Canonicalisation, interning and hashing run once as array
+        operations shared by all groups — bit-identical to per-edge
+        :meth:`process_edge` calls.
+        """
+        cu, cv, firsts, n_records = self.interner.encode_pairs(edges, self.seen)
+        if cu:
+            edge_keys = self.interner.edge_key_array(cu, cv)
+            for group in self.groups:
+                slots = group.hash_function.bucket_from_keys(edge_keys).tolist()
+                group.process_encoded(cu, cv, slots, firsts)
+        return n_records
+
+    def ingest_stream(
+        self, edges: Sequence[EdgeTuple], batch_edges: int = 65536
+    ) -> int:
+        """Consume a whole materialised stream in bounded batches."""
+        total = 0
+        for start in range(0, len(edges), batch_edges):
+            total += self.process_edges(edges[start : start + batch_edges])
+        return total
+
+    # -- shared-encoding ingestion (windowed monitor) ------------------------
+
+    def encode(self, edges: Iterable[EdgeTuple]) -> EncodedBatch:
+        """Encode a batch once for every state set of this config.
+
+        Does *not* touch this state set's counters or ``seen`` — the batch
+        is a pure function of the interner and the config's hash seeds, so
+        any state set sharing the interner can :meth:`ingest_encoded` it.
+        """
+        cu, cv, _firsts, n_records = self.interner.encode_pairs(edges, None)
+        if not cu:
+            return EncodedBatch([], [], [[] for _ in self.groups], n_records)
+        edge_keys = self.interner.edge_key_array(cu, cv)
+        slots = [
+            group.hash_function.bucket_from_keys(edge_keys).tolist()
+            for group in self.groups
+        ]
+        return EncodedBatch(cu, cv, slots, n_records)
+
+    def ingest_encoded(
+        self, batch: EncodedBatch, collect_stored: bool = False
+    ) -> Optional[List[List[Tuple[int, int, int]]]]:
+        """Advance every group over a shared encoded batch.
+
+        First-occurrence flags come from *this* state set's ``seen`` set, so
+        several state sets can consume the same :class:`EncodedBatch` with
+        independent dedup scopes.  With ``collect_stored=True`` the per-group
+        ``(slot, iu, iv)`` records stored by this batch are returned — the
+        bookkeeping :meth:`ProcessorGroup.take_pane_deltas` needs.
+        """
+        if not batch.cu:
+            return [[] for _ in self.groups] if collect_stored else None
+        firsts = first_flags(self.seen, batch.cu, batch.cv)
+        stored: Optional[List[List[Tuple[int, int, int]]]] = None
+        if collect_stored:
+            stored = []
+        for group, slots in zip(self.groups, batch.slots):
+            group.process_encoded(batch.cu, batch.cv, slots, firsts)
+            if stored is not None:
+                group_size = group.group_size
+                stored.append(
+                    [
+                        (slot, iu, iv)
+                        for iu, iv, slot, first in zip(
+                            batch.cu, batch.cv, slots, firsts
+                        )
+                        if first and slot < group_size
+                    ]
+                )
+        return stored
+
+    # -- pane-delta protocol --------------------------------------------------
+
+    def take_pane_deltas(
+        self, new_stored: Sequence[Sequence[Tuple[int, int, int]]]
+    ) -> List[List[ProcessorCounters]]:
+        """Detach every group's pane counters (see ProcessorGroup.take_pane_deltas)."""
+        return [
+            group.take_pane_deltas(records)
+            for group, records in zip(self.groups, new_stored)
+        ]
+
+    def merge_pane_deltas(
+        self, deltas: Sequence[Sequence[ProcessorCounters]]
+    ) -> None:
+        """Fold per-group pane deltas from a state set sharing this interner."""
+        for group, group_deltas in zip(self.groups, deltas):
+            group.merge_deltas(group_deltas)
+
+    # -- snapshot / merge -----------------------------------------------------
+
+    def snapshot(self) -> List[GroupSnapshot]:
+        """Externalized snapshots of every group (picklable, raw-keyed)."""
+        return [group.snapshot() for group in self.groups]
+
+    def merge_snapshots(self, snapshots: Sequence[GroupSnapshot]) -> None:
+        """Fold one per-group snapshot list (e.g. one chunk's states)."""
+        if len(snapshots) != len(self.groups):
+            raise ValueError(
+                f"expected {len(self.groups)} group snapshots, got {len(snapshots)}"
+            )
+        for group, snapshot in zip(self.groups, snapshots):
+            group.merge_snapshot(snapshot)
+
+    # -- aggregates -----------------------------------------------------------
+
+    def summaries(self) -> List[GroupSummary]:
+        """Per-group :class:`GroupSummary` with the config's completeness flags."""
+        uses_groups = self.config.uses_groups
+        m = self.config.m
+        return [
+            group.summarise(uses_groups and group.group_size == m)
+            for group in self.groups
+        ]
+
+    def estimate(self, edges_processed: int):
+        """Combine the current counters into a TriangleEstimate."""
+        config = self.config
+        return combine_group_estimates(
+            self.summaries(),
+            m=config.m,
+            c=config.c,
+            edges_processed=edges_processed,
+            track_local=config.track_local,
+            eta_tracked=bool(config.track_eta),
+        )
+
+    def total_edges_stored(self) -> int:
+        """Total edges currently stored across all groups."""
+        return sum(group.total_edges_stored() for group in self.groups)
 
 
 def _internalize_processor(entry: ProcessorSnapshot, intern) -> ProcessorCounters:

@@ -74,6 +74,34 @@ def _build_parser() -> argparse.ArgumentParser:
         help="records per ingestion batch for the 'ingest' artefact "
         "(default: 65536)",
     )
+    parser.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="window width in seconds for the 'monitor' artefact "
+        "(default: 300)",
+    )
+    parser.add_argument(
+        "--slide",
+        type=float,
+        default=None,
+        help="window slide in seconds for the 'monitor' artefact "
+        "(default: the window width — tumbling)",
+    )
+    parser.add_argument(
+        "--panes",
+        type=int,
+        default=None,
+        help="panes per window for the 'monitor' artefact "
+        "(default: one pane per slide)",
+    )
+    parser.add_argument(
+        "--duration",
+        type=float,
+        default=None,
+        help="trace duration in seconds for the 'monitor' artefact "
+        "(default: 3600; smaller = faster)",
+    )
     return parser
 
 
@@ -126,6 +154,18 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
             kwargs["seed"] = args.seed
         if args.batch_size is not None:
             kwargs["batch_size"] = args.batch_size
+    elif name == "monitor":
+        kwargs.pop("max_edges", None)
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.window is not None:
+            kwargs["window_seconds"] = args.window
+        if args.slide is not None:
+            kwargs["slide_seconds"] = args.slide
+        if args.panes is not None:
+            kwargs["panes_per_window"] = args.panes
+        if args.duration is not None:
+            kwargs["duration_seconds"] = args.duration
     else:  # ablations
         if args.datasets:
             kwargs["dataset"] = args.datasets[0]
@@ -148,8 +188,15 @@ def _ingest_artefact(**kwargs) -> ExperimentResult:
     return ingest_throughput(**kwargs)
 
 
+def _monitor_artefact(**kwargs) -> ExperimentResult:
+    from repro.experiments.monitoring import windowed_monitoring
+
+    return windowed_monitoring(**kwargs)
+
+
 _ARTEFACTS: Dict[str, Callable[..., ExperimentResult]] = {
     "ingest": _ingest_artefact,
+    "monitor": _monitor_artefact,
     "figure1": figures.figure1,
     "figure3": figures.figure3,
     "figure4": figures.figure4,

@@ -27,7 +27,11 @@ from repro.generators.datasets import (
     load_dataset,
     paper_dataset_table,
 )
-from repro.generators.traffic import packet_flow_stream, synthetic_packet_trace
+from repro.generators.traffic import (
+    packet_flow_records,
+    packet_flow_stream,
+    synthetic_packet_trace,
+)
 
 __all__ = [
     "barabasi_albert_stream",
@@ -40,6 +44,7 @@ __all__ = [
     "available_datasets",
     "load_dataset",
     "paper_dataset_table",
+    "packet_flow_records",
     "packet_flow_stream",
     "synthetic_packet_trace",
 ]

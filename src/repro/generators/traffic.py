@@ -144,3 +144,59 @@ def packet_flow_stream(
     stream = EdgeStream(records, name=name or "packet-flows", validate=False)
     stream.validated = True  # the topology generator never emits self-loops
     return stream
+
+
+def packet_flow_records(
+    num_records: int,
+    duration_seconds: float = 3600.0,
+    num_hosts: Optional[int] = None,
+    edges_per_node: int = 3,
+    triad_closure: float = 0.1,
+    out_of_order_fraction: float = 0.0,
+    max_delay_seconds: float = 30.0,
+    seed: SeedLike = None,
+) -> List[TimestampedRecord]:
+    """Timestamp emission for :func:`packet_flow_stream`.
+
+    Wraps the packet-flow workload in arrival timestamps so it can drive
+    the interval-based monitoring pipeline
+    (:class:`~repro.streaming.monitor.WindowedTriangleMonitor`,
+    :class:`~repro.streaming.windows.TimeWindowedStream`).  Arrival times
+    are uniform order statistics over ``[0, duration_seconds)`` — the
+    arrival process of a homogeneous Poisson stream conditioned on its
+    count.
+
+    The returned list is in **delivery order**: with
+    ``out_of_order_fraction > 0``, that fraction of records is delivered up
+    to ``max_delay_seconds`` after its timestamp (timestamps are
+    unchanged), producing the bounded out-of-order arrivals a watermark
+    with ``allowed_lateness ≥ max_delay_seconds`` admits losslessly.
+    """
+    if duration_seconds <= 0:
+        raise ValueError("duration_seconds must be positive")
+    if not 0.0 <= out_of_order_fraction <= 1.0:
+        raise ValueError("out_of_order_fraction must be in [0, 1]")
+    if max_delay_seconds < 0:
+        raise ValueError("max_delay_seconds must be >= 0")
+    rng = as_random_source(seed)
+    stream = packet_flow_stream(
+        num_records,
+        num_hosts=num_hosts,
+        edges_per_node=edges_per_node,
+        triad_closure=triad_closure,
+        seed=rng.spawn(1)[0],
+    )
+    times = sorted(float(rng.random() * duration_seconds) for _ in range(num_records))
+    records = [
+        TimestampedRecord(u, v, time) for (u, v), time in zip(stream.edges(), times)
+    ]
+    if out_of_order_fraction and max_delay_seconds:
+        delivery = []
+        for record in records:
+            delay = 0.0
+            if float(rng.random()) < out_of_order_fraction:
+                delay = float(rng.random()) * max_delay_seconds
+            delivery.append(record.time + delay)
+        order = sorted(range(len(records)), key=lambda i: (delivery[i], i))
+        records = [records[i] for i in order]
+    return records

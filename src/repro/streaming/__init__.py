@@ -8,7 +8,9 @@ sequence, plus the plumbing a real deployment needs:
 * transforms (de-duplication, self-loop removal, node relabelling,
   deterministic shuffling, sub-sampling);
 * time-interval windowing for the traffic-monitoring use case the paper's
-  introduction motivates (counting triangles per hour of a packet stream).
+  introduction motivates (counting triangles per hour of a packet stream);
+* the sliding-window monitor serving per-interval estimates online with
+  merge-based window advance (no re-ingestion of retained panes).
 """
 
 from repro.streaming.edge_stream import EdgeStream
@@ -22,6 +24,11 @@ from repro.streaming.transforms import (
     subsample_stream,
 )
 from repro.streaming.windows import TimeWindowedStream, TimestampedRecord
+from repro.streaming.monitor import (
+    MonitorWindowResult,
+    PaneDelta,
+    WindowedTriangleMonitor,
+)
 from repro.streaming.degree_tracker import DegreeTracker
 
 __all__ = [
@@ -37,4 +44,7 @@ __all__ = [
     "subsample_stream",
     "TimeWindowedStream",
     "TimestampedRecord",
+    "WindowedTriangleMonitor",
+    "MonitorWindowResult",
+    "PaneDelta",
 ]

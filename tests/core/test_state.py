@@ -4,7 +4,9 @@ import math
 
 import pytest
 
-from repro.core.state import ProcessorCounters, ProcessorGroup
+from repro.core.config import ReptConfig
+from repro.core.rept import ReptEstimator
+from repro.core.state import GroupStateSet, ProcessorCounters, ProcessorGroup
 from repro.generators.planted import planted_triangles_stream
 from repro.hashing import make_hash_function
 
@@ -130,3 +132,121 @@ class TestProcessorCounters:
 
     def test_neighbors_of_unknown_node_empty(self):
         assert ProcessorCounters().neighbors("nope") == frozenset()
+
+
+def _dup_heavy_stream():
+    """Duplicates, self-loops and triangles over a tiny node universe."""
+    edges = []
+    for r in range(3):
+        edges.extend(
+            [(0, 1), (1, 2), (0, 2), (2, 2), (1, 2), (3, 4), (4, 5), (3, 5), (0, 3)]
+        )
+        edges.extend((i, (i + r) % 7) for i in range(7))
+    return edges
+
+
+class TestGroupStateSet:
+    """The shared mergeable-state abstraction (estimator/backends/monitor)."""
+
+    CONFIGS = [
+        ReptConfig(m=4, c=3, seed=21),  # Alg. 1, c < m
+        ReptConfig(m=3, c=8, seed=21),  # Alg. 2 with partial group: η tracked
+        ReptConfig(m=4, c=8, seed=21, track_local=False),
+    ]
+
+    def _assert_same(self, estimate, expected):
+        assert estimate.global_count == expected.global_count
+        assert estimate.local_counts == expected.local_counts
+        assert estimate.edges_stored == expected.edges_stored
+        assert estimate.metadata.get("eta_hat") == expected.metadata.get("eta_hat")
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=["alg1", "alg2-eta", "alg2"])
+    def test_matches_estimator_bit_for_bit(self, config):
+        edges = _dup_heavy_stream()
+        reference = ReptEstimator(config)
+        reference.process_edges(edges)
+
+        state = GroupStateSet(config)
+        n = state.ingest_stream(edges, batch_edges=7)
+        assert n == len(edges)
+        self._assert_same(state.estimate(n), reference.estimate())
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=["alg1", "alg2-eta", "alg2"])
+    def test_shared_encoding_across_state_sets(self, config):
+        """One EncodedBatch serves several state sets sharing the interner."""
+        edges = _dup_heavy_stream()
+        template = GroupStateSet(config)
+        functions = [group.hash_function for group in template.groups]
+        a = GroupStateSet(config, interner=template.interner, hash_functions=functions)
+        b = GroupStateSet(config, interner=template.interner, hash_functions=functions)
+        n = 0
+        for start in range(0, len(edges), 9):
+            batch = template.encode(edges[start : start + 9])
+            a.ingest_encoded(batch)
+            b.ingest_encoded(batch)
+            n += batch.n_records
+        reference = ReptEstimator(config)
+        reference.process_edges(edges)
+        self._assert_same(a.estimate(n), reference.estimate())
+        self._assert_same(b.estimate(n), reference.estimate())
+
+    @pytest.mark.parametrize("config", CONFIGS, ids=["alg1", "alg2-eta", "alg2"])
+    def test_pane_delta_roll_merge_is_exact(self, config):
+        """take_pane_deltas/merge_pane_deltas reproduce an uninterrupted run."""
+        edges = _dup_heavy_stream()
+        live = GroupStateSet(config)
+        acc = GroupStateSet(config, interner=live.interner)
+        n = 0
+        for start in range(0, len(edges), 11):  # every chunk = one "pane"
+            batch = live.encode(edges[start : start + 11])
+            stored = live.ingest_encoded(batch, collect_stored=True)
+            n += batch.n_records
+            acc.merge_pane_deltas(live.take_pane_deltas(stored))
+        reference = ReptEstimator(config)
+        reference.process_edges(edges)
+        self._assert_same(acc.estimate(n), reference.estimate())
+        # The live set keeps its stored-edge index but zero counters.
+        assert live.total_edges_stored() == 0
+        assert acc.total_edges_stored() == reference.edges_stored
+
+    def test_pane_delta_snapshots_externalize_and_refold(self):
+        config = ReptConfig(m=3, c=8, seed=5)
+        edges = _dup_heavy_stream()
+        live = GroupStateSet(config)
+        snapshots_per_pane = []
+        n = 0
+        for start in range(0, len(edges), 13):
+            batch = live.encode(edges[start : start + 13])
+            stored = live.ingest_encoded(batch, collect_stored=True)
+            n += batch.n_records
+            deltas = live.take_pane_deltas(stored)
+            snapshots_per_pane.append(
+                [
+                    group.externalize_deltas(group_deltas)
+                    for group, group_deltas in zip(live.groups, deltas)
+                ]
+            )
+        rebuilt = GroupStateSet(config)  # private interner: snapshots are raw-keyed
+        for snapshots in snapshots_per_pane:
+            rebuilt.merge_snapshots(snapshots)
+        reference = ReptEstimator(config)
+        reference.process_edges(edges)
+        self._assert_same(rebuilt.estimate(n), reference.estimate())
+
+    def test_hash_function_count_validated(self):
+        config = ReptConfig(m=4, c=8, seed=1)
+        template = GroupStateSet(config)
+        with pytest.raises(ValueError, match="hash functions"):
+            GroupStateSet(config, hash_functions=template.groups[:1])
+
+    def test_merge_snapshots_shape_validated(self):
+        config = ReptConfig(m=4, c=8, seed=1)
+        state = GroupStateSet(config)
+        with pytest.raises(ValueError, match="group snapshots"):
+            state.merge_snapshots(state.snapshot()[:1])
+
+    def test_merge_deltas_shape_validated(self):
+        config = ReptConfig(m=4, c=4, seed=1)
+        state = GroupStateSet(config)
+        with pytest.raises(ValueError, match="per-slot deltas"):
+            state.groups[0].merge_deltas([ProcessorCounters()])

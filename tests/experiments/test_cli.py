@@ -53,6 +53,22 @@ class TestCli:
         assert exit_code == 0
         assert "splitmix" in capsys.readouterr().out
 
+    def test_monitor_artefact_runs(self, capsys):
+        exit_code = main(
+            [
+                "monitor",
+                "--window", "120",
+                "--slide", "60",
+                "--panes", "4",
+                "--duration", "600",
+                "--seed", "5",
+            ]
+        )
+        captured = capsys.readouterr()
+        assert exit_code == 0
+        assert "Windowed triangle monitoring" in captured.out
+        assert "rept_err%" in captured.out
+
     def test_unknown_artefact_rejected(self):
         with pytest.raises(SystemExit):
             main(["figure99"])

@@ -1,6 +1,12 @@
 """Tests for the synthetic packet-trace generator."""
 
-from repro.generators.traffic import TrafficTraceSpec, synthetic_packet_trace
+import pytest
+
+from repro.generators.traffic import (
+    TrafficTraceSpec,
+    packet_flow_records,
+    synthetic_packet_trace,
+)
 from repro.graph.triangles import count_triangles
 from repro.streaming.windows import TimeWindowedStream
 
@@ -36,3 +42,46 @@ class TestSyntheticPacketTrace:
         anomalous = counts[3]
         benign = [c for i, c in enumerate(counts) if i != 3]
         assert anomalous > 10 * max(1, max(benign))
+
+
+class TestPacketFlowRecords:
+    def test_timestamps_cover_duration_and_sort_in_order(self):
+        records = packet_flow_records(3000, duration_seconds=600.0, seed=4)
+        assert len(records) == 3000
+        times = [record.time for record in records]
+        assert times == sorted(times)  # no jitter: delivery == timestamp order
+        assert 0.0 <= min(times) and max(times) < 600.0
+
+    def test_same_flows_as_packet_flow_stream(self):
+        records = packet_flow_records(500, duration_seconds=60.0, seed=9)
+        assert all(record.u != record.v for record in records)
+
+    def test_out_of_order_delivery_is_bounded(self):
+        records = packet_flow_records(
+            2000,
+            duration_seconds=600.0,
+            out_of_order_fraction=0.3,
+            max_delay_seconds=15.0,
+            seed=9,
+        )
+        times = [record.time for record in records]
+        assert times != sorted(times)
+        high_water = times[0]
+        worst = 0.0
+        for time in times:
+            worst = max(worst, high_water - time)
+            high_water = max(high_water, time)
+        assert 0.0 < worst <= 15.0
+
+    def test_deterministic_for_seed(self):
+        a = packet_flow_records(800, seed=6, out_of_order_fraction=0.2)
+        b = packet_flow_records(800, seed=6, out_of_order_fraction=0.2)
+        assert [(r.u, r.v, r.time) for r in a] == [(r.u, r.v, r.time) for r in b]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            packet_flow_records(100, duration_seconds=0.0)
+        with pytest.raises(ValueError):
+            packet_flow_records(100, out_of_order_fraction=1.5)
+        with pytest.raises(ValueError):
+            packet_flow_records(100, max_delay_seconds=-1.0)

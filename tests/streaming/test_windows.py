@@ -54,3 +54,97 @@ class TestTimeWindowedStream:
         bounds = [(start, end) for start, end, _ in windowed.windows()]
         assert bounds[0] == (100.0, 120.0)
         assert bounds[1] == (120.0, 140.0)
+
+
+class TestHalfOpenBoundaries:
+    """Regression tests: [start, end) everywhere, no silent drops."""
+
+    def test_record_at_final_right_edge_gets_its_own_window(self):
+        # A record landing exactly on the last window's right edge belongs
+        # to the *next* half-open window — it must never be dropped.
+        records = [(0, 1, 0.0), (1, 2, 60.0)]
+        windowed = TimeWindowedStream(records, window_seconds=60.0)
+        triples = list(windowed.windows())
+        assert len(triples) == 2
+        assert triples[1][0] == 60.0 and triples[1][1] == 120.0
+        assert triples[1][2].edges() == [(1, 2)]
+        assert sum(len(s) for _, _, s in triples) == 2
+
+    def test_record_on_interior_boundary_joins_right_window(self):
+        records = [(0, 1, 0.0), (1, 2, 10.0), (2, 3, 19.999)]
+        windowed = TimeWindowedStream(records, window_seconds=10.0)
+        lengths = [len(s) for s in windowed.window_streams()]
+        assert lengths == [1, 2]
+
+    def test_explicit_end_record_at_edge_raises_not_drops(self):
+        records = [(0, 1, 0.0), (1, 2, 60.0)]
+        with pytest.raises(ValueError, match="half-open"):
+            TimeWindowedStream(records, window_seconds=60.0, end=60.0)
+
+    def test_explicit_end_drop_policy_counts(self):
+        records = [(0, 1, 0.0), (1, 2, 60.0), (2, 3, 61.0)]
+        windowed = TimeWindowedStream(
+            records, window_seconds=60.0, end=60.0, out_of_range="drop"
+        )
+        assert windowed.records_out_of_range == 2
+        assert [len(s) for s in windowed.window_streams()] == [1]
+
+    def test_explicit_origin_aligns_windows(self):
+        records = [(0, 1, 125.0), (1, 2, 185.0)]
+        windowed = TimeWindowedStream(records, window_seconds=60.0, origin=120.0)
+        bounds = [(start, end) for start, end, _ in windowed.windows()]
+        assert bounds == [(120.0, 180.0), (180.0, 240.0)]
+
+    def test_record_before_explicit_origin_raises(self):
+        with pytest.raises(ValueError, match="half-open"):
+            TimeWindowedStream([(0, 1, 5.0)], window_seconds=10.0, origin=6.0)
+
+    def test_invalid_out_of_range_policy(self):
+        with pytest.raises(ValueError, match="out_of_range"):
+            TimeWindowedStream([], window_seconds=10.0, out_of_range="ignore")
+
+    def test_explicit_end_must_exceed_origin(self):
+        with pytest.raises(ValueError, match="end"):
+            TimeWindowedStream([], window_seconds=10.0, origin=5.0, end=5.0)
+
+    def test_records_accessor_sorted(self):
+        records = [(0, 1, 9.0), (1, 2, 1.0)]
+        windowed = TimeWindowedStream(records, window_seconds=10.0)
+        assert [r.time for r in windowed.records()] == [1.0, 9.0]
+
+
+class TestPaneAlignedIteration:
+    def test_panes_default_to_window_width(self):
+        records = [(0, 1, 0.0), (1, 2, 15.0)]
+        windowed = TimeWindowedStream(records, window_seconds=10.0)
+        assert [len(s) for _, _, s in windowed.panes()] == [
+            len(s) for s in windowed.window_streams()
+        ]
+
+    def test_panes_partition_windows(self):
+        records = [(0, 1, 0.0), (1, 2, 4.0), (2, 3, 5.0), (3, 4, 12.0)]
+        windowed = TimeWindowedStream(records, window_seconds=10.0)
+        panes = list(windowed.panes(5.0))
+        assert [(start, end) for start, end, _ in panes] == [
+            (0.0, 5.0),
+            (5.0, 10.0),
+            (10.0, 15.0),
+            (15.0, 20.0),
+        ]
+        assert [len(s) for _, _, s in panes] == [2, 1, 1, 0]
+        # Concatenated panes reproduce the windows exactly.
+        window_edges = [s.edges() for s in windowed.window_streams()]
+        assert [
+            panes[0][2].edges() + panes[1][2].edges(),
+            panes[2][2].edges() + panes[3][2].edges(),
+        ] == window_edges
+
+    def test_pane_width_must_divide_window(self):
+        windowed = TimeWindowedStream([(0, 1, 0.0)], window_seconds=10.0)
+        with pytest.raises(ValueError, match="evenly divide"):
+            list(windowed.panes(3.0))
+
+    def test_pane_width_must_be_positive(self):
+        windowed = TimeWindowedStream([(0, 1, 0.0)], window_seconds=10.0)
+        with pytest.raises(ValueError, match="positive"):
+            list(windowed.panes(0.0))

@@ -1,0 +1,191 @@
+"""Tests for the CI throughput-regression gate.
+
+The gate script (``benchmarks/check_bench_regression.py``) is standalone
+(no package imports) so CI can run it without ``PYTHONPATH``; these tests
+load it by path and drive simulated baseline/fresh payloads through it —
+the acceptance criterion is that a ≥20% simulated batch-throughput
+regression fails the gate while parity (and pure hardware drift, thanks to
+per-edge calibration) passes.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import io
+import json
+from pathlib import Path
+
+import pytest
+
+GATE_PATH = Path(__file__).resolve().parents[1] / "benchmarks" / "check_bench_regression.py"
+
+spec = importlib.util.spec_from_file_location("check_bench_regression", GATE_PATH)
+gate = importlib.util.module_from_spec(spec)
+spec.loader.exec_module(gate)
+
+
+def _payload(cells):
+    return {"benchmark": "ingest-throughput", "cells": cells}
+
+
+def _cell(m, c, hash_kind, num_records, per_edge_eps, batch_eps):
+    return {
+        "m": m,
+        "c": c,
+        "hash": hash_kind,
+        "num_records": num_records,
+        "per_edge_eps": per_edge_eps,
+        "batch_eps": batch_eps,
+        "speedup": round(batch_eps / per_edge_eps, 3),
+    }
+
+
+BASELINE = [
+    _cell(16, 32, "tabulation", 250_000, 40_000, 120_000),
+    _cell(16, 32, "splitmix", 250_000, 60_000, 130_000),
+    _cell(16, 16, "tabulation", 50_000, 90_000, 320_000),
+]
+
+
+def _index(cells):
+    return {
+        (
+            cell["m"],
+            cell["c"],
+            cell["hash"],
+            round(cell["num_records"] / max(x["num_records"] for x in cells), 3),
+        ): cell
+        for cell in cells
+    }
+
+
+def _scale(cells, per_edge=1.0, batch=1.0, records=1.0):
+    return [
+        _cell(
+            cell["m"],
+            cell["c"],
+            cell["hash"],
+            int(cell["num_records"] * records),
+            cell["per_edge_eps"] * per_edge,
+            cell["batch_eps"] * batch,
+        )
+        for cell in cells
+    ]
+
+
+def _run(baseline, fresh, **kwargs):
+    out = io.StringIO()
+    code = gate.check_regression(_index(baseline), _index(fresh), out=out, **kwargs)
+    return code, out.getvalue()
+
+
+class TestGateLogic:
+    def test_parity_passes(self):
+        code, text = _run(BASELINE, _scale(BASELINE), tolerance=0.20)
+        assert code == 0
+        assert "PASS" in text
+
+    def test_simulated_25pct_batch_regression_fails(self):
+        code, text = _run(BASELINE, _scale(BASELINE, batch=0.75), tolerance=0.20)
+        assert code == 1
+        assert "REGRESSED" in text
+
+    def test_regression_in_one_cell_is_enough(self):
+        fresh = _scale(BASELINE)
+        fresh[1] = _cell(16, 32, "splitmix", 250_000, 60_000, 130_000 * 0.7)
+        code, text = _run(BASELINE, fresh, tolerance=0.20)
+        assert code == 1
+        assert text.count("REGRESSED") == 1
+
+    def test_within_tolerance_regression_passes(self):
+        code, _ = _run(BASELINE, _scale(BASELINE, batch=0.85), tolerance=0.20)
+        assert code == 0
+
+    def test_tolerance_is_configurable(self):
+        code, _ = _run(BASELINE, _scale(BASELINE, batch=0.85), tolerance=0.10)
+        assert code == 1
+
+    def test_uniform_hardware_slowdown_passes_with_calibration(self):
+        # A slower runner shifts both paths equally; calibration absorbs it.
+        fresh = _scale(BASELINE, per_edge=0.6, batch=0.6)
+        code, text = _run(BASELINE, fresh, tolerance=0.20)
+        assert code == 0
+        assert "calibration=0.600" in text
+
+    def test_batch_only_regression_not_masked_by_calibration(self):
+        # Per-edge at parity, batch down 30%: a genuine pipeline regression.
+        fresh = _scale(BASELINE, per_edge=1.0, batch=0.70)
+        code, _ = _run(BASELINE, fresh, tolerance=0.20)
+        assert code == 1
+
+    def test_no_calibrate_gates_absolute_throughput(self):
+        fresh = _scale(BASELINE, per_edge=0.6, batch=0.6)
+        code, _ = _run(BASELINE, fresh, tolerance=0.20, calibrate=False)
+        assert code == 1
+
+    def test_reduced_ci_stream_still_matches_by_fraction(self):
+        # CI runs a 60k stream vs the committed 250k: fractions line up.
+        fresh = _scale(BASELINE, records=60_000 / 250_000)
+        code, text = _run(BASELINE, fresh, tolerance=0.20)
+        assert code == 0
+        assert "3 matched cells" in text
+
+    def test_unmatched_cells_is_an_input_error(self):
+        fresh = [_cell(99, 99, "splitmix", 250_000, 60_000, 130_000)]
+        code, text = _run(BASELINE, fresh, tolerance=0.20)
+        assert code == 2
+        assert "no cells match" in text
+
+    def test_absurd_calibration_factor_aborts(self):
+        fresh = _scale(BASELINE, per_edge=0.05, batch=0.05)
+        code, text = _run(BASELINE, fresh, tolerance=0.20)
+        assert code == 2
+        assert "calibration factor" in text
+
+    def test_speedup_metric_is_machine_independent(self):
+        fresh = _scale(BASELINE, per_edge=0.5, batch=0.5)
+        code, _ = _run(BASELINE, fresh, tolerance=0.20, metric="speedup")
+        assert code == 0
+        # Batch-only loss shows up as a speedup regression too.
+        code, _ = _run(
+            BASELINE, _scale(BASELINE, batch=0.7), tolerance=0.20, metric="speedup"
+        )
+        assert code == 1
+
+
+class TestCommandLine:
+    def _write(self, tmp_path, name, cells):
+        path = tmp_path / name
+        path.write_text(json.dumps(_payload(cells)))
+        return path
+
+    def test_main_pass_and_fail(self, tmp_path):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        same = self._write(tmp_path, "same.json", _scale(BASELINE))
+        bad = self._write(tmp_path, "bad.json", _scale(BASELINE, batch=0.75))
+        assert gate.main(["--baseline", str(base), "--fresh", str(same)]) == 0
+        assert gate.main(["--baseline", str(base), "--fresh", str(bad)]) == 1
+
+    def test_tolerance_env_override(self, tmp_path, monkeypatch):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        soft = self._write(tmp_path, "soft.json", _scale(BASELINE, batch=0.75))
+        monkeypatch.setenv("REPRO_BENCH_REGRESSION_TOLERANCE", "0.30")
+        assert gate.main(["--baseline", str(base), "--fresh", str(soft)]) == 0
+
+    def test_calibrate_env_override(self, tmp_path, monkeypatch):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        slow = self._write(tmp_path, "slow.json", _scale(BASELINE, per_edge=0.6, batch=0.6))
+        monkeypatch.setenv("REPRO_BENCH_REGRESSION_CALIBRATE", "0")
+        assert gate.main(["--baseline", str(base), "--fresh", str(slow)]) == 1
+
+    def test_missing_file_is_an_input_error(self, tmp_path):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        with pytest.raises(SystemExit):
+            gate.main(["--baseline", str(base), "--fresh", str(tmp_path / "nope.json")])
+
+    def test_bad_tolerance_rejected(self, tmp_path):
+        base = self._write(tmp_path, "base.json", BASELINE)
+        with pytest.raises(SystemExit):
+            gate.main(
+                ["--baseline", str(base), "--fresh", str(base), "--tolerance", "1.5"]
+            )
