@@ -1,24 +1,44 @@
 """Experiment harness: regenerate every table and figure of the paper.
 
-The harness has three layers:
+The harness has four layers:
 
 * :mod:`repro.experiments.runner` — run one (dataset, method, parameters)
   cell for a number of independent trials and summarise the errors;
+* :mod:`repro.experiments.stages` — the shared stage primitives (dataset
+  prep, declarative accuracy sweeps and their per-cell unit of work);
 * :mod:`repro.experiments.figures` / :mod:`repro.experiments.tables` — one
   function per paper artefact (Figure 1, Table II, Figures 3–8) plus the
   ablations listed in DESIGN.md, each returning a structured result and a
   plain-text rendering of the same rows/series the paper reports;
+* :mod:`repro.experiments.campaign` — declarative, resumable campaigns: a
+  spec file declares stages as a DAG of fingerprinted tasks cached in a
+  content-addressed store, so a full paper reproduction re-runs
+  incrementally (see ``campaigns/paper_full.toml``);
 * :mod:`repro.experiments.cli` — ``rept-experiment`` command-line entry
   point for running any of them from a shell.
 """
 
-from repro.experiments.spec import ExperimentResult, MethodSpec, SweepSpec
+from repro.experiments.spec import (
+    CampaignSpec,
+    ExperimentResult,
+    MethodSpec,
+    StageSpec,
+    SweepSpec,
+)
 from repro.experiments.runner import (
     default_method_specs,
     run_global_trials,
     run_local_trials,
 )
+from repro.experiments.stages import (
+    AccuracySweepDef,
+    accuracy_cell,
+    accuracy_sweep,
+    prepare_stream,
+    resolve_datasets,
+)
 from repro.experiments.figures import (
+    ACCURACY_FIGURES,
     figure1,
     figure3,
     figure4,
@@ -29,15 +49,26 @@ from repro.experiments.figures import (
 )
 from repro.experiments.tables import table2
 from repro.experiments.backends import backend_comparison
+from repro.experiments.results import ResultStore, load_result, save_result
+from repro.experiments.campaign import (
+    load_campaign_spec,
+    plan_campaign,
+    run_campaign,
+)
 
 __all__ = [
-    "backend_comparison",
+    "ACCURACY_FIGURES",
+    "AccuracySweepDef",
+    "CampaignSpec",
     "ExperimentResult",
     "MethodSpec",
+    "ResultStore",
+    "StageSpec",
     "SweepSpec",
+    "accuracy_cell",
+    "accuracy_sweep",
+    "backend_comparison",
     "default_method_specs",
-    "run_global_trials",
-    "run_local_trials",
     "figure1",
     "figure3",
     "figure4",
@@ -45,5 +76,14 @@ __all__ = [
     "figure6",
     "figure7",
     "figure8",
+    "load_campaign_spec",
+    "load_result",
+    "plan_campaign",
+    "prepare_stream",
+    "resolve_datasets",
+    "run_campaign",
+    "run_global_trials",
+    "run_local_trials",
+    "save_result",
     "table2",
 ]

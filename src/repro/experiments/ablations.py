@@ -16,18 +16,11 @@ from repro.analysis.variance import rept_variance
 from repro.core.config import ReptConfig
 from repro.core.rept import ReptEstimator
 from repro.experiments.spec import ExperimentResult
-from repro.generators.datasets import load_dataset
+from repro.experiments.stages import prepare_stream
 from repro.graph.statistics import compute_statistics
 from repro.metrics.errors import empirical_variance, normalized_rmse
 from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
-
-
-def _truncated(dataset: str, max_edges: Optional[int]):
-    stream = load_dataset(dataset)
-    if max_edges is not None and len(stream) > max_edges:
-        stream = stream.prefix(max_edges)
-    return stream
 
 
 def ablation_variance(
@@ -39,7 +32,7 @@ def ablation_variance(
     max_edges: Optional[int] = 4000,
 ) -> ExperimentResult:
     """A1: empirical variance of τ̂ against the paper's closed forms."""
-    stream = _truncated(dataset, max_edges)
+    stream = prepare_stream(dataset, max_edges)
     edges = stream.edges()
     stats = compute_statistics(edges, name=dataset)
     headers = ["c", "regime", "empirical Var", "predicted Var", "ratio"]
@@ -84,7 +77,7 @@ def ablation_combination(
     max_edges: Optional[int] = 4000,
 ) -> ExperimentResult:
     """A2: Graybill–Deal combination vs its two ingredients (c mod m != 0)."""
-    stream = _truncated(dataset, max_edges)
+    stream = prepare_stream(dataset, max_edges)
     edges = stream.edges()
     stats = compute_statistics(edges, name=dataset)
     truth = float(stats.num_triangles)
@@ -137,7 +130,7 @@ def ablation_hash_family(
     max_edges: Optional[int] = 4000,
 ) -> ExperimentResult:
     """A3: splitmix vs tabulation hashing — accuracy should be indistinguishable."""
-    stream = _truncated(dataset, max_edges)
+    stream = prepare_stream(dataset, max_edges)
     edges = stream.edges()
     stats = compute_statistics(edges, name=dataset)
     truth = float(stats.num_triangles)

@@ -1,0 +1,56 @@
+"""Declarative, resumable experiment campaigns.
+
+A campaign spec (TOML/JSON) declares stages — dataset prep, trial sweeps,
+aggregation, figure/table rendering — that the planner expands into a DAG
+of pure tasks.  Each task is keyed by a deterministic fingerprint of
+(kind, resolved config, upstream fingerprints, code version); a
+content-addressed store caches every output, so re-running a campaign
+recomputes only tasks whose fingerprints changed, and a killed campaign
+resumes from the last completed task.
+
+Typical use::
+
+    from repro.experiments.campaign import load_campaign_spec, run_campaign
+
+    spec = load_campaign_spec("campaigns/paper_full.toml")
+    report = run_campaign(spec, store="campaign-out/paper-full/store",
+                          out_dir="campaign-out/paper-full/artefacts")
+    print(report.explain_text())
+
+or from the shell: ``rept-experiment campaign --spec campaigns/paper_full.toml``.
+"""
+
+from repro.experiments.campaign.engine import (
+    CampaignReport,
+    TaskReport,
+    run_campaign,
+)
+from repro.experiments.campaign.fingerprint import CODE_TAG, task_fingerprint
+from repro.experiments.campaign.kinds import (
+    TaskKind,
+    get_task_kind,
+    register_task_kind,
+    task_kind_names,
+)
+from repro.experiments.campaign.loader import (
+    campaign_spec_from_mapping,
+    load_campaign_spec,
+)
+from repro.experiments.campaign.planner import Task, TaskGraph, plan_campaign
+
+__all__ = [
+    "CODE_TAG",
+    "CampaignReport",
+    "Task",
+    "TaskGraph",
+    "TaskKind",
+    "TaskReport",
+    "campaign_spec_from_mapping",
+    "get_task_kind",
+    "load_campaign_spec",
+    "plan_campaign",
+    "register_task_kind",
+    "run_campaign",
+    "task_fingerprint",
+    "task_kind_names",
+]

@@ -1,0 +1,50 @@
+"""Deterministic task fingerprints for the campaign engine.
+
+A task's fingerprint digests everything that can change its output:
+
+* the task kind and the kind's implementation version;
+* the fully resolved task configuration (canonical JSON, key order
+  irrelevant, list order significant);
+* the fingerprints of every upstream task it consumes — so invalidation
+  propagates through exactly the downstream cone of a change;
+* a code tag combining the library version with the campaign format
+  version, so releases that may change numerics never reuse stale caches.
+
+Fingerprints deliberately depend on *no* runtime state (hostname, time,
+process ids): the same spec on the same code always maps to the same
+fingerprints, which is what makes the content-addressed store shareable
+between serial runs, worker pools and CI jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Mapping
+
+import repro
+from repro.experiments.results import canonical_json
+
+#: Bump the suffix when the campaign/task-graph semantics change in a way
+#: that should invalidate every cached record.
+CODE_TAG = f"repro-{repro.__version__}/campaign-v1"
+
+
+def task_fingerprint(
+    kind: str,
+    kind_version: int,
+    config: Mapping[str, object],
+    upstream: Mapping[str, str],
+) -> str:
+    """Return the hex fingerprint of one task.
+
+    ``upstream`` maps dependency task ids to *their* fingerprints; key
+    order never matters (the document is key-sorted before hashing).
+    """
+    document = {
+        "code": CODE_TAG,
+        "kind": kind,
+        "kind_version": kind_version,
+        "config": dict(config),
+        "upstream": dict(upstream),
+    }
+    return hashlib.sha256(canonical_json(document).encode("utf-8")).hexdigest()

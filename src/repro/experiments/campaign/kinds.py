@@ -1,0 +1,169 @@
+"""Task kinds: the pure functions a campaign DAG is built from.
+
+A :class:`TaskKind` is ``(name, version, fn)`` where ``fn(config, inputs)``
+maps a resolved configuration plus upstream payloads (keyed by dependency
+task id) to a JSON-encodable payload.  Kinds must be *pure*: same config +
+same inputs → same payload, with no hidden state — the content-addressed
+cache depends on it.  Bump a kind's ``version`` whenever its implementation
+changes in a way that can alter payloads; that invalidates exactly the
+cached records of that kind (and their downstream cones).
+
+Built-in kinds:
+
+``dataset-stats``
+    Prepare one dataset and record its exact statistics; the anchor task
+    every sweep cell hangs off.
+``accuracy-cell``
+    One (figure, dataset, c) cell of an accuracy figure: method → NRMSE.
+``accuracy-figure``
+    Aggregate a figure's cells into the full
+    :class:`~repro.experiments.spec.ExperimentResult` payload — identical
+    to calling the figure function directly.
+``artefact``
+    Run any registered paper artefact (``table2``, ``figure7``,
+    ``ablation-hash``, ...) with explicit parameters.
+``report``
+    Concatenate the text renderings of upstream stages into one campaign
+    report.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping
+
+from repro.exceptions import ExperimentError
+from repro.experiments import stages
+from repro.experiments.registry import get_artefact
+from repro.experiments.results import encode_result
+
+
+@dataclass(frozen=True)
+class TaskKind:
+    """One registered task kind.
+
+    Attributes
+    ----------
+    name:
+        Kind identifier used in specs and fingerprints.
+    version:
+        Implementation version; participates in every fingerprint of this
+        kind, so bumping it invalidates the kind's cached records.
+    fn:
+        ``(config, inputs) -> payload``.  ``inputs`` maps dependency task
+        ids to their payloads; the payload must be JSON-encodable.
+    """
+
+    name: str
+    version: int
+    fn: Callable[[Mapping[str, object], Mapping[str, object]], object]
+
+
+_KINDS: Dict[str, TaskKind] = {}
+
+
+def register_task_kind(name: str, version: int, fn) -> TaskKind:
+    """Register a task kind; raises on duplicate names."""
+    if name in _KINDS:
+        raise ExperimentError(f"task kind {name!r} is already registered")
+    kind = TaskKind(name=name, version=version, fn=fn)
+    _KINDS[name] = kind
+    return kind
+
+
+def get_task_kind(name: str) -> TaskKind:
+    """Resolve a kind name; raises :class:`ExperimentError` when unknown."""
+    try:
+        return _KINDS[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown task kind {name!r}; known: {', '.join(sorted(_KINDS))}"
+        ) from exc
+
+
+def task_kind_names() -> List[str]:
+    """Return every registered kind name, sorted."""
+    return sorted(_KINDS)
+
+
+# ---------------------------------------------------------------------------
+# Built-in kinds
+# ---------------------------------------------------------------------------
+
+def _dataset_stats(config: Mapping[str, object], inputs: Mapping[str, object]):
+    return stages.dataset_statistics(
+        str(config["dataset"]), max_edges=config.get("max_edges")
+    )
+
+
+def _accuracy_cell(config: Mapping[str, object], inputs: Mapping[str, object]):
+    return stages.accuracy_cell(
+        experiment_id=str(config["figure"]),
+        dataset=str(config["dataset"]),
+        c=int(config["c"]),
+        p=float(config["p"]),
+        methods=list(config["methods"]),
+        num_trials=int(config["num_trials"]),
+        seed=int(config["seed"]),
+        local=bool(config["local"]),
+        max_edges=config.get("max_edges"),
+        rept_backend=config.get("rept_backend"),
+    )
+
+
+def _accuracy_figure(config: Mapping[str, object], inputs: Mapping[str, object]):
+    from repro.experiments.figures import ACCURACY_FIGURES
+
+    figure = str(config["figure"])
+    sweep = ACCURACY_FIGURES[figure]
+    datasets = list(config["datasets"])
+    c_values = [int(c) for c in config["c_values"]]
+    cell_ids = config["cells"]
+    cells: Dict[str, Dict[int, Dict[str, float]]] = {}
+    for dataset in datasets:
+        per_c: Dict[int, Dict[str, float]] = {}
+        for c, task_id in zip(c_values, cell_ids[dataset]):
+            try:
+                per_c[c] = inputs[task_id]
+            except KeyError as exc:
+                raise ExperimentError(
+                    f"{figure} aggregation is missing cell input {task_id!r}"
+                ) from exc
+        cells[dataset] = per_c
+    result = stages.assemble_accuracy_result(
+        sweep,
+        datasets,
+        c_values,
+        cells,
+        num_trials=int(config["num_trials"]),
+        seed=int(config["seed"]),
+        max_edges=config.get("max_edges"),
+        methods=list(config["methods"]),
+        rept_backend=config.get("rept_backend"),
+    )
+    return encode_result(result)
+
+
+def _artefact(config: Mapping[str, object], inputs: Mapping[str, object]):
+    name = str(config["artefact"])
+    params = dict(config.get("params", {}))
+    result = get_artefact(name)(**params)
+    return encode_result(result)
+
+
+def _report(config: Mapping[str, object], inputs: Mapping[str, object]):
+    title = str(config.get("title", "Campaign report"))
+    sections = list(config["sections"])
+    blocks: List[str] = [f"# {title}"]
+    for task_id in sections:
+        payload = inputs.get(task_id)
+        if isinstance(payload, Mapping) and payload.get("text"):
+            blocks.append(f"## {task_id}\n\n{payload['text']}")
+    return {"title": title, "text": "\n\n".join(blocks)}
+
+
+register_task_kind("dataset-stats", 1, _dataset_stats)
+register_task_kind("accuracy-cell", 1, _accuracy_cell)
+register_task_kind("accuracy-figure", 1, _accuracy_figure)
+register_task_kind("artefact", 1, _artefact)
+register_task_kind("report", 1, _report)

@@ -1,0 +1,120 @@
+"""Load campaign specs from TOML or JSON files.
+
+File layout (TOML shown; JSON uses the same structure)::
+
+    [campaign]
+    name = "smoke"
+    description = "tiny CI campaign"
+    workers = 2           # optional, default 1
+
+    [defaults]            # optional, merged under every stage config
+    max_edges = 1200
+    num_trials = 2
+
+    [stages.prep]
+    kind = "dataset-stats"
+    datasets = ["youtube-sim"]
+
+    [stages.figure4]
+    kind = "accuracy-figure"
+    depends_on = ["prep"]
+    c_values = [2, 8]
+
+Every key of a stage table other than ``kind`` and ``depends_on`` is that
+stage's configuration.  Stage declaration order is preserved (it fixes
+report section order); execution order comes from ``depends_on``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Mapping, Union
+
+from repro.exceptions import ExperimentError
+from repro.experiments.spec import CampaignSpec, StageSpec
+
+PathLike = Union[str, Path]
+
+_TOP_LEVEL_KEYS = ("campaign", "defaults", "stages")
+_STAGE_RESERVED = ("kind", "depends_on")
+
+
+def _parse_file(path: Path) -> Mapping:
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        with open(path, "rb") as handle:
+            try:
+                return tomllib.load(handle)
+            except tomllib.TOMLDecodeError as exc:
+                raise ExperimentError(f"{path} is not valid TOML: {exc}") from exc
+    if path.suffix.lower() == ".json":
+        with open(path, "r", encoding="utf-8") as handle:
+            try:
+                return json.load(handle)
+            except json.JSONDecodeError as exc:
+                raise ExperimentError(f"{path} is not valid JSON: {exc}") from exc
+    raise ExperimentError(
+        f"unsupported campaign spec extension {path.suffix!r} (use .toml or .json)"
+    )
+
+
+def campaign_spec_from_mapping(data: Mapping, source: str = "<mapping>") -> CampaignSpec:
+    """Build a validated :class:`CampaignSpec` from parsed file contents."""
+    if not isinstance(data, Mapping):
+        raise ExperimentError(f"{source}: campaign spec must be a table/object")
+    unknown = sorted(set(data) - set(_TOP_LEVEL_KEYS))
+    if unknown:
+        raise ExperimentError(
+            f"{source}: unknown top-level sections {unknown}; "
+            f"expected {list(_TOP_LEVEL_KEYS)}"
+        )
+    header = data.get("campaign")
+    if not isinstance(header, Mapping) or "name" not in header:
+        raise ExperimentError(f"{source}: missing [campaign] section with a name")
+    stages_table = data.get("stages")
+    if not isinstance(stages_table, Mapping) or not stages_table:
+        raise ExperimentError(f"{source}: missing [stages.*] sections")
+
+    stages = []
+    for name, body in stages_table.items():
+        if not isinstance(body, Mapping):
+            raise ExperimentError(f"{source}: stage {name!r} must be a table/object")
+        if "kind" not in body:
+            raise ExperimentError(f"{source}: stage {name!r} declares no kind")
+        depends_on = body.get("depends_on", ())
+        if isinstance(depends_on, str) or not isinstance(depends_on, (list, tuple)):
+            raise ExperimentError(
+                f"{source}: stage {name!r} depends_on must be a list of stage names"
+            )
+        config = {
+            key: value for key, value in body.items() if key not in _STAGE_RESERVED
+        }
+        stages.append(
+            StageSpec(
+                name=str(name),
+                kind=str(body["kind"]),
+                config=config,
+                depends_on=tuple(str(dep) for dep in depends_on),
+            )
+        )
+
+    workers = header.get("workers", 1)
+    if not isinstance(workers, int):
+        raise ExperimentError(f"{source}: campaign workers must be an integer")
+    return CampaignSpec(
+        name=str(header["name"]),
+        description=str(header.get("description", "")),
+        stages=tuple(stages),
+        defaults=dict(data.get("defaults", {})),
+        workers=workers,
+    )
+
+
+def load_campaign_spec(path: PathLike) -> CampaignSpec:
+    """Parse and validate the campaign spec file at ``path``."""
+    path = Path(path)
+    if not path.is_file():
+        raise ExperimentError(f"campaign spec {path} does not exist")
+    return campaign_spec_from_mapping(_parse_file(path), source=str(path))

@@ -1,0 +1,287 @@
+"""Planner: expand a validated :class:`CampaignSpec` into a task graph.
+
+Each stage expands according to its kind:
+
+* ``dataset-stats`` fans out into one task per dataset
+  (``<stage>/<dataset>``);
+* ``accuracy-figure`` fans out into one ``accuracy-cell`` task per
+  (dataset, c) pair (``<stage>/<dataset>/c<c>``) plus one aggregation task
+  named after the stage — the cells are the cache/parallelism unit;
+* ``artefact`` and ``report`` stay single tasks.
+
+Dependency wiring follows the data: a figure's cells depend on *their*
+dataset's ``dataset-stats`` task (so changing one dataset's preparation
+invalidates only that dataset's cells), while any other upstream stage
+attaches to the stage's terminal task.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from repro.exceptions import ExperimentError
+from repro.experiments.registry import artefact_names
+from repro.experiments.spec import CampaignSpec, StageSpec
+from repro.experiments.stages import resolve_datasets
+
+
+@dataclass(frozen=True)
+class Task:
+    """One node of the planned graph (still unexecuted, unfingerprinted)."""
+
+    task_id: str
+    stage: str
+    kind: str
+    config: Mapping[str, object]
+    deps: Tuple[str, ...] = ()
+
+
+@dataclass
+class TaskGraph:
+    """The planned campaign: tasks in topological (insertion) order."""
+
+    campaign: str
+    tasks: Dict[str, Task] = field(default_factory=dict)
+    #: stage name -> the task ids downstream stages should consume.
+    terminals: Dict[str, List[str]] = field(default_factory=dict)
+
+    def add(self, task: Task) -> None:
+        if task.task_id in self.tasks:
+            raise ExperimentError(f"duplicate task id {task.task_id!r}")
+        for dep in task.deps:
+            if dep not in self.tasks:
+                raise ExperimentError(
+                    f"task {task.task_id!r} depends on unplanned task {dep!r}"
+                )
+        self.tasks[task.task_id] = task
+
+    def topological_ids(self) -> List[str]:
+        """Task ids with every dependency preceding its dependents."""
+        return list(self.tasks)
+
+
+def _topological_stages(spec: CampaignSpec) -> List[StageSpec]:
+    """Stages sorted so dependencies come first (declaration-order stable)."""
+    remaining = list(spec.stages)
+    done: List[StageSpec] = []
+    done_names: set = set()
+    while remaining:
+        progressed = False
+        still: List[StageSpec] = []
+        for stage in remaining:
+            if all(dep in done_names for dep in stage.depends_on):
+                done.append(stage)
+                done_names.add(stage.name)
+                progressed = True
+            else:
+                still.append(stage)
+        if not progressed:
+            cycle = ", ".join(stage.name for stage in still)
+            raise ExperimentError(f"campaign {spec.name!r} has a dependency cycle: {cycle}")
+        remaining = still
+    return done
+
+
+def _merged_config(spec: CampaignSpec, stage: StageSpec) -> Dict[str, object]:
+    return {**dict(spec.defaults), **dict(stage.config)}
+
+
+def _check_keys(stage: StageSpec, accepted: Sequence[str]) -> None:
+    unknown = sorted(set(stage.config) - set(accepted))
+    if unknown:
+        raise ExperimentError(
+            f"stage {stage.name!r} ({stage.kind}) has unknown config keys {unknown}; "
+            f"accepted: {sorted(accepted)}"
+        )
+
+
+def _dep_terminals(graph: TaskGraph, stage: StageSpec) -> List[str]:
+    terminals: List[str] = []
+    for dep in stage.depends_on:
+        terminals.extend(graph.terminals[dep])
+    return terminals
+
+
+def _plan_dataset_stats(spec: CampaignSpec, stage: StageSpec, graph: TaskGraph) -> None:
+    _check_keys(stage, ("datasets", "max_edges"))
+    merged = _merged_config(spec, stage)
+    datasets = resolve_datasets(merged.get("datasets"))
+    deps = tuple(_dep_terminals(graph, stage))
+    terminal_ids: List[str] = []
+    for dataset in datasets:
+        task_id = f"{stage.name}/{dataset}"
+        graph.add(
+            Task(
+                task_id=task_id,
+                stage=stage.name,
+                kind="dataset-stats",
+                config={"dataset": dataset, "max_edges": merged.get("max_edges")},
+                deps=deps,
+            )
+        )
+        terminal_ids.append(task_id)
+    graph.terminals[stage.name] = terminal_ids
+
+
+def _plan_accuracy_figure(spec: CampaignSpec, stage: StageSpec, graph: TaskGraph) -> None:
+    from repro.experiments.figures import ACCURACY_FIGURES
+
+    _check_keys(
+        stage,
+        (
+            "figure", "datasets", "c_values", "num_trials",
+            "seed", "max_edges", "methods", "rept_backend",
+        ),
+    )
+    merged = _merged_config(spec, stage)
+    figure = merged.get("figure", stage.name)
+    if figure not in ACCURACY_FIGURES:
+        raise ExperimentError(
+            f"stage {stage.name!r}: {figure!r} is not an accuracy figure; "
+            f"known: {sorted(ACCURACY_FIGURES)}"
+        )
+    sweep = ACCURACY_FIGURES[figure]
+    datasets = resolve_datasets(merged.get("datasets"))
+    c_values = [int(c) for c in merged.get("c_values", sweep.c_values)]
+    num_trials = int(merged.get("num_trials", sweep.default_trials))
+    seed = int(merged.get("seed", sweep.default_seed))
+    max_edges = merged.get("max_edges")
+    methods = list(merged.get("methods", sweep.methods))
+    rept_backend = merged.get("rept_backend")
+
+    # Per-dataset anchoring: cells depend on their dataset's prep task when
+    # a dataset-stats stage is upstream; every other upstream attaches to
+    # the aggregate.
+    dataset_dep_stages = [
+        spec.stage(dep) for dep in stage.depends_on
+        if spec.stage(dep).kind == "dataset-stats"
+    ]
+    other_terminals = [
+        tid for dep in stage.depends_on
+        if spec.stage(dep).kind != "dataset-stats"
+        for tid in graph.terminals[dep]
+    ]
+
+    cell_ids: Dict[str, List[str]] = {}
+    for dataset in datasets:
+        per_dataset_deps: List[str] = []
+        for dep_stage in dataset_dep_stages:
+            dep_id = f"{dep_stage.name}/{dataset}"
+            if dep_id not in graph.tasks:
+                raise ExperimentError(
+                    f"stage {stage.name!r} sweeps dataset {dataset!r} but upstream "
+                    f"stage {dep_stage.name!r} does not prepare it"
+                )
+            per_dataset_deps.append(dep_id)
+        ids: List[str] = []
+        for c in c_values:
+            task_id = f"{stage.name}/{dataset}/c{c}"
+            graph.add(
+                Task(
+                    task_id=task_id,
+                    stage=stage.name,
+                    kind="accuracy-cell",
+                    config={
+                        "figure": figure,
+                        "dataset": dataset,
+                        "c": c,
+                        "p": sweep.p,
+                        "local": sweep.local,
+                        "methods": methods,
+                        "num_trials": num_trials,
+                        "seed": seed,
+                        "max_edges": max_edges,
+                        "rept_backend": rept_backend,
+                    },
+                    deps=tuple(per_dataset_deps),
+                )
+            )
+            ids.append(task_id)
+        cell_ids[dataset] = ids
+
+    aggregate_deps = [tid for ids in cell_ids.values() for tid in ids] + other_terminals
+    graph.add(
+        Task(
+            task_id=stage.name,
+            stage=stage.name,
+            kind="accuracy-figure",
+            config={
+                "figure": figure,
+                "datasets": datasets,
+                "c_values": c_values,
+                "num_trials": num_trials,
+                "seed": seed,
+                "max_edges": max_edges,
+                "methods": methods,
+                "rept_backend": rept_backend,
+                "cells": cell_ids,
+            },
+            deps=tuple(aggregate_deps),
+        )
+    )
+    graph.terminals[stage.name] = [stage.name]
+
+
+def _plan_artefact(spec: CampaignSpec, stage: StageSpec, graph: TaskGraph) -> None:
+    _check_keys(stage, ("artefact", "params"))
+    merged = _merged_config(spec, stage)
+    name = merged.get("artefact", stage.name)
+    if name not in artefact_names():
+        raise ExperimentError(
+            f"stage {stage.name!r}: unknown artefact {name!r}; "
+            f"known: {', '.join(artefact_names())}"
+        )
+    params = dict(merged.get("params", {}))
+    graph.add(
+        Task(
+            task_id=stage.name,
+            stage=stage.name,
+            kind="artefact",
+            config={"artefact": name, "params": params},
+            deps=tuple(_dep_terminals(graph, stage)),
+        )
+    )
+    graph.terminals[stage.name] = [stage.name]
+
+
+def _plan_report(spec: CampaignSpec, stage: StageSpec, graph: TaskGraph) -> None:
+    _check_keys(stage, ("title",))
+    merged = _merged_config(spec, stage)
+    sections = _dep_terminals(graph, stage)
+    graph.add(
+        Task(
+            task_id=stage.name,
+            stage=stage.name,
+            kind="report",
+            config={
+                "title": merged.get("title", f"Campaign {spec.name}"),
+                "sections": sections,
+            },
+            deps=tuple(sections),
+        )
+    )
+    graph.terminals[stage.name] = [stage.name]
+
+
+_STAGE_PLANNERS = {
+    "dataset-stats": _plan_dataset_stats,
+    "accuracy-figure": _plan_accuracy_figure,
+    "artefact": _plan_artefact,
+    "report": _plan_report,
+}
+
+
+def plan_campaign(spec: CampaignSpec) -> TaskGraph:
+    """Expand ``spec`` into a :class:`TaskGraph`; raises on invalid specs."""
+    graph = TaskGraph(campaign=spec.name)
+    for stage in _topological_stages(spec):
+        try:
+            planner = _STAGE_PLANNERS[stage.kind]
+        except KeyError as exc:
+            raise ExperimentError(
+                f"stage {stage.name!r} uses unknown kind {stage.kind!r}; "
+                f"known: {sorted(_STAGE_PLANNERS)}"
+            ) from exc
+        planner(spec, stage, graph)
+    return graph

@@ -9,29 +9,41 @@ Run the Table II reproduction on every registered dataset::
 Run Figure 3 on two datasets with 3 trials and truncated streams::
 
     rept-experiment figure3 --datasets flickr-sim youtube-sim --trials 3 --max-edges 4000
+
+Run (or incrementally re-run) a full campaign from a spec file::
+
+    rept-experiment campaign --spec campaigns/paper_full.toml --explain
+
+The campaign artefact caches every task in a content-addressed store; an
+immediate re-run is pure cache hits, ``--force`` recomputes everything,
+``--dry-run`` shows what would run without running it, and
+``--require-cached`` fails (exit code 3) if anything was *not* served from
+cache — the CI hook that proves incremental reproduction works.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional
 
-from repro.experiments import backends as backends_module
-from repro.experiments import figures, tables
-from repro.experiments import ablations
+from repro.experiments.registry import artefact_names, get_artefact
 from repro.experiments.spec import ExperimentResult
+
+#: Exit code of ``--require-cached`` when a task had to be computed.
+EXIT_CACHE_MISS = 3
 
 
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="rept-experiment",
-        description="Regenerate a table or figure of the REPT paper",
+        description="Regenerate a table or figure of the REPT paper, or run a campaign",
     )
     parser.add_argument(
         "artefact",
-        choices=sorted(_ARTEFACTS),
-        help="which paper artefact (or ablation) to regenerate",
+        choices=sorted(artefact_names() + ["campaign"]),
+        help="which paper artefact (or ablation, or 'campaign') to regenerate",
     )
     parser.add_argument(
         "--datasets",
@@ -102,6 +114,59 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace duration in seconds for the 'monitor' artefact "
         "(default: 3600; smaller = faster)",
     )
+
+    campaign = parser.add_argument_group("campaign options")
+    campaign.add_argument(
+        "--spec",
+        default=None,
+        help="campaign spec file (.toml or .json); required for 'campaign'",
+    )
+    campaign.add_argument(
+        "--store",
+        default=None,
+        help="content-addressed result store directory "
+        "(default: campaign-out/<name>/store)",
+    )
+    campaign.add_argument(
+        "--out",
+        default=None,
+        help="directory for rendered outputs + manifest "
+        "(default: campaign-out/<name>/artefacts)",
+    )
+    campaign.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="worker processes for task fan-out (default: the spec's setting)",
+    )
+    campaign.add_argument(
+        "--resume",
+        action=argparse.BooleanOptionalAction,
+        default=True,
+        help="reuse cached task results (on by default); --no-resume recomputes "
+        "everything without consulting the cache",
+    )
+    campaign.add_argument(
+        "--force",
+        action="store_true",
+        help="recompute every task, overwriting cached records",
+    )
+    campaign.add_argument(
+        "--explain",
+        action="store_true",
+        help="print the per-task cache hit/miss table",
+    )
+    campaign.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="plan and fingerprint only; show what would run",
+    )
+    campaign.add_argument(
+        "--require-cached",
+        action="store_true",
+        help=f"exit with code {EXIT_CACHE_MISS} if any task was not served "
+        "from cache (CI regression hook)",
+    )
     return parser
 
 
@@ -166,56 +231,57 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
             kwargs["panes_per_window"] = args.panes
         if args.duration is not None:
             kwargs["duration_seconds"] = args.duration
-    else:  # ablations
+    else:  # ablations / predictions
         if args.datasets:
             kwargs["dataset"] = args.datasets[0]
         if args.trials is not None:
             kwargs["num_trials"] = args.trials
         if args.seed is not None:
             kwargs["seed"] = args.seed
-    return _ARTEFACTS[name](**kwargs)
+    return get_artefact(name)(**kwargs)
 
 
-def _prediction_artefact(**kwargs) -> ExperimentResult:
-    from repro.experiments.predictions import prediction_vs_measurement
+def _run_campaign(args: argparse.Namespace) -> int:
+    from repro.experiments.campaign import load_campaign_spec, run_campaign
 
-    return prediction_vs_measurement(**kwargs)
-
-
-def _ingest_artefact(**kwargs) -> ExperimentResult:
-    from repro.experiments.ingest import ingest_throughput
-
-    return ingest_throughput(**kwargs)
-
-
-def _monitor_artefact(**kwargs) -> ExperimentResult:
-    from repro.experiments.monitoring import windowed_monitoring
-
-    return windowed_monitoring(**kwargs)
-
-
-_ARTEFACTS: Dict[str, Callable[..., ExperimentResult]] = {
-    "ingest": _ingest_artefact,
-    "monitor": _monitor_artefact,
-    "figure1": figures.figure1,
-    "figure3": figures.figure3,
-    "figure4": figures.figure4,
-    "figure5": figures.figure5,
-    "figure6": figures.figure6,
-    "figure7": figures.figure7,
-    "figure8": figures.figure8,
-    "table2": tables.table2,
-    "backends": backends_module.backend_comparison,
-    "ablation-variance": ablations.ablation_variance,
-    "ablation-combination": ablations.ablation_combination,
-    "ablation-hash": ablations.ablation_hash_family,
-    "predictions": _prediction_artefact,
-}
+    if not args.spec:
+        print("campaign requires --spec <file.toml|file.json>", file=sys.stderr)
+        return 2
+    spec = load_campaign_spec(args.spec)
+    base = Path("campaign-out") / spec.name
+    store = Path(args.store) if args.store else base / "store"
+    out_dir = Path(args.out) if args.out else base / "artefacts"
+    report = run_campaign(
+        spec,
+        store=store,
+        out_dir=out_dir,
+        resume=args.resume,
+        force=args.force,
+        workers=args.workers,
+        dry_run=args.dry_run,
+    )
+    if args.explain:
+        print(report.explain_text())
+    else:
+        print(report.summary_line())
+    if not args.dry_run:
+        print(f"store: {report.store_root}")
+        print(f"outputs: {report.out_dir}")
+    if args.require_cached and report.num_computed > 0:
+        print(
+            f"--require-cached: {report.num_computed} task(s) were not served "
+            "from cache",
+            file=sys.stderr,
+        )
+        return EXIT_CACHE_MISS
+    return 0
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = _build_parser().parse_args(argv)
+    if args.artefact == "campaign":
+        return _run_campaign(args)
     result = _run_artefact(args.artefact, args)
     print(result.text)
     return 0

@@ -7,6 +7,14 @@ to a configuration that runs in minutes on a laptop against the synthetic
 dataset registry; pass larger ``num_trials`` / full dataset lists for
 tighter error bars.
 
+The accuracy figures (3–6) are *declarative*: each is an
+:class:`~repro.experiments.stages.AccuracySweepDef` entry in
+:data:`ACCURACY_FIGURES`, executed by the shared
+:func:`~repro.experiments.stages.accuracy_sweep` primitive — the same
+primitive the campaign engine decomposes into cached per-(dataset, c) cell
+tasks.  ``figure3(...)`` and a campaign stage running figure3 therefore
+produce identical output.
+
 The paper's axes:
 
 * Figure 1  — τ vs η and the two MASCOT variance terms, per dataset.
@@ -23,9 +31,14 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import default_method_specs, run_global_trials, run_local_trials
+from repro.experiments.runner import default_method_specs, run_global_trials
 from repro.experiments.spec import ExperimentResult
-from repro.generators.datasets import available_datasets, load_dataset
+from repro.experiments.stages import (
+    AccuracySweepDef,
+    accuracy_sweep,
+    prepare_stream,
+    resolve_datasets,
+)
 from repro.graph.statistics import compute_statistics
 from repro.metrics.runtime import measure_runtime
 from repro.utils.rng import derive_seed
@@ -37,17 +50,81 @@ FIGURE4_C_VALUES = (2, 8, 16, 24, 32)
 FIGURE7_INV_P_VALUES = (2, 4, 8, 16, 32)
 FIGURE8_C_VALUES = (2, 4, 8, 16, 32)
 
+#: The accuracy figures as data: p, axis, method line-up and default seed
+#: are the *only* things that differ between Figures 3–6.
+ACCURACY_FIGURES: Dict[str, AccuracySweepDef] = {
+    "figure3": AccuracySweepDef(
+        experiment_id="figure3",
+        description="Global NRMSE vs number of processors, p=0.01",
+        p=0.01,
+        c_values=FIGURE3_C_VALUES,
+        methods=("mascot", "triest", "gps", "rept"),
+        local=False,
+        default_seed=3,
+    ),
+    "figure4": AccuracySweepDef(
+        experiment_id="figure4",
+        description="Global NRMSE vs number of processors, p=0.1",
+        p=0.1,
+        c_values=FIGURE4_C_VALUES,
+        methods=("mascot", "triest", "gps", "rept"),
+        local=False,
+        default_seed=4,
+    ),
+    "figure5": AccuracySweepDef(
+        experiment_id="figure5",
+        description="Local NRMSE vs number of processors, p=0.01",
+        p=0.01,
+        c_values=FIGURE3_C_VALUES,
+        methods=("mascot", "triest", "rept"),
+        local=True,
+        default_seed=5,
+    ),
+    "figure6": AccuracySweepDef(
+        experiment_id="figure6",
+        description="Local NRMSE vs number of processors, p=0.1",
+        p=0.1,
+        c_values=FIGURE4_C_VALUES,
+        methods=("mascot", "triest", "rept"),
+        local=True,
+        default_seed=6,
+    ),
+}
 
-def _prepare_stream(dataset: str, max_edges: Optional[int]):
-    """Load a registered dataset, optionally truncated to ``max_edges``."""
-    stream = load_dataset(dataset)
-    if max_edges is not None and len(stream) > max_edges:
-        stream = stream.prefix(max_edges)
-    return stream
+
+def _make_accuracy_figure(sweep: AccuracySweepDef):
+    """Build the thin public wrapper for one declarative accuracy figure."""
+
+    def figure(
+        datasets: Optional[Sequence[str]] = None,
+        c_values: Sequence[int] = sweep.c_values,
+        num_trials: int = sweep.default_trials,
+        seed: int = sweep.default_seed,
+        max_edges: Optional[int] = None,
+        methods: Sequence[str] = sweep.methods,
+        rept_backend: Optional[str] = None,
+    ) -> ExperimentResult:
+        return accuracy_sweep(
+            sweep,
+            datasets=datasets,
+            c_values=c_values,
+            num_trials=num_trials,
+            seed=seed,
+            max_edges=max_edges,
+            methods=methods,
+            rept_backend=rept_backend,
+        )
+
+    figure.__name__ = sweep.experiment_id
+    figure.__qualname__ = sweep.experiment_id
+    figure.__doc__ = f"{sweep.experiment_id.capitalize()}: {sweep.description}."
+    return figure
 
 
-def _resolve_datasets(datasets: Optional[Sequence[str]]) -> List[str]:
-    return list(datasets) if datasets else available_datasets()
+figure3 = _make_accuracy_figure(ACCURACY_FIGURES["figure3"])
+figure4 = _make_accuracy_figure(ACCURACY_FIGURES["figure4"])
+figure5 = _make_accuracy_figure(ACCURACY_FIGURES["figure5"])
+figure6 = _make_accuracy_figure(ACCURACY_FIGURES["figure6"])
 
 
 # ---------------------------------------------------------------------------
@@ -64,7 +141,7 @@ def figure1(
     The paper's claim is that ``2η(p⁻¹−1)`` dominates ``τ(p⁻²−1)`` — i.e.
     the covariance between sampled semi-triangles dominates MASCOT's error.
     """
-    names = _resolve_datasets(datasets)
+    names = resolve_datasets(datasets)
     headers = ["dataset", "tau", "eta", "eta/tau"]
     for p in probabilities:
         headers.append(f"tau(p^-2-1) p={p}")
@@ -73,7 +150,7 @@ def figure1(
     rows: List[List] = []
     series: Dict[str, Dict[str, List[float]]] = {}
     for name in names:
-        stream = _prepare_stream(name, max_edges)
+        stream = prepare_stream(name, max_edges)
         stats = compute_statistics(stream.edges(), name=name)
         row: List = [name, stats.num_triangles, stats.eta, stats.eta_to_tau_ratio()]
         per_dataset: Dict[str, List[float]] = {"tau": [], "eta": [], "tau_term": [], "cov_term": []}
@@ -104,166 +181,6 @@ def figure1(
 
 
 # ---------------------------------------------------------------------------
-# Figures 3-6: accuracy sweeps over the processor count
-# ---------------------------------------------------------------------------
-
-def _accuracy_sweep(
-    experiment_id: str,
-    description: str,
-    p: float,
-    c_values: Sequence[int],
-    datasets: Optional[Sequence[str]],
-    methods: Sequence[str],
-    num_trials: int,
-    seed: int,
-    local: bool,
-    max_edges: Optional[int],
-) -> ExperimentResult:
-    names = _resolve_datasets(datasets)
-    series: Dict[str, Dict[str, List[float]]] = {}
-    text_blocks: List[str] = []
-    for name in names:
-        stream = _prepare_stream(name, max_edges)
-        edges = stream.edges()
-        stats = compute_statistics(edges, name=name)
-        per_method: Dict[str, List[float]] = {}
-        for c in c_values:
-            specs = default_method_specs(
-                p, c, len(edges), methods=methods, track_local=local
-            )
-            cell_seed = derive_seed(seed, experiment_id, name, c)
-            if local:
-                truth_local = {
-                    node: float(value) for node, value in stats.local_triangles.items()
-                }
-                summaries = run_local_trials(specs, edges, truth_local, num_trials, seed=cell_seed)
-            else:
-                summaries = run_global_trials(
-                    specs, edges, float(stats.num_triangles), num_trials, seed=cell_seed
-                )
-            for method_name, summary in summaries.items():
-                per_method.setdefault(method_name, []).append(summary.nrmse)
-        series[name] = per_method
-        text_blocks.append(
-            format_series(
-                "c",
-                list(c_values),
-                [(method, values) for method, values in per_method.items()],
-                title=f"{experiment_id} — {name} (p={p}, trials={num_trials})",
-            )
-        )
-    return ExperimentResult(
-        experiment_id=experiment_id,
-        description=description,
-        axis_name="c",
-        axis_values=list(c_values),
-        series=series,
-        text="\n\n".join(text_blocks),
-        metadata={
-            "p": p,
-            "datasets": names,
-            "methods": list(methods),
-            "num_trials": num_trials,
-            "seed": seed,
-            "max_edges": max_edges,
-            "local": local,
-        },
-    )
-
-
-def figure3(
-    datasets: Optional[Sequence[str]] = None,
-    c_values: Sequence[int] = FIGURE3_C_VALUES,
-    num_trials: int = 5,
-    seed: int = 3,
-    max_edges: Optional[int] = None,
-    methods: Sequence[str] = ("mascot", "triest", "gps", "rept"),
-) -> ExperimentResult:
-    """Figure 3: global-count NRMSE vs c at p = 0.01."""
-    return _accuracy_sweep(
-        "figure3",
-        "Global NRMSE vs number of processors, p=0.01",
-        p=0.01,
-        c_values=c_values,
-        datasets=datasets,
-        methods=methods,
-        num_trials=num_trials,
-        seed=seed,
-        local=False,
-        max_edges=max_edges,
-    )
-
-
-def figure4(
-    datasets: Optional[Sequence[str]] = None,
-    c_values: Sequence[int] = FIGURE4_C_VALUES,
-    num_trials: int = 5,
-    seed: int = 4,
-    max_edges: Optional[int] = None,
-    methods: Sequence[str] = ("mascot", "triest", "gps", "rept"),
-) -> ExperimentResult:
-    """Figure 4: global-count NRMSE vs c at p = 0.1."""
-    return _accuracy_sweep(
-        "figure4",
-        "Global NRMSE vs number of processors, p=0.1",
-        p=0.1,
-        c_values=c_values,
-        datasets=datasets,
-        methods=methods,
-        num_trials=num_trials,
-        seed=seed,
-        local=False,
-        max_edges=max_edges,
-    )
-
-
-def figure5(
-    datasets: Optional[Sequence[str]] = None,
-    c_values: Sequence[int] = FIGURE3_C_VALUES,
-    num_trials: int = 5,
-    seed: int = 5,
-    max_edges: Optional[int] = None,
-    methods: Sequence[str] = ("mascot", "triest", "rept"),
-) -> ExperimentResult:
-    """Figure 5: local-count NRMSE vs c at p = 0.01 (GPS omitted, as in the paper)."""
-    return _accuracy_sweep(
-        "figure5",
-        "Local NRMSE vs number of processors, p=0.01",
-        p=0.01,
-        c_values=c_values,
-        datasets=datasets,
-        methods=methods,
-        num_trials=num_trials,
-        seed=seed,
-        local=True,
-        max_edges=max_edges,
-    )
-
-
-def figure6(
-    datasets: Optional[Sequence[str]] = None,
-    c_values: Sequence[int] = FIGURE4_C_VALUES,
-    num_trials: int = 5,
-    seed: int = 6,
-    max_edges: Optional[int] = None,
-    methods: Sequence[str] = ("mascot", "triest", "rept"),
-) -> ExperimentResult:
-    """Figure 6: local-count NRMSE vs c at p = 0.1."""
-    return _accuracy_sweep(
-        "figure6",
-        "Local NRMSE vs number of processors, p=0.1",
-        p=0.1,
-        c_values=c_values,
-        datasets=datasets,
-        methods=methods,
-        num_trials=num_trials,
-        seed=seed,
-        local=True,
-        max_edges=max_edges,
-    )
-
-
-# ---------------------------------------------------------------------------
 # Figure 7: runtime vs 1/p
 # ---------------------------------------------------------------------------
 
@@ -282,11 +199,11 @@ def figure7(
     (REPT ≈ MASCOT faster than TRIÈST faster than GPS) and the growth of
     runtime as p grows (1/p shrinks).
     """
-    names = _resolve_datasets(datasets)
+    names = resolve_datasets(datasets)
     series: Dict[str, Dict[str, List[float]]] = {}
     text_blocks: List[str] = []
     for name in names:
-        stream = _prepare_stream(name, max_edges)
+        stream = prepare_stream(name, max_edges)
         edges = stream.edges()
         per_method: Dict[str, List[float]] = {}
         for inv_p in inv_p_values:
@@ -337,7 +254,7 @@ def figure8(
     that REPT is one to two orders of magnitude faster per worker while its
     error stays comparable.
     """
-    stream = _prepare_stream(dataset, max_edges)
+    stream = prepare_stream(dataset, max_edges)
     edges = stream.edges()
     stats = compute_statistics(edges, name=dataset)
     truth = float(stats.num_triangles)

@@ -21,7 +21,7 @@ from repro.analysis.variance import (
 )
 from repro.experiments.runner import default_method_specs, run_global_trials
 from repro.experiments.spec import ExperimentResult
-from repro.generators.datasets import load_dataset
+from repro.experiments.stages import prepare_stream
 from repro.graph.statistics import compute_statistics
 from repro.utils.rng import derive_seed
 from repro.utils.tables import format_table
@@ -41,9 +41,7 @@ def prediction_vs_measurement(
     sampling probability at ``1/m`` while ``c`` sweeps the processor count
     across the three analytical regimes (``c < m``, ``c = m``, ``c > m``).
     """
-    stream = load_dataset(dataset)
-    if max_edges is not None and len(stream) > max_edges:
-        stream = stream.prefix(max_edges)
+    stream = prepare_stream(dataset, max_edges)
     edges = stream.edges()
     stats = compute_statistics(edges, name=dataset)
     truth = float(stats.num_triangles)

@@ -1,0 +1,59 @@
+"""Registry of paper artefacts: one name per figure/table/ablation.
+
+The CLI (``rept-experiment <artefact>``) and the campaign engine's
+``artefact`` task kind resolve artefact names through this module, so a
+new experiment registers once and is immediately runnable directly, from
+the shell, and as a cached campaign stage.
+
+Callables are imported lazily so that importing the registry stays cheap
+and free of circular imports.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.exceptions import ExperimentError
+from repro.experiments.spec import ExperimentResult
+
+#: artefact name -> "module:function" (resolved lazily).
+_ARTEFACT_PATHS: Dict[str, str] = {
+    "ingest": "repro.experiments.ingest:ingest_throughput",
+    "monitor": "repro.experiments.monitoring:windowed_monitoring",
+    "figure1": "repro.experiments.figures:figure1",
+    "figure3": "repro.experiments.figures:figure3",
+    "figure4": "repro.experiments.figures:figure4",
+    "figure5": "repro.experiments.figures:figure5",
+    "figure6": "repro.experiments.figures:figure6",
+    "figure7": "repro.experiments.figures:figure7",
+    "figure8": "repro.experiments.figures:figure8",
+    "table2": "repro.experiments.tables:table2",
+    "backends": "repro.experiments.backends:backend_comparison",
+    "ablation-variance": "repro.experiments.ablations:ablation_variance",
+    "ablation-combination": "repro.experiments.ablations:ablation_combination",
+    "ablation-hash": "repro.experiments.ablations:ablation_hash_family",
+    "predictions": "repro.experiments.predictions:prediction_vs_measurement",
+}
+
+
+def artefact_names() -> List[str]:
+    """Return every registered artefact name, sorted."""
+    return sorted(_ARTEFACT_PATHS)
+
+
+def get_artefact(name: str) -> Callable[..., ExperimentResult]:
+    """Resolve an artefact name to its callable.
+
+    Raises :class:`ExperimentError` for unknown names.
+    """
+    try:
+        path = _ARTEFACT_PATHS[name]
+    except KeyError as exc:
+        raise ExperimentError(
+            f"unknown artefact {name!r}; known: {', '.join(artefact_names())}"
+        ) from exc
+    module_name, _, attribute = path.partition(":")
+    import importlib
+
+    module = importlib.import_module(module_name)
+    return getattr(module, attribute)

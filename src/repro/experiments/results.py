@@ -1,52 +1,121 @@
-"""Persistence and comparison of experiment results.
+"""Persistence and comparison of experiment results, and the campaign store.
 
 Long sweeps are expensive; these helpers serialise an
 :class:`~repro.experiments.spec.ExperimentResult` to JSON (and back) so that
 runs can be archived, diffed across code versions, and quoted in
 EXPERIMENTS.md without re-running anything.
+
+The same serializer backs :class:`ResultStore`, the content-addressed
+on-disk cache used by :mod:`repro.experiments.campaign`: every task output
+is written under its fingerprint, so a re-run can load any task whose
+inputs did not change instead of recomputing it.
+
+Serialisation is *explicit*: only JSON-native values (plus tuples and
+numpy scalars, which have an obvious faithful mapping) are accepted, and
+anything else raises :class:`~repro.exceptions.ExperimentError` instead of
+being silently stringified.  Format version 2 guarantees a faithful
+save → load round trip; version-1 files (written by the old ``default=str``
+serializer) are still readable, with whatever damage they already contain.
 """
 
 from __future__ import annotations
 
 import json
+import os
+import tempfile
 from dataclasses import asdict
 from pathlib import Path
 from typing import Dict, List, Union
+
+import numpy as np
 
 from repro.exceptions import ExperimentError
 from repro.experiments.spec import ExperimentResult
 
 PathLike = Union[str, Path]
 
-_FORMAT_VERSION = 1
+#: Version 2 switched from ``json.dump(default=str)`` to the explicit
+#: encoder below; version-1 files remain loadable.
+_FORMAT_VERSION = 2
+_READABLE_VERSIONS = (1, 2)
+
+#: Layout version of the content-addressed store records.
+_STORE_VERSION = 1
 
 
-def save_result(result: ExperimentResult, path: PathLike) -> Path:
-    """Serialise ``result`` to a JSON file and return the path written."""
-    path = Path(path)
-    payload = {
-        "format_version": _FORMAT_VERSION,
-        "result": asdict(result),
-    }
+def encode_value(value):
+    """Return ``value`` converted to JSON-native types, faithfully.
+
+    Accepted inputs: ``None``, ``bool``, ``int``, ``float``, ``str``,
+    numpy integer/floating scalars (converted via ``.item()``), and
+    dict/list/tuple containers thereof (tuples become lists, which is the
+    one lossy-but-documented mapping: JSON has no tuple type).  Dict keys
+    must be strings.  Anything else raises :class:`ExperimentError` so a
+    non-serialisable result is a loud error at save time, never a silently
+    stringified value that breaks the load round trip.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.integer):
+        return int(value)
+    if isinstance(value, np.floating):
+        return float(value)
+    if isinstance(value, (list, tuple)):
+        return [encode_value(item) for item in value]
+    if isinstance(value, dict):
+        encoded = {}
+        for key, item in value.items():
+            if not isinstance(key, str):
+                raise ExperimentError(
+                    f"cannot serialise dict key {key!r} of type {type(key).__name__}; "
+                    "store keys must be strings"
+                )
+            encoded[key] = encode_value(item)
+        return encoded
+    raise ExperimentError(
+        f"cannot serialise value of type {type(value).__name__}: {value!r}"
+    )
+
+
+def canonical_json(value) -> str:
+    """Compact, key-sorted JSON used for fingerprinting.
+
+    Key order never affects the digest; list/tuple order does.
+    """
+    return json.dumps(encode_value(value), sort_keys=True, separators=(",", ":"))
+
+
+def _atomic_write_json(payload, path: Path) -> None:
+    """Serialise ``payload`` to ``path`` atomically (write temp + rename).
+
+    A campaign killed mid-write must never leave a truncated store object
+    behind — resume correctness depends on every on-disk record being
+    either absent or complete.  Key order is preserved (not sorted) so
+    ordered payloads such as method → value maps round-trip in order.
+    """
     path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True, default=str)
-    return path
+    handle = tempfile.NamedTemporaryFile(
+        "w", encoding="utf-8", dir=path.parent, suffix=".tmp", delete=False
+    )
+    try:
+        with handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(handle.name, path)
+    except BaseException:
+        try:
+            os.unlink(handle.name)
+        except OSError:
+            pass
+        raise
 
 
-def load_result(path: PathLike) -> ExperimentResult:
-    """Load an :class:`ExperimentResult` previously written by :func:`save_result`."""
-    path = Path(path)
-    with open(path, "r", encoding="utf-8") as handle:
-        payload = json.load(handle)
-    if not isinstance(payload, dict) or "result" not in payload:
-        raise ExperimentError(f"{path} is not a saved experiment result")
-    version = payload.get("format_version")
-    if version != _FORMAT_VERSION:
-        raise ExperimentError(
-            f"{path} uses format version {version!r}; this build reads {_FORMAT_VERSION}"
-        )
-    data = payload["result"]
+def encode_result(result: ExperimentResult) -> Dict:
+    """Return the faithful JSON form of an :class:`ExperimentResult`."""
+    return encode_value(asdict(result))
+
+
+def decode_result(data: Dict) -> ExperimentResult:
+    """Rebuild an :class:`ExperimentResult` from its JSON form."""
     return ExperimentResult(
         experiment_id=data["experiment_id"],
         description=data.get("description", ""),
@@ -58,6 +127,41 @@ def load_result(path: PathLike) -> ExperimentResult:
         text=data.get("text", ""),
         metadata=data.get("metadata", {}),
     )
+
+
+def save_result(result: ExperimentResult, path: PathLike) -> Path:
+    """Serialise ``result`` to a JSON file and return the path written.
+
+    Raises :class:`ExperimentError` if the result contains values the
+    explicit encoder does not understand (see :func:`encode_value`).
+    """
+    path = Path(path)
+    payload = {
+        "format_version": _FORMAT_VERSION,
+        "result": encode_result(result),
+    }
+    _atomic_write_json(payload, path)
+    return path
+
+
+def load_result(path: PathLike) -> ExperimentResult:
+    """Load an :class:`ExperimentResult` previously written by :func:`save_result`.
+
+    Reads both current (v2, explicit encoder) and legacy (v1,
+    ``default=str``) files.
+    """
+    path = Path(path)
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if not isinstance(payload, dict) or "result" not in payload:
+        raise ExperimentError(f"{path} is not a saved experiment result")
+    version = payload.get("format_version")
+    if version not in _READABLE_VERSIONS:
+        raise ExperimentError(
+            f"{path} uses format version {version!r}; this build reads "
+            f"{_READABLE_VERSIONS}"
+        )
+    return decode_result(payload["result"])
 
 
 def compare_results(
@@ -95,3 +199,75 @@ def compare_results(
                 (cand / base) if base else float("inf") for base, cand in pairs
             ]
     return ratios
+
+
+class ResultStore:
+    """Content-addressed store of campaign task outputs.
+
+    Every record is keyed by its task's fingerprint — a digest of the task
+    kind, its resolved configuration, its upstream fingerprints and the
+    code version — so a record is valid for exactly as long as everything
+    that produced it is unchanged.  Records live under
+    ``<root>/objects/<fp[:2]>/<fp>.json`` and are written atomically, which
+    makes a killed campaign resumable: completed tasks are on disk in
+    full, everything else is absent.
+    """
+
+    def __init__(self, root: PathLike) -> None:
+        self.root = Path(root)
+
+    def path_for(self, fingerprint: str) -> Path:
+        """Return the object path of ``fingerprint`` (existing or not)."""
+        return self.root / "objects" / fingerprint[:2] / f"{fingerprint}.json"
+
+    def has(self, fingerprint: str) -> bool:
+        """Return whether a completed record exists for ``fingerprint``."""
+        return self.path_for(fingerprint).is_file()
+
+    def save(self, fingerprint: str, task_id: str, kind: str, payload) -> Path:
+        """Persist one task output; returns the object path written."""
+        record = {
+            "store_version": _STORE_VERSION,
+            "fingerprint": fingerprint,
+            "task_id": task_id,
+            "kind": kind,
+            "payload": encode_value(payload),
+        }
+        path = self.path_for(fingerprint)
+        _atomic_write_json(record, path)
+        return path
+
+    def load(self, fingerprint: str):
+        """Return the payload stored under ``fingerprint``.
+
+        Raises :class:`ExperimentError` when the record is missing or does
+        not match the requested fingerprint (a corrupted or hand-edited
+        store).
+        """
+        path = self.path_for(fingerprint)
+        if not path.is_file():
+            raise ExperimentError(f"store has no record for fingerprint {fingerprint}")
+        with open(path, "r", encoding="utf-8") as handle:
+            record = json.load(handle)
+        if not isinstance(record, dict) or record.get("fingerprint") != fingerprint:
+            raise ExperimentError(f"{path} is not a valid store record")
+        if record.get("store_version") != _STORE_VERSION:
+            raise ExperimentError(
+                f"{path} uses store version {record.get('store_version')!r}; "
+                f"this build reads {_STORE_VERSION}"
+            )
+        return record["payload"]
+
+    def discard(self, fingerprint: str) -> None:
+        """Remove the record for ``fingerprint`` if present (``--force``)."""
+        try:
+            self.path_for(fingerprint).unlink()
+        except FileNotFoundError:
+            pass
+
+    def fingerprints(self) -> List[str]:
+        """Return every fingerprint currently stored (sorted)."""
+        objects = self.root / "objects"
+        if not objects.is_dir():
+            return []
+        return sorted(path.stem for path in objects.glob("*/*.json"))

@@ -1,13 +1,26 @@
-"""Experiment descriptions and result containers."""
+"""Experiment descriptions and result containers.
+
+Alongside the per-trial containers (:class:`MethodSpec`, :class:`SweepSpec`,
+:class:`ExperimentResult`) this module holds the *campaign* layer's
+declarative spec: a :class:`CampaignSpec` is a validated, in-memory form of
+a TOML/JSON campaign file — a named set of :class:`StageSpec` entries that
+the planner in :mod:`repro.experiments.campaign` expands into a
+fingerprinted task graph.
+"""
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.baselines.base import StreamingTriangleEstimator
 from repro.exceptions import ExperimentError
 from repro.utils.rng import SeedLike
+
+#: Stage and campaign names become task-id and path components; keep them
+#: to a filesystem- and report-friendly alphabet.
+_NAME_PATTERN = re.compile(r"^[A-Za-z0-9][A-Za-z0-9_.-]*$")
 
 
 @dataclass(frozen=True)
@@ -111,3 +124,115 @@ class ExperimentResult:
                 f"{self.experiment_id} has no series for dataset={dataset!r}, "
                 f"method={method!r}"
             ) from exc
+
+
+# ---------------------------------------------------------------------------
+# Campaign layer: declarative, resumable experiment campaigns
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One stage of a campaign: a task kind plus its resolved configuration.
+
+    Attributes
+    ----------
+    name:
+        Stage identifier, unique within the campaign; task ids are derived
+        from it (``<name>`` or ``<name>/<suffix>`` for fan-out stages).
+    kind:
+        Registered task-kind name (see
+        :mod:`repro.experiments.campaign.kinds`); the planner decides how
+        the stage expands into tasks (e.g. ``accuracy-figure`` becomes one
+        cell task per (dataset, c) plus an aggregation task).
+    config:
+        Kind-specific configuration.  Every value participates in the task
+        fingerprints, so it must be JSON-encodable
+        (:func:`repro.experiments.results.encode_value`).
+    depends_on:
+        Names of stages this one consumes.  Dependencies contribute their
+        fingerprints to this stage's tasks — any upstream change invalidates
+        exactly this stage's cached outputs and those of its descendants.
+    """
+
+    name: str
+    kind: str
+    config: Mapping[str, object] = field(default_factory=dict)
+    depends_on: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not _NAME_PATTERN.match(self.name):
+            raise ExperimentError(
+                f"invalid stage name {self.name!r}: use letters, digits, '_', '-', '.'"
+            )
+        if not self.kind or not isinstance(self.kind, str):
+            raise ExperimentError(f"stage {self.name!r} needs a task kind")
+        if not isinstance(self.config, Mapping):
+            raise ExperimentError(f"stage {self.name!r} config must be a table/dict")
+        for dep in self.depends_on:
+            if not _NAME_PATTERN.match(dep):
+                raise ExperimentError(
+                    f"stage {self.name!r} has an invalid dependency name {dep!r}"
+                )
+        if self.name in self.depends_on:
+            raise ExperimentError(f"stage {self.name!r} depends on itself")
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """A validated campaign: named stages forming a DAG.
+
+    Attributes
+    ----------
+    name:
+        Campaign identifier (used for the run manifest / output directory).
+    description:
+        Free-form one-liner shown in reports.
+    stages:
+        The stages, in declaration order.  Order carries no execution
+        semantics (the planner topologically sorts), but reports preserve it.
+    defaults:
+        Campaign-wide config defaults merged under every stage config
+        (stage values win).  Typical keys: ``max_edges``, ``num_trials``,
+        ``seed``.
+    workers:
+        Default number of worker processes for task fan-out (1 = serial;
+        results are bit-identical either way).
+    """
+
+    name: str
+    description: str = ""
+    stages: Tuple[StageSpec, ...] = ()
+    defaults: Mapping[str, object] = field(default_factory=dict)
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if not _NAME_PATTERN.match(self.name):
+            raise ExperimentError(
+                f"invalid campaign name {self.name!r}: use letters, digits, '_', '-', '.'"
+            )
+        if not self.stages:
+            raise ExperimentError(f"campaign {self.name!r} declares no stages")
+        if self.workers < 1:
+            raise ExperimentError("workers must be >= 1")
+        seen = set()
+        for stage in self.stages:
+            if stage.name in seen:
+                raise ExperimentError(f"duplicate stage name {stage.name!r}")
+            seen.add(stage.name)
+        for stage in self.stages:
+            for dep in stage.depends_on:
+                if dep not in seen:
+                    raise ExperimentError(
+                        f"stage {stage.name!r} depends on unknown stage {dep!r}"
+                    )
+
+    def stage(self, name: str) -> StageSpec:
+        """Return the stage named ``name``."""
+        for stage in self.stages:
+            if stage.name == name:
+                return stage
+        raise ExperimentError(f"campaign {self.name!r} has no stage {name!r}")
+
+    def stage_names(self) -> List[str]:
+        """Stage names in declaration order."""
+        return [stage.name for stage in self.stages]

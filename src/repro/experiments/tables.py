@@ -5,12 +5,8 @@ from __future__ import annotations
 from typing import List, Optional, Sequence
 
 from repro.experiments.spec import ExperimentResult
-from repro.generators.datasets import (
-    available_datasets,
-    dataset_spec,
-    load_dataset,
-    paper_dataset_table,
-)
+from repro.experiments.stages import prepare_stream, resolve_datasets
+from repro.generators.datasets import dataset_spec, paper_dataset_table
 from repro.graph.statistics import compute_statistics
 from repro.utils.tables import format_table
 
@@ -26,7 +22,7 @@ def table2(
     statistics next to the original dataset sizes from the paper, making
     the scale substitution explicit.
     """
-    names = list(datasets) if datasets else available_datasets()
+    names = resolve_datasets(datasets)
     headers = [
         "dataset",
         "nodes",
@@ -41,9 +37,7 @@ def table2(
     rows: List[List] = []
     for name in names:
         spec = dataset_spec(name)
-        stream = load_dataset(name)
-        if max_edges is not None and len(stream) > max_edges:
-            stream = stream.prefix(max_edges)
+        stream = prepare_stream(name, max_edges)
         stats = compute_statistics(stream.edges(), name=name)
         rows.append(
             [
