@@ -78,8 +78,11 @@ from __future__ import annotations
 
 import multiprocessing
 import os
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, ThreadPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -93,9 +96,11 @@ from repro.core.state import (
     ProcessorGroup,
     ingest_edge_batches,
 )
-from repro.exceptions import ConfigurationError
+from repro.durability.retry import RetryPolicy
+from repro.exceptions import ConfigurationError, WorkerFailedError
 from repro.hashing import make_hash_function
 from repro.streaming.edge_stream import edge_columns
+from repro.testing.faults import maybe_fail
 from repro.types import EdgeTuple, NodeId
 
 ParallelBackend = str
@@ -230,6 +235,7 @@ def _storing_worker(
     hash_seed: int,
     group_size: int,
     m: int,
+    task_key: Optional[Tuple[int, int]] = None,
 ) -> List[StoredEdgeRecord]:
     """Storing pass over one chunk for one group.
 
@@ -238,6 +244,8 @@ def _storing_worker(
     vectorially; cross-chunk deduplication happens in the driver when
     boundary snapshots are assembled.
     """
+    if task_key is not None:
+        maybe_fail("storing-worker", group=task_key[0], chunk=task_key[1])
     hash_function = make_hash_function(hash_kind, buckets=m, seed=hash_seed)
     interner = NodeInterner()
     cu, cv, firsts, _ = interner.encode_pairs(_resolve_edges(payload), set())
@@ -263,9 +271,12 @@ def _chunk_counting_worker(
     m: int,
     track_local: bool,
     track_eta: bool,
+    task_key: Optional[Tuple[int, int]] = None,
 ) -> GroupSnapshot:
     """Counting pass over one chunk for one group, seeded with the boundary
     adjacency, returning the chunk's counter deltas as a group snapshot."""
+    if task_key is not None:
+        maybe_fail("counting-worker", group=task_key[0], chunk=task_key[1])
     group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
     group.seed_adjacency(_resolve_stored(snapshot_ref))
     ingest_edge_batches(
@@ -302,16 +313,24 @@ def _chunk_spans(n_edges: int, chunk_size: int) -> List[Tuple[int, int]]:
 
 def _prefix_snapshots(
     stored_per_chunk: Sequence[Sequence[StoredEdgeRecord]],
+    initial: Optional[Sequence[StoredEdgeRecord]] = None,
 ) -> List[List[StoredEdgeRecord]]:
     """Turn per-chunk stored-edge lists into per-chunk *boundary* snapshots.
 
     Snapshot ``k`` holds the distinct stored edges of chunks ``0..k-1``
     (first arrival wins — the slot is hash-determined, so duplicates across
-    chunks agree on it and are simply dropped).
+    chunks agree on it and are simply dropped).  ``initial`` seeds the
+    prefix with edges stored *before* this stream segment (the
+    checkpointed-state case of :func:`advance_state_chunked`): they join
+    every boundary snapshot and suppress re-storing of re-arrivals.
     """
     snapshots: List[List[StoredEdgeRecord]] = []
     seen: set = set()
     prefix: List[StoredEdgeRecord] = []
+    if initial:
+        for slot, u, v in initial:
+            seen.add((u, v))
+            prefix.append((slot, u, v))
     for stored in stored_per_chunk:
         snapshots.append(list(prefix))
         for slot, u, v in stored:
@@ -322,12 +341,188 @@ def _prefix_snapshots(
     return snapshots
 
 
+# -- worker supervision ------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SupervisionPolicy:
+    """How the pooled drivers respond to failing, dying, or hung workers.
+
+    Attributes
+    ----------
+    retry:
+        Per-chunk-task retry budget and backoff (jitter is deterministic;
+        each task derives its own jitter seed from its (group, chunk) key).
+    worker_timeout:
+        Seconds the driver waits for *any* pooled task to complete before
+        declaring the pool hung and restarting it.  ``None`` disables hang
+        detection (a hung worker then blocks forever, as before).
+    max_pool_restarts:
+        How many times a broken or hung pool is rebuilt before the phase
+        degrades (pool death cannot be attributed to one task, so it is
+        budgeted per phase, not per task).
+    allow_inline_fallback:
+        When a task exhausts its retries or the pool-restart budget runs
+        out, execute the remaining tasks on the driver's own inline path
+        (graceful degradation — slower, but the run completes with
+        bit-identical results).  ``False`` raises
+        :class:`~repro.exceptions.WorkerFailedError` instead.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    worker_timeout: Optional[float] = None
+    max_pool_restarts: int = 2
+    allow_inline_fallback: bool = True
+
+    def __post_init__(self) -> None:
+        if self.max_pool_restarts < 0:
+            raise ConfigurationError(
+                f"max_pool_restarts must be >= 0, got {self.max_pool_restarts}"
+            )
+        if self.worker_timeout is not None and self.worker_timeout <= 0:
+            raise ConfigurationError(
+                f"worker_timeout must be positive, got {self.worker_timeout}"
+            )
+
+
+#: Supervision applied when callers pass none: modest retries, restartable
+#: pools, inline fallback on persistent failure, no hang detection.
+DEFAULT_SUPERVISION = SupervisionPolicy()
+
+#: Fresh per-run supervision counters (merged into estimate metadata).
+def _new_supervision_stats() -> Dict[str, float]:
+    return {"worker_retries": 0.0, "pool_restarts": 0.0, "degraded": 0.0}
+
+
+def _task_jitter_seed(base: int, key: Tuple[int, int]) -> int:
+    """Decorrelate per-task retry jitter without losing determinism."""
+    return (base * 1000003 + key[0] * 8191 + key[1]) & 0x7FFFFFFF
+
+
+def _supervised_phase(
+    make_pool: Callable[[], ProcessPoolExecutor],
+    tasks: Dict[Tuple[int, int], Tuple[Callable, Tuple]],
+    inline_tasks: Dict[Tuple[int, int], Callable[[], object]],
+    policy: SupervisionPolicy,
+    stats: Dict[str, float],
+) -> Dict[Tuple[int, int], object]:
+    """Run one phase's tasks on supervised process pools.
+
+    ``tasks`` maps each (group, chunk) key to its pooled ``(fn, args)``;
+    ``inline_tasks`` maps the same keys to zero-argument thunks with
+    explicitly resolved arguments (the parent never reads
+    ``_WORKER_PAYLOAD``, so degraded execution cannot depend on pool
+    staging).  Failure handling:
+
+    * a task raising an ordinary exception consumes one retry attempt and
+      is resubmitted after its backoff delay; exhausting the budget runs it
+      inline (or raises :class:`WorkerFailedError` without fallback);
+    * a broken pool (worker death) or a hang (no completion within
+      ``worker_timeout``) rebuilds the pool and resubmits every unfinished
+      task, budgeted by ``max_pool_restarts``; exhausting that budget
+      degrades the whole remainder to inline execution (or raises).
+
+    Results are keyed like ``tasks``; completion order never affects them.
+    """
+    results: Dict[Tuple[int, int], object] = {}
+    pending = set(tasks)
+    attempts = {key: 0 for key in tasks}
+    delays = {
+        key: policy.retry.reseeded(
+            _task_jitter_seed(policy.retry.seed, key)
+        ).delays()
+        for key in tasks
+    }
+
+    def run_inline(key: Tuple[int, int], cause: Optional[BaseException]) -> None:
+        if not policy.allow_inline_fallback:
+            raise WorkerFailedError(
+                f"chunk task {key} failed {attempts[key]} time(s) and inline "
+                "fallback is disabled"
+            ) from cause
+        stats["degraded"] = 1.0
+        results[key] = inline_tasks[key]()
+        pending.discard(key)
+
+    pool_restarts = 0
+    while pending:
+        if pool_restarts > policy.max_pool_restarts:
+            if not policy.allow_inline_fallback:
+                raise WorkerFailedError(
+                    f"worker pool died {pool_restarts} time(s); "
+                    f"{len(pending)} task(s) unfinished and inline fallback "
+                    "is disabled"
+                )
+            stats["degraded"] = 1.0
+            for key in sorted(pending):
+                results[key] = inline_tasks[key]()
+            pending.clear()
+            break
+
+        pool = make_pool()
+        pool_failed = False
+        try:
+            futures = {}
+            for key in sorted(pending):
+                fn, args = tasks[key]
+                futures[pool.submit(fn, *args)] = key
+            not_done = set(futures)
+            while not_done:
+                done, not_done = wait(
+                    not_done, timeout=policy.worker_timeout,
+                    return_when=FIRST_COMPLETED,
+                )
+                if not done:
+                    # Nothing completed within the timeout: the pool is
+                    # hung.  Abandon it (shutdown below does not wait).
+                    pool_failed = True
+                    break
+                for future in done:
+                    key = futures[future]
+                    try:
+                        result = future.result()
+                    except BrokenProcessPool:
+                        # Worker death poisons every in-flight future; the
+                        # culprit task is unknowable, so this is budgeted
+                        # as a pool restart, not per-task attempts.
+                        pool_failed = True
+                        continue
+                    except Exception as exc:
+                        attempts[key] += 1
+                        used = attempts[key] - 1
+                        if used < len(delays[key]):
+                            stats["worker_retries"] += 1.0
+                            time.sleep(delays[key][used])
+                            try:
+                                fn, args = tasks[key]
+                                retry_future = pool.submit(fn, *args)
+                            except BaseException:
+                                pool_failed = True
+                                continue
+                            futures[retry_future] = key
+                            not_done.add(retry_future)
+                        else:
+                            run_inline(key, exc)
+                        continue
+                    results[key] = result
+                    pending.discard(key)
+                if pool_failed:
+                    break
+        finally:
+            pool.shutdown(wait=not pool_failed, cancel_futures=True)
+        if pool_failed and pending:
+            pool_restarts += 1
+            stats["pool_restarts"] += 1.0
+    return results
+
+
 def _run_chunked(
     edge_list: List[EdgeTuple],
     config: ReptConfig,
     use_processes: bool,
     max_workers: Optional[int],
     chunk_size: Optional[int],
+    supervision: Optional[SupervisionPolicy] = None,
 ) -> Tuple[List[GroupSummary], Dict[str, float]]:
     """Execute the shard-then-merge schedule; returns (summaries, chunk info)."""
     items = _work_items(config)
@@ -339,9 +534,11 @@ def _run_chunked(
         raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
     size = chunk_size or auto_chunk_size(n, workers, len(items))
     spans = _chunk_spans(n, size)
+    stats = _new_supervision_stats()
     info = {
         "num_chunks": float(len(spans)),
         "chunk_edges_max": float(max(stop - start for start, stop in spans)),
+        **stats,
     }
 
     if len(spans) == 1 or not edge_list:
@@ -353,11 +550,13 @@ def _run_chunked(
         return state.summaries(), info
 
     if use_processes:
-        stored, chunk_states = _chunked_phases_pooled(
-            edge_list, config, items, spans, workers, track_local, track_eta
+        chunk_states = _chunked_phases_pooled(
+            edge_list, config, items, spans, workers, track_local, track_eta,
+            supervision=supervision, stats=stats,
         )
+        info.update(stats)
     else:
-        stored, chunk_states = _chunked_phases_inline(
+        chunk_states = _chunked_phases_inline(
             edge_list, config, items, spans, track_local, track_eta
         )
 
@@ -381,19 +580,29 @@ def _chunked_phases_inline(
     spans: Sequence[Tuple[int, int]],
     track_local: bool,
     track_eta: bool,
-):
-    """Run both chunked phases inline (the ``chunked-serial`` backend)."""
+    initial_stored: Optional[List[List[StoredEdgeRecord]]] = None,
+) -> Dict[Tuple[int, int], GroupSnapshot]:
+    """Run both chunked phases inline (the ``chunked-serial`` backend).
+
+    ``initial_stored`` (one record list per group) seeds the boundary
+    snapshots with edges stored before this stream segment — the
+    checkpointed-state continuation of :func:`advance_state_chunked`.
+    """
     chunk_states: Dict[Tuple[int, int], GroupSnapshot] = {}
     stored_all: Dict[int, List[List[StoredEdgeRecord]]] = {}
     for group_index, (seed, group_size, _complete) in enumerate(items):
         stored_all[group_index] = [
             _storing_worker(
-                edge_list[start:stop], config.hash_kind, seed, group_size, config.m
+                edge_list[start:stop], config.hash_kind, seed, group_size,
+                config.m, (group_index, chunk_index),
             )
-            for start, stop in spans
+            for chunk_index, (start, stop) in enumerate(spans)
         ]
     for group_index, (seed, group_size, _complete) in enumerate(items):
-        snapshots = _prefix_snapshots(stored_all[group_index])
+        snapshots = _prefix_snapshots(
+            stored_all[group_index],
+            initial=initial_stored[group_index] if initial_stored else None,
+        )
         for chunk_index, (start, stop) in enumerate(spans):
             chunk_states[(group_index, chunk_index)] = _chunk_counting_worker(
                 edge_list[start:stop],
@@ -404,8 +613,9 @@ def _chunked_phases_inline(
                 config.m,
                 track_local,
                 track_eta,
+                (group_index, chunk_index),
             )
-    return stored_all, chunk_states
+    return chunk_states
 
 
 def _chunked_phases_pooled(
@@ -416,76 +626,179 @@ def _chunked_phases_pooled(
     workers: int,
     track_local: bool,
     track_eta: bool,
-):
-    """Run both chunked phases on process pools (the ``chunked-process``
-    backend).  Each pool receives its payload through its initializer —
-    inherited copy-on-write under fork, pickled once per worker under
-    spawn — and tasks carry only spans and snapshot keys."""
+    initial_stored: Optional[List[List[StoredEdgeRecord]]] = None,
+    supervision: Optional[SupervisionPolicy] = None,
+    stats: Optional[Dict[str, float]] = None,
+) -> Dict[Tuple[int, int], GroupSnapshot]:
+    """Run both chunked phases on supervised process pools (the
+    ``chunked-process`` backend).  Each pool receives its payload through
+    its initializer — inherited copy-on-write under fork, pickled once per
+    worker under spawn — and tasks carry only spans and snapshot keys.
+    Pools are rebuilt by the supervisor on worker death or hang, so the
+    initializer also re-runs; the inline fallback thunks resolve explicit
+    edge slices instead (the parent never writes ``_WORKER_PAYLOAD``)."""
+    policy = supervision if supervision is not None else DEFAULT_SUPERVISION
+    stats = stats if stats is not None else _new_supervision_stats()
     use_fork = "fork" in multiprocessing.get_all_start_methods()
     mp_context = multiprocessing.get_context("fork") if use_fork else None
     num_tasks = len(items) * len(spans)
     pool_size = max(1, min(workers, num_tasks))
     staged = _stage_columns(edge_list)
 
-    # Phase 1: storing pass.
-    stored_all: Dict[int, List[List[StoredEdgeRecord]]] = {}
-    with ProcessPoolExecutor(
-        max_workers=pool_size,
-        mp_context=mp_context,
-        initializer=_pool_initializer,
-        initargs=(staged, None),
-    ) as pool:
-        futures = {
-            (group_index, chunk_index): pool.submit(
-                _storing_worker,
-                span,
-                config.hash_kind,
-                seed,
-                group_size,
-                config.m,
+    def make_pool(initargs):
+        def factory() -> ProcessPoolExecutor:
+            return ProcessPoolExecutor(
+                max_workers=pool_size,
+                mp_context=mp_context,
+                initializer=_pool_initializer,
+                initargs=initargs,
             )
-            for group_index, (seed, group_size, _c) in enumerate(items)
-            for chunk_index, span in enumerate(spans)
-        }
-        for group_index in range(len(items)):
-            stored_all[group_index] = [
-                futures[(group_index, chunk_index)].result()
-                for chunk_index in range(len(spans))
-            ]
+        return factory
+
+    # Phase 1: storing pass.
+    storing_tasks = {}
+    storing_inline = {}
+    for group_index, (seed, group_size, _c) in enumerate(items):
+        for chunk_index, span in enumerate(spans):
+            key = (group_index, chunk_index)
+            storing_tasks[key] = (
+                _storing_worker,
+                (span, config.hash_kind, seed, group_size, config.m, key),
+            )
+            storing_inline[key] = (
+                lambda s=span, sd=seed, gs=group_size, k=key: _storing_worker(
+                    edge_list[s[0] : s[1]], config.hash_kind, sd, gs, config.m, k
+                )
+            )
+    storing_results = _supervised_phase(
+        make_pool((staged, None)), storing_tasks, storing_inline, policy, stats
+    )
+    stored_all = {
+        group_index: [
+            storing_results[(group_index, chunk_index)]
+            for chunk_index in range(len(spans))
+        ]
+        for group_index in range(len(items))
+    }
 
     snapshot_table = {
         (group_index, chunk_index): snapshot
         for group_index in range(len(items))
-        for chunk_index, snapshot in enumerate(_prefix_snapshots(stored_all[group_index]))
+        for chunk_index, snapshot in enumerate(
+            _prefix_snapshots(
+                stored_all[group_index],
+                initial=initial_stored[group_index] if initial_stored else None,
+            )
+        )
     }
 
     # Phase 2: counting pass, on a fresh pool whose initializer also carries
     # the boundary snapshots.
-    chunk_states: Dict[Tuple[int, int], GroupSnapshot] = {}
-    with ProcessPoolExecutor(
-        max_workers=pool_size,
-        mp_context=mp_context,
-        initializer=_pool_initializer,
-        initargs=(staged, snapshot_table),
-    ) as pool:
-        futures = {
-            (group_index, chunk_index): pool.submit(
+    counting_tasks = {}
+    counting_inline = {}
+    for group_index, (seed, group_size, _c) in enumerate(items):
+        for chunk_index, span in enumerate(spans):
+            key = (group_index, chunk_index)
+            counting_tasks[key] = (
                 _chunk_counting_worker,
-                span,
-                ("shared", group_index, chunk_index),
-                config.hash_kind,
-                seed,
-                group_size,
-                config.m,
-                track_local,
-                track_eta,
+                (
+                    span,
+                    ("shared", group_index, chunk_index),
+                    config.hash_kind,
+                    seed,
+                    group_size,
+                    config.m,
+                    track_local,
+                    track_eta,
+                    key,
+                ),
             )
-            for group_index, (seed, group_size, _c) in enumerate(items)
-            for chunk_index, span in enumerate(spans)
-        }
-        for key, future in futures.items():
-            chunk_states[key] = future.result()
-    return stored_all, chunk_states
+            counting_inline[key] = (
+                lambda s=span, sd=seed, gs=group_size, k=key: _chunk_counting_worker(
+                    edge_list[s[0] : s[1]],
+                    snapshot_table[k],
+                    config.hash_kind,
+                    sd,
+                    gs,
+                    config.m,
+                    track_local,
+                    track_eta,
+                    k,
+                )
+            )
+    return _supervised_phase(
+        make_pool((staged, snapshot_table)),
+        counting_tasks,
+        counting_inline,
+        policy,
+        stats,
+    )
+
+
+def advance_state_chunked(
+    state: GroupStateSet,
+    edges: Iterable[EdgeTuple],
+    use_processes: bool = False,
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+    supervision: Optional[SupervisionPolicy] = None,
+) -> Dict[str, float]:
+    """Advance a live :class:`GroupStateSet` over one stream segment via the
+    shard-then-merge schedule — bit-identical to ingesting the segment
+    serially on the same state.
+
+    This is the segmented driver the durability runner builds on: each
+    group's boundary snapshots are seeded with the state's *current* stored
+    edges (:meth:`ProcessorGroup.stored_edges`), so every counting task
+    sees the true cross-segment adjacency, and the per-chunk snapshots are
+    folded into ``state`` with the exact η correction.  First-occurrence
+    semantics follow the chunked contract (derived from stored adjacency —
+    exact, see :meth:`ProcessorGroup.process_edges`), so ``state.seen`` is
+    not consulted and not updated; mixing segmented advancement with direct
+    ``state.process_edges`` calls on the same state is not supported.
+
+    Returns the chunk/supervision info dict (same keys as the
+    ``chunked-*`` backends' estimate metadata).
+    """
+    config = state.config
+    items = _work_items(config)
+    edge_list: List[EdgeTuple] = list(edges)
+    n = len(edge_list)
+    stats = _new_supervision_stats()
+    if n == 0:
+        return {"num_chunks": 0.0, "chunk_edges_max": 0.0, **stats}
+    workers = max_workers or os.cpu_count() or 1
+    if chunk_size is not None and chunk_size < 1:
+        raise ConfigurationError(f"chunk_size must be >= 1, got {chunk_size}")
+    size = chunk_size or auto_chunk_size(n, workers, len(items))
+    spans = _chunk_spans(n, size)
+    initial_stored = [group.stored_edges() for group in state.groups]
+
+    if use_processes and len(spans) > 1:
+        chunk_states = _chunked_phases_pooled(
+            edge_list, config, items, spans, workers,
+            config.track_local, bool(config.track_eta),
+            initial_stored=initial_stored, supervision=supervision, stats=stats,
+        )
+    else:
+        chunk_states = _chunked_phases_inline(
+            edge_list, config, items, spans,
+            config.track_local, bool(config.track_eta),
+            initial_stored=initial_stored,
+        )
+
+    for chunk_index in range(len(spans)):
+        state.merge_snapshots(
+            [
+                chunk_states[(group_index, chunk_index)]
+                for group_index in range(len(items))
+            ]
+        )
+    return {
+        "num_chunks": float(len(spans)),
+        "chunk_edges_max": float(max(stop - start for start, stop in spans)),
+        **stats,
+    }
 
 
 # -- public driver -----------------------------------------------------------
@@ -497,6 +810,7 @@ def run_rept(
     backend: ParallelBackend = "serial",
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    supervision: Optional[SupervisionPolicy] = None,
 ) -> TriangleEstimate:
     """Run REPT over ``edges`` with the chosen execution backend.
 
@@ -518,6 +832,14 @@ def run_rept(
         Edges per chunk for the chunked backends (default: auto-tuned from
         stream length and worker count, see :func:`auto_chunk_size`).
         Ignored by the per-group backends.
+    supervision:
+        Worker-failure policy for ``"chunked-process"`` (default:
+        :data:`DEFAULT_SUPERVISION` — retries with deterministic backoff,
+        pool restarts on worker death, inline fallback when both budgets
+        run out).  Supervision outcomes surface in the estimate metadata
+        (``worker_retries``, ``pool_restarts``, ``degraded``); recovery
+        paths reuse inline execution, so supervised results stay
+        bit-identical.  Ignored by the other backends.
 
     Returns
     -------
@@ -536,7 +858,8 @@ def run_rept(
 
     if backend in ("chunked-serial", "chunked-process"):
         summaries, chunk_info = _run_chunked(
-            edge_list, config, backend == "chunked-process", max_workers, chunk_size
+            edge_list, config, backend == "chunked-process", max_workers,
+            chunk_size, supervision=supervision,
         )
     elif backend == "serial" or len(items) == 1:
         # The in-process reference: one shared state set advances every
@@ -597,6 +920,7 @@ class DriverBackedRept(StreamingTriangleEstimator):
         backend: ParallelBackend = "chunked-serial",
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        supervision: Optional[SupervisionPolicy] = None,
     ) -> None:
         super().__init__()
         if backend not in _BACKENDS:
@@ -607,6 +931,7 @@ class DriverBackedRept(StreamingTriangleEstimator):
         self.backend = backend
         self.max_workers = max_workers
         self.chunk_size = chunk_size
+        self.supervision = supervision
         self._buffer: List[EdgeTuple] = []
 
     def process_edge(self, u: NodeId, v: NodeId) -> None:
@@ -626,6 +951,7 @@ class DriverBackedRept(StreamingTriangleEstimator):
             backend=self.backend,
             max_workers=self.max_workers,
             chunk_size=self.chunk_size,
+            supervision=self.supervision,
         )
         estimate.metadata["algorithm"] = 2.0 if self.config.uses_groups else 1.0
         return estimate

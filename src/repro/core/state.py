@@ -1068,6 +1068,49 @@ class GroupStateSet:
         for group, snapshot in zip(self.groups, snapshots):
             group.merge_snapshot(snapshot)
 
+    # -- durable state --------------------------------------------------------
+
+    def portable_state(self) -> Dict[str, object]:
+        """The complete state in raw-keyed (interner-independent) form.
+
+        Extends :meth:`snapshot` with the stream-global first-occurrence
+        set, externalized to raw node pairs — everything a fresh process
+        needs to continue the stream bit-identically.  (The ``seen`` set is
+        in principle reconstructible from the snapshots' adjacencies, but
+        only via a subtle storability argument; serialising it explicitly
+        keeps recovery auditable.)  The result is picklable and checkpoint-
+        friendly; restore with :meth:`restore_portable`.
+        """
+        nodes = self.interner.nodes
+        return {
+            "snapshots": self.snapshot(),
+            "seen": [(nodes[iu], nodes[iv]) for iu, iv in self.seen],
+        }
+
+    def restore_portable(self, state: Dict[str, object]) -> None:
+        """Replace this state set's contents with :meth:`portable_state` output.
+
+        The receiving state set must be freshly built from the same config
+        (group shapes are validated by :meth:`ProcessorGroup.restore`).
+        Interning order may differ from the originating process — slot
+        assignment keys on raw node identity, so the restored run is
+        bit-identical regardless.
+        """
+        snapshots = state["snapshots"]
+        if len(snapshots) != len(self.groups):
+            raise ValueError(
+                f"expected {len(self.groups)} group snapshots, got {len(snapshots)}"
+            )
+        for group, snapshot in zip(self.groups, snapshots):
+            group.restore(snapshot)
+        intern = self.interner.intern
+        self.seen = set()
+        add = self.seen.add
+        for u, v in state["seen"]:
+            iu = intern(u)
+            iv = intern(v)
+            add((iu, iv) if iu < iv else (iv, iu))
+
     # -- aggregates -----------------------------------------------------------
 
     def summaries(self) -> List[GroupSummary]:

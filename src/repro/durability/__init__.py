@@ -1,0 +1,37 @@
+"""Durability layer: checkpointing, recovery, and retry policies.
+
+This package makes long-running runs survivable:
+
+* :mod:`repro.durability.checkpoint` — integrity-checked, generation-
+  numbered, atomically-renamed checkpoint files with a manifest, a
+  retention policy and a recovery path that skips torn or corrupt files;
+* :mod:`repro.durability.retry` — the shared exponential-backoff-with-
+  jitter policy used by the parallel drivers' worker supervision and the
+  campaign engine's retry-on-task-failure;
+* :mod:`repro.durability.runner` — checkpointed drivers (``run_rept_durable``,
+  ``run_estimator_durable``, ``run_monitor_durable``) whose resumed runs are
+  bit-identical to uninterrupted ones.
+"""
+
+from repro.durability.checkpoint import (
+    Checkpoint,
+    CheckpointManager,
+    RecoveryReport,
+)
+from repro.durability.retry import RetryPolicy, call_with_retry
+from repro.durability.runner import (
+    run_estimator_durable,
+    run_monitor_durable,
+    run_rept_durable,
+)
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointManager",
+    "RecoveryReport",
+    "RetryPolicy",
+    "call_with_retry",
+    "run_estimator_durable",
+    "run_monitor_durable",
+    "run_rept_durable",
+]

@@ -1,0 +1,292 @@
+"""Integrity-checked, generation-numbered checkpoint files.
+
+File format (one checkpoint = one file, ``ckpt-<generation:08d>.ckpt``)::
+
+    REPTCKPT1\\n                  magic + format version
+    {...header JSON...}\\n        generation, stream_offset, payload_bytes,
+                                  payload_sha256, meta
+    <payload bytes>               pickled application state
+
+The header is authenticated by construction: a torn write truncates the
+payload (length check fails), bit rot flips payload bytes (sha256 check
+fails) or mangles the header (JSON parse fails) — every failure mode is
+detected on read, and :meth:`CheckpointManager.recover` simply skips the
+damaged file and falls back to the previous generation.
+
+Writes are crash-safe: the file is staged under a temporary name in the
+same directory, fsynced, then atomically renamed — a crash mid-write
+leaves at worst a stale ``*.tmp`` that recovery ignores, never a plausible-
+looking half checkpoint under the real name.  ``manifest.json`` (also
+written atomically) records the known generations for observability, but
+recovery never *trusts* it: the directory is rescanned and every candidate
+file re-validated, so a manifest lost or lying about a deleted file cannot
+break recovery.
+
+Retention keeps the newest ``keep`` generations.  ``keep >= 2`` is the
+useful minimum: the newest file could itself be the torn one.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import re
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.exceptions import CheckpointError, RecoveryError
+from repro.testing.faults import maybe_fail
+
+PathLike = Union[str, Path]
+
+_MAGIC = b"REPTCKPT1\n"
+_FILE_PATTERN = re.compile(r"^ckpt-(\d{8})\.ckpt$")
+
+#: Manifest filename inside the checkpoint directory.
+MANIFEST_FILE = "manifest.json"
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One materialised checkpoint: application state at a stream offset."""
+
+    generation: int
+    stream_offset: int
+    payload: object
+    meta: Dict[str, object]
+    path: Path
+
+
+@dataclass
+class RecoveryReport:
+    """Outcome of one :meth:`CheckpointManager.recover` call.
+
+    ``checkpoint`` is the newest valid checkpoint (None = fresh start);
+    ``skipped`` lists the newer files that failed validation, with reasons —
+    a non-empty list after a clean shutdown is worth alerting on.
+    """
+
+    checkpoint: Optional[Checkpoint] = None
+    skipped: List[Tuple[str, str]] = field(default_factory=list)
+    examined: int = 0
+
+
+def _checkpoint_name(generation: int) -> str:
+    return f"ckpt-{generation:08d}.ckpt"
+
+
+class CheckpointManager:
+    """Write, prune, and recover generation-numbered checkpoints.
+
+    Parameters
+    ----------
+    directory:
+        Checkpoint directory (created on first save).
+    keep:
+        Retention: how many newest generations survive pruning.
+
+    The manager is crash-safe but not concurrency-safe: one writer per
+    directory.  Recovery is read-only and may run anywhere.
+    """
+
+    def __init__(self, directory: PathLike, keep: int = 3) -> None:
+        if keep < 1:
+            raise CheckpointError(f"retention keep must be >= 1, got {keep}")
+        self.directory = Path(directory)
+        self.keep = keep
+        self._next_generation: Optional[int] = None
+
+    # -- write path ----------------------------------------------------------
+
+    def save(
+        self,
+        payload: object,
+        stream_offset: int,
+        meta: Optional[Dict[str, object]] = None,
+    ) -> Checkpoint:
+        """Persist ``payload`` as the next generation; returns the checkpoint.
+
+        ``stream_offset`` is the number of stream records fully reflected in
+        the payload — recovery replays the stream from there.  ``meta`` is
+        free-form (config fingerprints, engine names); recovery consumers
+        use it to reject checkpoints from an incompatible run.
+
+        Raises :class:`CheckpointError` on any serialisation or I/O
+        failure; earlier generations are never touched by a failed save.
+        """
+        if stream_offset < 0:
+            raise CheckpointError(f"stream_offset must be >= 0, got {stream_offset}")
+        generation = self._claim_generation()
+        meta = dict(meta or {})
+        try:
+            body = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+        except Exception as exc:
+            raise CheckpointError(
+                f"checkpoint payload is not picklable: {exc}"
+            ) from exc
+        header = {
+            "generation": generation,
+            "stream_offset": int(stream_offset),
+            "payload_bytes": len(body),
+            "payload_sha256": hashlib.sha256(body).hexdigest(),
+            "meta": meta,
+        }
+        path = self.directory / _checkpoint_name(generation)
+        try:
+            maybe_fail("checkpoint-write", generation=generation)
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, temp_name = tempfile.mkstemp(
+                dir=self.directory, prefix=".ckpt-", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    handle.write(_MAGIC)
+                    handle.write(
+                        json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+                    )
+                    handle.write(body)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+                os.replace(temp_name, path)
+            except BaseException:
+                try:
+                    os.unlink(temp_name)
+                except OSError:
+                    pass
+                raise
+        except CheckpointError:
+            raise
+        except OSError as exc:
+            raise CheckpointError(
+                f"failed to write checkpoint generation {generation}: {exc}"
+            ) from exc
+        self._next_generation = generation + 1
+        self._write_manifest()
+        self._prune()
+        return Checkpoint(
+            generation=generation,
+            stream_offset=int(stream_offset),
+            payload=payload,
+            meta=meta,
+            path=path,
+        )
+
+    def _claim_generation(self) -> int:
+        if self._next_generation is None:
+            existing = self._generations_on_disk()
+            self._next_generation = (existing[-1] + 1) if existing else 0
+        return self._next_generation
+
+    def _generations_on_disk(self) -> List[int]:
+        if not self.directory.is_dir():
+            return []
+        generations = []
+        for entry in self.directory.iterdir():
+            matched = _FILE_PATTERN.match(entry.name)
+            if matched:
+                generations.append(int(matched.group(1)))
+        return sorted(generations)
+
+    def _write_manifest(self) -> None:
+        manifest = {
+            "keep": self.keep,
+            "generations": self._generations_on_disk(),
+        }
+        fd, temp_name = tempfile.mkstemp(
+            dir=self.directory, prefix=".manifest-", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                json.dump(manifest, handle, indent=2)
+            os.replace(temp_name, self.directory / MANIFEST_FILE)
+        except BaseException:
+            try:
+                os.unlink(temp_name)
+            except OSError:
+                pass
+            raise
+
+    def _prune(self) -> None:
+        generations = self._generations_on_disk()
+        for generation in generations[: -self.keep]:
+            try:
+                (self.directory / _checkpoint_name(generation)).unlink()
+            except OSError:
+                pass  # pruning is best-effort; retention re-runs next save
+        if len(generations) > self.keep:
+            self._write_manifest()
+
+    # -- read path -----------------------------------------------------------
+
+    def generations(self) -> List[int]:
+        """Generations currently on disk, oldest first."""
+        return self._generations_on_disk()
+
+    def recover(self, strict: bool = False) -> RecoveryReport:
+        """Restore the newest valid checkpoint, skipping damaged files.
+
+        Candidates are tried newest-first; each must pass magic, header,
+        payload-length and sha256 validation before its payload is
+        unpickled.  With ``strict=True`` an empty result (no valid
+        checkpoint at all) raises :class:`RecoveryError` instead of
+        reporting a fresh start — for operators who *know* state existed.
+        """
+        report = RecoveryReport()
+        for generation in reversed(self._generations_on_disk()):
+            path = self.directory / _checkpoint_name(generation)
+            report.examined += 1
+            try:
+                report.checkpoint = self._read(path, generation)
+                return report
+            except CheckpointError as exc:
+                report.skipped.append((path.name, str(exc)))
+        if strict:
+            raise RecoveryError(
+                f"no valid checkpoint under {self.directory} "
+                f"(examined {report.examined}, "
+                f"skipped {[name for name, _ in report.skipped]})"
+            )
+        return report
+
+    def _read(self, path: Path, generation: int) -> Checkpoint:
+        try:
+            blob = path.read_bytes()
+        except OSError as exc:
+            raise CheckpointError(f"unreadable: {exc}") from exc
+        if not blob.startswith(_MAGIC):
+            raise CheckpointError("bad magic (not a checkpoint, or torn at byte 0)")
+        newline = blob.find(b"\n", len(_MAGIC))
+        if newline < 0:
+            raise CheckpointError("truncated before header end")
+        try:
+            header = json.loads(blob[len(_MAGIC) : newline].decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise CheckpointError(f"corrupt header: {exc}") from exc
+        body = blob[newline + 1 :]
+        if header.get("generation") != generation:
+            raise CheckpointError(
+                f"header names generation {header.get('generation')!r}, "
+                f"file names {generation}"
+            )
+        if len(body) != header.get("payload_bytes"):
+            raise CheckpointError(
+                f"torn payload: {len(body)} bytes on disk, "
+                f"header promises {header.get('payload_bytes')}"
+            )
+        if hashlib.sha256(body).hexdigest() != header.get("payload_sha256"):
+            raise CheckpointError("payload sha256 mismatch (corrupt bytes)")
+        try:
+            payload = pickle.loads(body)
+        except Exception as exc:
+            raise CheckpointError(f"payload does not unpickle: {exc}") from exc
+        return Checkpoint(
+            generation=generation,
+            stream_offset=int(header.get("stream_offset", 0)),
+            payload=payload,
+            meta=dict(header.get("meta", {})),
+            path=path,
+        )

@@ -13,11 +13,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the ``repro`` package."""
 
 
-class ConfigurationError(ReproError):
+class ConfigurationError(ReproError, ValueError):
     """An estimator or experiment was configured with invalid parameters.
 
     Examples: a sampling probability outside ``(0, 1]``, a processor count
-    of zero, or a reservoir budget smaller than one edge.
+    of zero, or a reservoir budget smaller than one edge.  Also a
+    ``ValueError`` so callers that predate the hierarchy (and tests written
+    against plain ``ValueError``) keep working.
     """
 
 
@@ -40,3 +42,36 @@ class EstimatorStateError(ReproError):
 
 class ExperimentError(ReproError):
     """An experiment specification is inconsistent or failed to run."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint could not be written or validated.
+
+    Raised by :class:`~repro.durability.checkpoint.CheckpointManager` when
+    serialising state fails, the target filesystem rejects the write, or a
+    just-written checkpoint fails its own integrity read-back.  A failed
+    *write* never corrupts earlier checkpoints — files are staged under a
+    temporary name and atomically renamed, so recovery always has the last
+    complete generation to fall back on.
+    """
+
+
+class WorkerFailedError(ReproError):
+    """A pool worker died (or hung) beyond the supervision policy's budget.
+
+    The chunked execution drivers retry failed chunk tasks with exponential
+    backoff and restart broken pools; this error surfaces only once those
+    budgets are exhausted *and* graceful degradation to the inline serial
+    path is disabled (``allow_inline_fallback=False``) or itself failed.
+    """
+
+
+class RecoveryError(ReproError):
+    """Recovery from checkpoints was requested but could not proceed.
+
+    Raised in ``strict`` recovery when no valid checkpoint exists, or when
+    the newest valid checkpoint is incompatible with the requested run
+    (different config fingerprint, stream identity, or monitor parameters)
+    — silently restarting from scratch would mask operator error, so the
+    mismatch is loud instead.
+    """

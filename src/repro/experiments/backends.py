@@ -49,10 +49,14 @@ def backend_comparison(
     edges = stream.edges()
     config = ReptConfig(m=m, c=c, seed=seed, track_local=False)
 
-    headers = ["backend", "seconds", "global estimate", "edges stored", "chunks", "identical"]
+    headers = [
+        "backend", "seconds", "global estimate", "edges stored", "chunks",
+        "faults", "identical",
+    ]
     rows: List[List] = []
     reference = None
     timings = {}
+    supervision_events = {}
     for backend in backends:
         with Timer() as timer:
             estimate = run_rept(
@@ -74,6 +78,21 @@ def backend_comparison(
                 f"{estimate.global_count!r} != {reference.global_count!r}"
             )
         timings[backend] = timer.elapsed
+        # Supervision counters (nonzero only under injected/real worker
+        # failures, e.g. a --chaos run): the estimate must stay identical
+        # anyway — that is the point of the recovery paths.
+        retries = int(estimate.metadata.get("worker_retries", 0))
+        restarts = int(estimate.metadata.get("pool_restarts", 0))
+        degraded = estimate.metadata.get("degraded", 0.0) > 0
+        supervision_events[backend] = {
+            "worker_retries": retries,
+            "pool_restarts": restarts,
+            "degraded": degraded,
+        }
+        if retries or restarts or degraded:
+            faults = f"{retries}r/{restarts}p" + ("/degraded" if degraded else "")
+        else:
+            faults = "-"
         rows.append(
             [
                 backend,
@@ -81,6 +100,7 @@ def backend_comparison(
                 estimate.global_count,
                 estimate.edges_stored,
                 int(estimate.metadata.get("num_chunks", 1)),
+                faults,
                 "yes",
             ]
         )
@@ -103,5 +123,6 @@ def backend_comparison(
             "seed": seed,
             "num_edges": len(edges),
             "timings": timings,
+            "supervision": supervision_events,
         },
     )

@@ -21,17 +21,21 @@ randomness is derived from its config, never from scheduling order.
 from __future__ import annotations
 
 import time
+import zlib
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Dict, List, Mapping, Optional, Union
 
+from repro.durability.retry import RetryPolicy
 from repro.exceptions import ExperimentError
 from repro.experiments.campaign.fingerprint import CODE_TAG, task_fingerprint
 from repro.experiments.campaign.kinds import get_task_kind
 from repro.experiments.campaign.planner import Task, TaskGraph, plan_campaign
 from repro.experiments.results import ResultStore, _atomic_write_json, encode_value
 from repro.experiments.spec import CampaignSpec
+from repro.testing.faults import maybe_fail
 from repro.utils.tables import format_table
 
 PathLike = Union[str, Path]
@@ -109,10 +113,27 @@ def _execute_task(kind_name: str, config: Mapping, inputs: Mapping):
     return payload, time.perf_counter() - start
 
 
+def _supervised_execute(kind_name: str, config: Mapping, inputs: Mapping, task_id: str):
+    """Fault-injection shim around :func:`_execute_task`.
+
+    The ``campaign-task`` site (keyed by task id) lets the chaos suite make
+    a specific task raise, hang, or kill its worker; the plan travels via
+    environment variable, so it reaches pool workers too.
+    """
+    maybe_fail("campaign-task", task=task_id)
+    return _execute_task(kind_name, config, inputs)
+
+
 class _Run:
     """State of one campaign execution."""
 
-    def __init__(self, graph: TaskGraph, store: ResultStore, use_cache: bool) -> None:
+    def __init__(
+        self,
+        graph: TaskGraph,
+        store: ResultStore,
+        use_cache: bool,
+        task_retries: int = 0,
+    ) -> None:
         self.graph = graph
         self.store = store
         self.order = graph.topological_ids()
@@ -124,13 +145,28 @@ class _Run:
             self.fingerprints[task_id] = task_fingerprint(
                 task.kind, kind.version, task.config, upstream
             )
+        # verify (not just has): a torn or bit-rotted record is quarantined
+        # as *.corrupt here, so it counts as a miss and recomputes instead
+        # of failing at load time deep into the run.
         self.cached = {
             task_id
             for task_id in self.order
-            if use_cache and store.has(self.fingerprints[task_id])
+            if use_cache and store.verify(self.fingerprints[task_id])
         }
+        self.task_retries = task_retries
         self.payloads: Dict[str, object] = {}
         self.seconds: Dict[str, float] = {}
+
+    def _retry_delays(self, task_id: str) -> List[float]:
+        """Deterministic per-task backoff delays (empty = fail fast)."""
+        if self.task_retries <= 0:
+            return []
+        policy = RetryPolicy(
+            max_attempts=self.task_retries + 1,
+            base_delay=0.05,
+            seed=zlib.crc32(task_id.encode("utf-8")),
+        )
+        return policy.delays()
 
     def payload_of(self, task_id: str):
         """Payload of a completed task, loading cached records on demand."""
@@ -153,14 +189,22 @@ class _Run:
             if task_id in self.cached:
                 continue
             task = self.graph.tasks[task_id]
-            try:
-                payload, seconds = _execute_task(
-                    task.kind, task.config, self.inputs_for(task)
-                )
-            except ExperimentError:
-                raise
-            except Exception as exc:
-                raise ExperimentError(f"task {task_id!r} failed: {exc}") from exc
+            delays = self._retry_delays(task_id)
+            for attempt in range(len(delays) + 1):
+                try:
+                    payload, seconds = _supervised_execute(
+                        task.kind, task.config, self.inputs_for(task), task_id
+                    )
+                    break
+                except ExperimentError:
+                    # Deterministic failure (bad config, broken spec):
+                    # retrying replays the same error, so don't.
+                    raise
+                except Exception as exc:
+                    if attempt < len(delays):
+                        time.sleep(delays[attempt])
+                        continue
+                    raise ExperimentError(f"task {task_id!r} failed: {exc}") from exc
             self.complete(task, payload, seconds)
 
     def run_parallel(self, workers: int) -> None:
@@ -177,37 +221,94 @@ class _Run:
             for dep in blockers[tid]:
                 dependents.setdefault(dep, []).append(tid)
         ready = [tid for tid in pending if not blockers[tid]]
-        in_flight: Dict[object, str] = {}
+        attempts: Dict[str, int] = {}
         first_error: Optional[BaseException] = None
         failed_task: Optional[str] = None
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            while ready or in_flight:
-                while ready and first_error is None:
-                    task_id = ready.pop(0)
-                    task = self.graph.tasks[task_id]
-                    future = pool.submit(
-                        _execute_task, task.kind, task.config, self.inputs_for(task)
-                    )
-                    in_flight[future] = task_id
-                if not in_flight:
-                    break
-                done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
-                for future in done:
-                    task_id = in_flight.pop(future)
-                    try:
-                        payload, seconds = future.result()
-                    except BaseException as exc:
-                        # Keep draining in-flight tasks so their results are
-                        # persisted — that is what makes the failed campaign
-                        # resumable from the last *completed* task.
-                        if first_error is None:
-                            first_error, failed_task = exc, task_id
-                        continue
-                    self.complete(self.graph.tasks[task_id], payload, seconds)
-                    for dependent in dependents.get(task_id, ()):
-                        blockers[dependent].discard(task_id)
-                        if not blockers[dependent]:
-                            ready.append(dependent)
+
+        def record_failure(task_id: str, exc: BaseException) -> None:
+            """Consume a retry attempt for ``task_id`` or record the error."""
+            nonlocal first_error, failed_task
+            delays = self._retry_delays(task_id)
+            used = attempts.get(task_id, 0)
+            if (
+                first_error is None
+                and used < len(delays)
+                and not isinstance(exc, KeyboardInterrupt)
+            ):
+                attempts[task_id] = used + 1
+                time.sleep(delays[used])
+                ready.append(task_id)
+                return
+            if first_error is None:
+                first_error, failed_task = exc, task_id
+
+        def settle(future, task_id: str) -> bool:
+            """Fold one finished future into the run; True if the pool died.
+
+            Broken pools charge a retry attempt to every poisoned task (the
+            culprit is unknowable) and signal the caller to rebuild the
+            pool.  Other failures are retried or recorded — the caller
+            keeps draining in-flight tasks either way, so completed results
+            are persisted and the failed campaign stays resumable from the
+            last *completed* task.
+            """
+            try:
+                payload, seconds = future.result()
+            except ExperimentError as exc:
+                # Deterministic failure — never retried.
+                nonlocal first_error, failed_task
+                if first_error is None:
+                    first_error, failed_task = exc, task_id
+                return False
+            except BrokenProcessPool as exc:
+                record_failure(task_id, exc)
+                return True
+            except BaseException as exc:
+                record_failure(task_id, exc)
+                return False
+            self.complete(self.graph.tasks[task_id], payload, seconds)
+            for dependent in dependents.get(task_id, ()):
+                blockers[dependent].discard(task_id)
+                if not blockers[dependent]:
+                    ready.append(dependent)
+            return False
+
+        while True:
+            pool_broken = False
+            in_flight: Dict[object, str] = {}
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                while (ready or in_flight) and not pool_broken:
+                    while ready and first_error is None:
+                        task_id = ready.pop(0)
+                        task = self.graph.tasks[task_id]
+                        try:
+                            future = pool.submit(
+                                _supervised_execute,
+                                task.kind,
+                                task.config,
+                                self.inputs_for(task),
+                                task_id,
+                            )
+                        except Exception:  # the pool itself died
+                            ready.insert(0, task_id)
+                            pool_broken = True
+                            break
+                        in_flight[future] = task_id
+                    if not in_flight:
+                        break
+                    done, _ = wait(in_flight, return_when=FIRST_COMPLETED)
+                    for future in done:
+                        if settle(future, in_flight.pop(future)):
+                            pool_broken = True
+                if pool_broken and in_flight:
+                    # A dead pool poisons every in-flight future; drain them
+                    # all so each gets its retry accounting.
+                    done, _ = wait(in_flight)
+                    for future in done:
+                        settle(future, in_flight.pop(future))
+            if pool_broken and first_error is None and ready:
+                continue  # rebuild the pool and resubmit the survivors
+            break
         if first_error is not None:
             raise ExperimentError(
                 f"task {failed_task!r} failed: {first_error}"
@@ -250,7 +351,7 @@ def run_campaign(
         store = ResultStore(store)
     graph = plan_campaign(spec)
     use_cache = resume and not force
-    run = _Run(graph, store, use_cache)
+    run = _Run(graph, store, use_cache, task_retries=spec.task_retries)
 
     if not dry_run:
         effective_workers = spec.workers if workers is None else workers

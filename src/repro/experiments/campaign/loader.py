@@ -6,6 +6,7 @@ File layout (TOML shown; JSON uses the same structure)::
     name = "smoke"
     description = "tiny CI campaign"
     workers = 2           # optional, default 1
+    task_retries = 2      # optional, default 0 (fail fast)
 
     [defaults]            # optional, merged under every stage config
     max_edges = 1200
@@ -103,12 +104,16 @@ def campaign_spec_from_mapping(data: Mapping, source: str = "<mapping>") -> Camp
     workers = header.get("workers", 1)
     if not isinstance(workers, int):
         raise ExperimentError(f"{source}: campaign workers must be an integer")
+    task_retries = header.get("task_retries", 0)
+    if not isinstance(task_retries, int):
+        raise ExperimentError(f"{source}: campaign task_retries must be an integer")
     return CampaignSpec(
         name=str(header["name"]),
         description=str(header.get("description", "")),
         stages=tuple(stages),
         defaults=dict(data.get("defaults", {})),
         workers=workers,
+        task_retries=task_retries,
     )
 
 

@@ -114,6 +114,24 @@ def _build_parser() -> argparse.ArgumentParser:
         help="trace duration in seconds for the 'monitor' artefact "
         "(default: 3600; smaller = faster)",
     )
+    parser.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        help="durable checkpoint directory for the 'monitor' artefact: "
+        "every ingest batch is checkpointed and the run resumes from the "
+        "newest valid checkpoint on failure (a temporary directory is used "
+        "when --chaos is given without one)",
+    )
+    parser.add_argument(
+        "--chaos",
+        default=None,
+        metavar="PLAN",
+        help="arm a deterministic fault-injection plan (a plan JSON file, "
+        "or a directory containing plan.json) for the run — injected "
+        "worker crashes exercise the supervision and checkpoint/recovery "
+        "paths while the artefact's results must stay bit-identical; see "
+        "repro.testing.faults",
+    )
 
     campaign = parser.add_argument_group("campaign options")
     campaign.add_argument(
@@ -223,6 +241,8 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
         kwargs.pop("max_edges", None)
         if args.seed is not None:
             kwargs["seed"] = args.seed
+        if args.checkpoint_dir is not None:
+            kwargs["checkpoint_dir"] = args.checkpoint_dir
         if args.window is not None:
             kwargs["window_seconds"] = args.window
         if args.slide is not None:
@@ -277,12 +297,43 @@ def _run_campaign(args: argparse.Namespace) -> int:
     return 0
 
 
+def _chaos_context(plan_argument: str):
+    """Arm the fault plan named by ``--chaos``.
+
+    Accepts either a plan JSON file or a plan directory (one holding
+    ``plan.json``).  A directory keeps its firing tokens afterwards for
+    post-mortem inspection; a bare file gets a throwaway token directory.
+    """
+    import json as _json
+
+    from repro.testing.faults import PLAN_FILE, FaultPlan, arm
+
+    path = Path(plan_argument)
+    directory = path if path.is_dir() else None
+    plan_file = (path / PLAN_FILE) if directory else path
+    plan = FaultPlan.from_json(_json.loads(plan_file.read_text(encoding="utf-8")))
+    return arm(plan, directory=directory)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code."""
+    import contextlib
+    import tempfile
+
     args = _build_parser().parse_args(argv)
     if args.artefact == "campaign":
         return _run_campaign(args)
-    result = _run_artefact(args.artefact, args)
+    with contextlib.ExitStack() as stack:
+        if args.chaos:
+            if args.artefact == "monitor" and args.checkpoint_dir is None:
+                # Chaos without durability would simply crash the artefact;
+                # default to a throwaway checkpoint directory so recovery
+                # has somewhere to resume from.
+                args.checkpoint_dir = stack.enter_context(
+                    tempfile.TemporaryDirectory(prefix="repro-monitor-ckpt-")
+                )
+            stack.enter_context(_chaos_context(args.chaos))
+        result = _run_artefact(args.artefact, args)
     print(result.text)
     return 0
 

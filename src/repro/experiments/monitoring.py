@@ -24,6 +24,7 @@ from typing import List, Optional
 from repro.baselines.exact import ExactStreamingCounter
 from repro.baselines.triest import TriestImprEstimator
 from repro.core.config import ReptConfig
+from repro.durability import RetryPolicy, call_with_retry, run_monitor_durable
 from repro.exceptions import ExperimentError
 from repro.experiments.spec import ExperimentResult
 from repro.generators.traffic import TrafficTraceSpec, synthetic_packet_trace
@@ -56,6 +57,7 @@ def windowed_monitoring(
     c: int = 16,
     triest_budget: int = 2000,
     seed: int = 2024,
+    checkpoint_dir: Optional[str] = None,
 ) -> ExperimentResult:
     """Per-interval triangle monitoring over a synthetic router trace.
 
@@ -64,6 +66,15 @@ def windowed_monitoring(
     the merge-based monitor engine, whose estimates are bit-identical to
     re-ingesting each window from scratch — so its errors here are purely
     the estimator's sampling error, never an artefact of the windowing.
+
+    ``checkpoint_dir`` routes the REPT monitor through the durable runner
+    (:func:`~repro.durability.run_monitor_durable`): every ingest batch is
+    checkpointed, and the whole run is retried on failure, resuming from
+    the newest checkpoint.  Under a ``--chaos`` fault plan this is the
+    artefact-level demonstration that a crashed-and-recovered monitoring
+    session reports the same window series (the runner's results are
+    bit-identical to the in-memory path, so the error columns do not
+    move).
     """
     if window_seconds <= 0:
         raise ExperimentError("window_seconds must be positive")
@@ -97,7 +108,24 @@ def windowed_monitoring(
         )
 
     config = ReptConfig(m=m, c=c, seed=seed, track_local=False)
-    rept_windows = _run_monitor(make_monitor(config=config), records)
+    if checkpoint_dir is not None:
+        def durable_run() -> List[MonitorWindowResult]:
+            results, _ = run_monitor_durable(
+                lambda: make_monitor(config=config),
+                records,
+                checkpoint_dir,
+                checkpoint_every=_INGEST_BATCH,
+            )
+            return results
+
+        # Injected (or real) mid-run failures surface here as exceptions;
+        # each retry re-enters the durable runner, which resumes from the
+        # newest valid checkpoint instead of starting over.
+        rept_windows = call_with_retry(
+            durable_run, RetryPolicy(max_attempts=4, base_delay=0.01, seed=seed)
+        )
+    else:
+        rept_windows = _run_monitor(make_monitor(config=config), records)
     exact_windows = _run_monitor(
         make_monitor(estimator_factory=lambda _s: ExactStreamingCounter()), records
     )
@@ -170,6 +198,7 @@ def windowed_monitoring(
             "c": c,
             "triest_budget": triest_budget,
             "seed": seed,
+            "checkpointed": checkpoint_dir is not None,
             "series": series,
         },
     )

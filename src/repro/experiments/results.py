@@ -224,6 +224,52 @@ class ResultStore:
         """Return whether a completed record exists for ``fingerprint``."""
         return self.path_for(fingerprint).is_file()
 
+    def quarantine(self, fingerprint: str) -> Path:
+        """Move the record for ``fingerprint`` aside as ``*.corrupt``.
+
+        The quarantined file keeps the damaged bytes for post-mortem
+        inspection while freeing the fingerprint: ``has``/``verify`` report
+        it absent afterwards, so the task simply recomputes.  Returns the
+        quarantine path.
+        """
+        path = self.path_for(fingerprint)
+        target = path.with_name(path.name + ".corrupt")
+        try:
+            os.replace(path, target)
+        except FileNotFoundError:
+            pass
+        return target
+
+    def verify(self, fingerprint: str) -> bool:
+        """Validate the record for ``fingerprint``, quarantining bad ones.
+
+        Returns True only for a present, parseable record whose recorded
+        fingerprint and store version match.  Anything else — torn JSON, a
+        hand-edited or bit-rotted record, a foreign store version — is
+        renamed to ``*.corrupt`` and reported False, so cache planning
+        treats it as a miss and the task recomputes instead of crashing
+        mid-campaign (or worse, trusting damaged data).
+        """
+        path = self.path_for(fingerprint)
+        if not path.is_file():
+            return False
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self.quarantine(fingerprint)
+            return False
+        if (
+            not isinstance(record, dict)
+            or record.get("fingerprint") != fingerprint
+            or "payload" not in record
+        ):
+            self.quarantine(fingerprint)
+            return False
+        # A foreign store version is unusable but not damaged: report a
+        # miss without quarantining (an older build may still read it).
+        return record.get("store_version") == _STORE_VERSION
+
     def save(self, fingerprint: str, task_id: str, kind: str, payload) -> Path:
         """Persist one task output; returns the object path written."""
         record = {
@@ -241,16 +287,27 @@ class ResultStore:
         """Return the payload stored under ``fingerprint``.
 
         Raises :class:`ExperimentError` when the record is missing or does
-        not match the requested fingerprint (a corrupted or hand-edited
-        store).
+        not validate (a corrupted or hand-edited store); invalid records
+        are quarantined as ``*.corrupt`` first, so the next run recomputes
+        the task instead of tripping over the same damage.
         """
         path = self.path_for(fingerprint)
         if not path.is_file():
             raise ExperimentError(f"store has no record for fingerprint {fingerprint}")
-        with open(path, "r", encoding="utf-8") as handle:
-            record = json.load(handle)
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            quarantined = self.quarantine(fingerprint)
+            raise ExperimentError(
+                f"{path} is not valid JSON (quarantined to {quarantined.name}): {exc}"
+            ) from exc
         if not isinstance(record, dict) or record.get("fingerprint") != fingerprint:
-            raise ExperimentError(f"{path} is not a valid store record")
+            quarantined = self.quarantine(fingerprint)
+            raise ExperimentError(
+                f"{path} is not a valid store record "
+                f"(quarantined to {quarantined.name})"
+            )
         if record.get("store_version") != _STORE_VERSION:
             raise ExperimentError(
                 f"{path} uses store version {record.get('store_version')!r}; "

@@ -197,6 +197,12 @@ class CampaignSpec:
     workers:
         Default number of worker processes for task fan-out (1 = serial;
         results are bit-identical either way).
+    task_retries:
+        How many times a failed task is retried (with deterministic
+        exponential backoff) before the campaign aborts.  0 (the default)
+        fails fast.  Deterministic errors
+        (:class:`~repro.exceptions.ExperimentError`) are never retried —
+        retrying a config mistake only hides it.
     """
 
     name: str
@@ -204,6 +210,7 @@ class CampaignSpec:
     stages: Tuple[StageSpec, ...] = ()
     defaults: Mapping[str, object] = field(default_factory=dict)
     workers: int = 1
+    task_retries: int = 0
 
     def __post_init__(self) -> None:
         if not _NAME_PATTERN.match(self.name):
@@ -214,6 +221,8 @@ class CampaignSpec:
             raise ExperimentError(f"campaign {self.name!r} declares no stages")
         if self.workers < 1:
             raise ExperimentError("workers must be >= 1")
+        if self.task_retries < 0:
+            raise ExperimentError("task_retries must be >= 0")
         seen = set()
         for stage in self.stages:
             if stage.name in seen:

@@ -59,6 +59,7 @@ import numpy as np
 
 from repro.baselines.base import StreamingTriangleEstimator, TriangleEstimate
 from repro.core.config import ReptConfig
+from repro.exceptions import ConfigurationError
 from repro.core.state import (
     EncodedBatch,
     GroupSnapshot,
@@ -342,18 +343,18 @@ class WindowedTriangleMonitor:
         record_replay: bool = False,
     ) -> None:
         if window_seconds <= 0:
-            raise ValueError("window_seconds must be positive")
+            raise ConfigurationError("window_seconds must be positive")
         if slide_seconds is None:
             slide_seconds = window_seconds
         if slide_seconds <= 0 or slide_seconds > window_seconds:
-            raise ValueError(
+            raise ConfigurationError(
                 "slide_seconds must be in (0, window_seconds] "
                 f"(got slide={slide_seconds}, window={window_seconds})"
             )
         if pane_seconds is None:
             pane_seconds = slide_seconds
         if pane_seconds <= 0:
-            raise ValueError("pane_seconds must be positive")
+            raise ConfigurationError("pane_seconds must be positive")
         self.window_seconds = float(window_seconds)
         self.slide_seconds = float(slide_seconds)
         self.pane_seconds = float(pane_seconds)
@@ -364,16 +365,16 @@ class WindowedTriangleMonitor:
             slide_seconds, pane_seconds, "slide_seconds", "pane_seconds"
         )
         if (config is None) == (estimator_factory is None):
-            raise ValueError(
+            raise ConfigurationError(
                 "exactly one of config (merge-based REPT engine) or "
                 "estimator_factory must be given"
             )
         if late_policy not in LATE_POLICIES:
-            raise ValueError(
+            raise ConfigurationError(
                 f"late_policy must be one of {LATE_POLICIES}, got {late_policy!r}"
             )
         if allowed_lateness < 0 or not math.isfinite(allowed_lateness):
-            raise ValueError("allowed_lateness must be finite and >= 0")
+            raise ConfigurationError("allowed_lateness must be finite and >= 0")
         self.config = config
         self.estimator_factory = estimator_factory
         self.seed = seed
@@ -410,7 +411,7 @@ class WindowedTriangleMonitor:
         ratio = float(total) / float(unit)
         count = int(round(ratio))
         if count < 1 or abs(ratio - count) > 1e-9:
-            raise ValueError(
+            raise ConfigurationError(
                 f"{unit_name} ({unit}) must evenly divide {total_name} ({total})"
             )
         return count

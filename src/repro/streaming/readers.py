@@ -4,13 +4,29 @@ Supports the common plain-text formats the public datasets ship in:
 whitespace- or comma-separated ``u v`` pairs, optional comment lines
 (``#`` or ``%``), optional third column (timestamp or weight, ignored or
 kept depending on the caller).
+
+Real dumps also contain damage — truncated last lines, interleaved binary
+garbage, half-written records.  The readers take an ``on_bad_record``
+policy for those:
+
+* ``"raise"`` (default) — fail loudly with
+  :class:`~repro.exceptions.StreamFormatError`, the right behaviour for
+  curated benchmark inputs where damage means a wrong download;
+* ``"skip"`` — drop unparseable lines, counting them in the
+  :class:`BadRecordLog`;
+* ``"quarantine"`` — drop them *and* append the raw lines to a sidecar
+  file (``<input>.quarantine`` by default) for post-mortem inspection.
+
+Blank lines and comments are never "bad": they are format features,
+skipped silently under every policy and never counted.
 """
 
 from __future__ import annotations
 
 import gzip
+from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Tuple, Union
+from typing import Iterator, Optional, Union
 
 from repro.exceptions import StreamFormatError
 from repro.streaming.edge_stream import EdgeStream
@@ -19,6 +35,24 @@ from repro.types import EdgeTuple
 PathLike = Union[str, Path]
 
 _COMMENT_PREFIXES = ("#", "%", "//")
+
+#: Valid ``on_bad_record`` policies.
+BAD_RECORD_POLICIES = ("raise", "skip", "quarantine")
+
+
+@dataclass
+class BadRecordLog:
+    """Counters of damaged input lines observed by one read.
+
+    ``skipped`` counts every dropped line (under both non-raising
+    policies); ``quarantined`` counts the subset that was also appended to
+    ``quarantine_path``.  Attached to the returned stream by
+    :func:`read_edge_list` as ``stream.bad_records``.
+    """
+
+    skipped: int = 0
+    quarantined: int = 0
+    quarantine_path: Optional[Path] = None
 
 
 def parse_edge_line(
@@ -54,16 +88,60 @@ def parse_edge_line(
 
 
 def iter_edge_lines(
-    path: PathLike, delimiter: Optional[str] = None, as_int: bool = True
+    path: PathLike,
+    delimiter: Optional[str] = None,
+    as_int: bool = True,
+    on_bad_record: str = "raise",
+    bad_record_log: Optional[BadRecordLog] = None,
+    quarantine_path: Optional[PathLike] = None,
 ) -> Iterator[EdgeTuple]:
-    """Yield edges from a (possibly gzip-compressed) edge-list file."""
+    """Yield edges from a (possibly gzip-compressed) edge-list file.
+
+    ``on_bad_record`` selects the damage policy (see the module
+    docstring); ``bad_record_log`` receives the counters (a fresh one is
+    used when omitted); ``quarantine_path`` overrides the default
+    ``<input>.quarantine`` sidecar of the ``"quarantine"`` policy.
+    """
+    if on_bad_record not in BAD_RECORD_POLICIES:
+        raise ValueError(
+            f"unknown on_bad_record policy {on_bad_record!r}; "
+            f"use one of {BAD_RECORD_POLICIES}"
+        )
     path = Path(path)
+    log = bad_record_log if bad_record_log is not None else BadRecordLog()
+    quarantine_handle = None
     opener = gzip.open if path.suffix == ".gz" else open
-    with opener(path, "rt", encoding="utf-8") as handle:  # type: ignore[operator]
-        for line in handle:
-            edge = parse_edge_line(line, delimiter=delimiter, as_int=as_int)
-            if edge is not None:
-                yield edge
+    # Under the tolerant policies undecodable bytes become replacement
+    # characters so the line survives to the parser (and the policy);
+    # under "raise" decoding stays strict, as before.
+    errors = "strict" if on_bad_record == "raise" else "replace"
+    try:
+        with opener(path, "rt", encoding="utf-8", errors=errors) as handle:  # type: ignore[operator]
+            for line in handle:
+                try:
+                    edge = parse_edge_line(line, delimiter=delimiter, as_int=as_int)
+                except StreamFormatError:
+                    if on_bad_record == "raise":
+                        raise
+                    log.skipped += 1
+                    if on_bad_record == "quarantine":
+                        if quarantine_handle is None:
+                            log.quarantine_path = Path(
+                                quarantine_path
+                                if quarantine_path is not None
+                                else str(path) + ".quarantine"
+                            )
+                            quarantine_handle = open(
+                                log.quarantine_path, "a", encoding="utf-8"
+                            )
+                        quarantine_handle.write(line.rstrip("\n") + "\n")
+                        log.quarantined += 1
+                    continue
+                if edge is not None:
+                    yield edge
+    finally:
+        if quarantine_handle is not None:
+            quarantine_handle.close()
 
 
 def read_edge_list(
@@ -72,6 +150,8 @@ def read_edge_list(
     delimiter: Optional[str] = None,
     as_int: bool = True,
     drop_self_loops: bool = True,
+    on_bad_record: str = "raise",
+    quarantine_path: Optional[PathLike] = None,
 ) -> EdgeStream:
     """Read an edge-list file into an :class:`EdgeStream`.
 
@@ -88,9 +168,27 @@ def read_edge_list(
     drop_self_loops:
         Silently skip ``u == v`` records (they are meaningless for triangle
         counting and present in some raw datasets).
+    on_bad_record:
+        Damage policy for unparseable lines: ``"raise"`` (default),
+        ``"skip"``, or ``"quarantine"`` (see the module docstring).  The
+        returned stream carries the counters as ``stream.bad_records``
+        (a :class:`BadRecordLog`).
+    quarantine_path:
+        Sidecar file of the ``"quarantine"`` policy (default:
+        ``<input>.quarantine``).
     """
     path = Path(path)
-    edges = iter_edge_lines(path, delimiter=delimiter, as_int=as_int)
+    log = BadRecordLog()
+    edges = iter_edge_lines(
+        path,
+        delimiter=delimiter,
+        as_int=as_int,
+        on_bad_record=on_bad_record,
+        bad_record_log=log,
+        quarantine_path=quarantine_path,
+    )
     if drop_self_loops:
         edges = (e for e in edges if e[0] != e[1])
-    return EdgeStream(edges, name=name or path.stem, validate=not drop_self_loops)
+    stream = EdgeStream(edges, name=name or path.stem, validate=not drop_self_loops)
+    stream.bad_records = log
+    return stream

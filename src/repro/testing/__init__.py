@@ -1,0 +1,28 @@
+"""Test-support utilities shipped with the package.
+
+:mod:`repro.testing.faults` is the deterministic fault-injection harness
+used by the durability test-suite and the ``--chaos`` CLI flag.  It lives
+in the package (not under ``tests/``) because production call sites embed
+its :func:`~repro.testing.faults.maybe_fail` hooks, and the CLI artefacts
+arm plans at runtime.
+"""
+
+from repro.testing.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    arm,
+    corrupt_file,
+    maybe_fail,
+    truncate_file,
+)
+
+__all__ = [
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "arm",
+    "corrupt_file",
+    "maybe_fail",
+    "truncate_file",
+]

@@ -1,0 +1,269 @@
+"""Tests for worker supervision in the chunked-process driver.
+
+Faults are injected deterministically at the two pooled task sites
+(``storing-worker``, ``counting-worker``); every scenario asserts the
+estimate stays bit-identical to the serial reference — supervision changes
+scheduling, never results.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.config import ReptConfig
+from repro.core.parallel import (
+    DEFAULT_SUPERVISION,
+    SupervisionPolicy,
+    run_rept,
+)
+from repro.durability.retry import RetryPolicy, call_with_retry
+from repro.exceptions import ConfigurationError, WorkerFailedError
+from repro.testing.faults import FaultPlan, FaultSpec, arm
+
+CONFIG = ReptConfig(m=2, c=4, seed=23, track_local=True)
+
+
+def _edges(n=400, nodes=30, seed=6):
+    rng = np.random.default_rng(seed)
+    cols = rng.integers(0, nodes, size=(n, 2))
+    return [(int(u), int(v)) for u, v in cols]
+
+
+EDGES = _edges()
+
+#: Fast retries so fault scenarios don't sleep through real backoff.
+FAST_RETRY = RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0)
+
+
+def _reference():
+    return run_rept(EDGES, CONFIG, backend="serial")
+
+
+def _chunked(supervision):
+    return run_rept(
+        EDGES,
+        CONFIG,
+        backend="chunked-process",
+        max_workers=2,
+        chunk_size=64,
+        supervision=supervision,
+    )
+
+
+def _assert_same(candidate, reference):
+    assert candidate.global_count == reference.global_count
+    assert candidate.local_counts == reference.local_counts
+    assert candidate.edges_stored == reference.edges_stored
+
+
+class TestPolicyValidation:
+    def test_defaults_are_sane(self):
+        assert DEFAULT_SUPERVISION.allow_inline_fallback
+        assert DEFAULT_SUPERVISION.worker_timeout is None
+
+    def test_negative_restart_budget_rejected(self):
+        with pytest.raises(ConfigurationError, match="max_pool_restarts"):
+            SupervisionPolicy(max_pool_restarts=-1)
+
+    def test_nonpositive_timeout_rejected(self):
+        with pytest.raises(ConfigurationError, match="worker_timeout"):
+            SupervisionPolicy(worker_timeout=0.0)
+
+
+class TestRetryPolicy:
+    def test_delay_schedule_is_deterministic(self):
+        policy = RetryPolicy(max_attempts=4, base_delay=0.1, seed=9)
+        assert policy.delays() == policy.delays()
+
+    def test_backoff_grows_and_caps(self):
+        policy = RetryPolicy(
+            max_attempts=6, base_delay=1.0, backoff=4.0, max_delay=5.0, jitter=0.0
+        )
+        assert policy.delays() == [1.0, 4.0, 5.0, 5.0, 5.0]
+
+    def test_reseeded_changes_jitter_only(self):
+        policy = RetryPolicy(max_attempts=3, base_delay=0.1, seed=1)
+        other = policy.reseeded(2)
+        assert other.max_attempts == policy.max_attempts
+        assert other.delays() != policy.delays()
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(backoff=0.5)
+        with pytest.raises(ConfigurationError):
+            RetryPolicy(jitter=2.0)
+
+    def test_call_with_retry_succeeds_after_failures(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise RuntimeError("transient")
+            return "ok"
+
+        observed = []
+        result = call_with_retry(
+            flaky,
+            RetryPolicy(max_attempts=3, base_delay=0.0, jitter=0.0),
+            on_retry=lambda attempt, exc: observed.append(attempt),
+            sleep=lambda _: None,
+        )
+        assert result == "ok"
+        assert observed == [1, 2]
+
+    def test_call_with_retry_exhausts_and_reraises(self):
+        def always_fails():
+            raise RuntimeError("permanent")
+
+        with pytest.raises(RuntimeError, match="permanent"):
+            call_with_retry(
+                always_fails,
+                RetryPolicy(max_attempts=2, base_delay=0.0, jitter=0.0),
+                sleep=lambda _: None,
+            )
+
+    def test_call_with_retry_ignores_foreign_exceptions(self):
+        calls = []
+
+        def fails_with_value_error():
+            calls.append(1)
+            raise ValueError("not retryable here")
+
+        with pytest.raises(ValueError):
+            call_with_retry(
+                fails_with_value_error,
+                RetryPolicy(max_attempts=5, base_delay=0.0),
+                retry_on=(RuntimeError,),
+                sleep=lambda _: None,
+            )
+        assert len(calls) == 1
+
+
+class TestSupervisedExecution:
+    def test_clean_run_reports_zero_events(self):
+        reference = _reference()
+        estimate = _chunked(SupervisionPolicy(retry=FAST_RETRY))
+        _assert_same(estimate, reference)
+        assert estimate.metadata["worker_retries"] == 0.0
+        assert estimate.metadata["pool_restarts"] == 0.0
+        assert estimate.metadata["degraded"] == 0.0
+
+    def test_raising_worker_is_retried(self):
+        reference = _reference()
+        plan = FaultPlan(
+            faults=(FaultSpec(site="counting-worker", match={"chunk": 1}),)
+        )
+        with arm(plan):
+            estimate = _chunked(SupervisionPolicy(retry=FAST_RETRY))
+        _assert_same(estimate, reference)
+        assert estimate.metadata["worker_retries"] >= 1.0
+        assert estimate.metadata["degraded"] == 0.0
+
+    def test_storing_worker_faults_are_supervised_too(self):
+        reference = _reference()
+        plan = FaultPlan(
+            faults=(FaultSpec(site="storing-worker", match={"chunk": 0}),)
+        )
+        with arm(plan):
+            estimate = _chunked(SupervisionPolicy(retry=FAST_RETRY))
+        _assert_same(estimate, reference)
+        assert estimate.metadata["worker_retries"] >= 1.0
+
+    def test_dying_worker_restarts_the_pool(self):
+        reference = _reference()
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="counting-worker", match={"chunk": 2}, action="exit"),
+            )
+        )
+        with arm(plan):
+            estimate = _chunked(SupervisionPolicy(retry=FAST_RETRY))
+        _assert_same(estimate, reference)
+        assert estimate.metadata["pool_restarts"] >= 1.0
+
+    def test_persistent_failure_degrades_to_inline(self):
+        """All 3 pooled attempts of one task fail; its inline fallback runs.
+
+        ``times`` equals the pooled attempt budget exactly, so the fault
+        window closes right before the in-process fallback call — which
+        would otherwise fire the same armed fault.
+        """
+        reference = _reference()
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="counting-worker",
+                    match={"group": 0, "chunk": 1},
+                    times=FAST_RETRY.max_attempts,
+                ),
+            )
+        )
+        with arm(plan):
+            estimate = _chunked(SupervisionPolicy(retry=FAST_RETRY))
+        _assert_same(estimate, reference)
+        assert estimate.metadata["worker_retries"] == 2.0
+        assert estimate.metadata["degraded"] == 1.0
+
+    def test_fallback_disabled_raises_worker_failed(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="counting-worker", match={"chunk": 1}, times=1000),
+            )
+        )
+        with arm(plan):
+            with pytest.raises(WorkerFailedError):
+                _chunked(
+                    SupervisionPolicy(retry=FAST_RETRY, allow_inline_fallback=False)
+                )
+
+    def test_hung_worker_times_out_and_restarts(self):
+        reference = _reference()
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="counting-worker",
+                    match={"chunk": 0},
+                    action="hang",
+                    delay_seconds=5.0,
+                ),
+            )
+        )
+        with arm(plan):
+            estimate = _chunked(
+                SupervisionPolicy(retry=FAST_RETRY, worker_timeout=1.0)
+            )
+        _assert_same(estimate, reference)
+        assert estimate.metadata["pool_restarts"] >= 1.0
+
+
+class TestDegradedBitIdentity:
+    def test_exhausted_restart_budget_completes_inline(self):
+        """One task kills its worker on every pooled round; once the
+        restart budget runs out the whole remainder completes inline.
+
+        ``times=2`` covers exactly the two pooled rounds (initial + one
+        restart), so the in-process inline execution is past the fault
+        window — an unbounded ``exit`` fault would kill the test runner.
+        """
+        reference = _reference()
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="counting-worker",
+                    match={"group": 0, "chunk": 2},
+                    action="exit",
+                    times=2,
+                ),
+            )
+        )
+        with arm(plan):
+            estimate = _chunked(
+                SupervisionPolicy(retry=FAST_RETRY, max_pool_restarts=1)
+            )
+        _assert_same(estimate, reference)
+        assert estimate.metadata["degraded"] == 1.0
+        assert estimate.metadata["pool_restarts"] == 2.0

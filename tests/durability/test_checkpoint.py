@@ -1,0 +1,169 @@
+"""Tests for the integrity-checked checkpoint files."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.durability.checkpoint import (
+    MANIFEST_FILE,
+    CheckpointManager,
+    _checkpoint_name,
+)
+from repro.exceptions import CheckpointError, RecoveryError
+from repro.testing.faults import (
+    FaultPlan,
+    FaultSpec,
+    arm,
+    corrupt_file,
+    truncate_file,
+)
+
+
+class TestSaveAndRecover:
+    def test_round_trip(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        saved = manager.save({"tau": [1, 2, 3]}, 42, meta={"engine": "rept"})
+        assert saved.generation == 0
+        assert saved.path.is_file()
+
+        report = CheckpointManager(tmp_path).recover()
+        assert report.checkpoint is not None
+        assert report.checkpoint.payload == {"tau": [1, 2, 3]}
+        assert report.checkpoint.stream_offset == 42
+        assert report.checkpoint.meta == {"engine": "rept"}
+        assert report.skipped == []
+
+    def test_generations_increment_and_newest_wins(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        for offset in (10, 20, 30):
+            manager.save({"offset": offset}, offset)
+        assert manager.generations() == [0, 1, 2]
+        report = manager.recover()
+        assert report.checkpoint.generation == 2
+        assert report.checkpoint.payload == {"offset": 30}
+
+    def test_generation_counter_survives_restart(self, tmp_path):
+        CheckpointManager(tmp_path).save("a", 1)
+        saved = CheckpointManager(tmp_path).save("b", 2)
+        assert saved.generation == 1
+
+    def test_empty_directory_recovers_fresh(self, tmp_path):
+        report = CheckpointManager(tmp_path / "nothing").recover()
+        assert report.checkpoint is None
+        assert report.examined == 0
+
+    def test_strict_recovery_raises_on_fresh(self, tmp_path):
+        with pytest.raises(RecoveryError, match="no valid checkpoint"):
+            CheckpointManager(tmp_path).recover(strict=True)
+
+    def test_retention_prunes_oldest(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for offset in range(5):
+            manager.save(offset, offset)
+        assert manager.generations() == [3, 4]
+
+    def test_manifest_tracks_generations(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=2)
+        for offset in range(3):
+            manager.save(offset, offset)
+        manifest = json.loads((tmp_path / MANIFEST_FILE).read_text())
+        assert manifest["generations"] == [1, 2]
+
+    def test_recovery_never_trusts_the_manifest(self, tmp_path):
+        manager = CheckpointManager(tmp_path)
+        manager.save("state", 7)
+        (tmp_path / MANIFEST_FILE).write_text('{"generations": [0, 99]}')
+        report = CheckpointManager(tmp_path).recover()
+        assert report.checkpoint.payload == "state"
+
+
+class TestValidationErrors:
+    def test_keep_must_be_positive(self, tmp_path):
+        with pytest.raises(CheckpointError, match="keep"):
+            CheckpointManager(tmp_path, keep=0)
+
+    def test_negative_offset_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="stream_offset"):
+            CheckpointManager(tmp_path).save("x", -1)
+
+    def test_unpicklable_payload_rejected(self, tmp_path):
+        with pytest.raises(CheckpointError, match="not picklable"):
+            CheckpointManager(tmp_path).save(lambda: None, 0)
+
+    def test_injected_write_failure_becomes_checkpoint_error(self, tmp_path):
+        plan = FaultPlan(
+            faults=(FaultSpec(site="checkpoint-write", action="io-error"),)
+        )
+        manager = CheckpointManager(tmp_path / "ckpt")
+        with arm(plan):
+            with pytest.raises(CheckpointError, match="failed to write"):
+                manager.save("x", 0)
+        # the failed save claimed generation 0 but wrote nothing
+        assert manager.generations() == []
+
+
+class TestDamageRecovery:
+    def _manager_with_history(self, tmp_path):
+        manager = CheckpointManager(tmp_path, keep=5)
+        for offset in (100, 200, 300):
+            manager.save({"offset": offset}, offset)
+        return manager
+
+    def test_torn_newest_falls_back_one_generation(self, tmp_path):
+        manager = self._manager_with_history(tmp_path)
+        newest = tmp_path / _checkpoint_name(2)
+        truncate_file(newest, newest.stat().st_size - 5)
+        report = CheckpointManager(tmp_path).recover()
+        assert report.checkpoint.generation == 1
+        assert report.checkpoint.stream_offset == 200
+        assert report.skipped[0][0] == newest.name
+        assert "torn payload" in report.skipped[0][1]
+
+    def test_corrupt_payload_detected_by_sha256(self, tmp_path):
+        manager = self._manager_with_history(tmp_path)
+        newest = tmp_path / _checkpoint_name(2)
+        blob = newest.read_bytes()
+        # flip one byte inside the payload (past magic + header line)
+        header_end = blob.index(b"\n", len(b"REPTCKPT1\n")) + 1
+        damaged = bytearray(blob)
+        damaged[header_end + 3] ^= 0xFF
+        newest.write_bytes(bytes(damaged))
+        report = CheckpointManager(tmp_path).recover()
+        assert report.checkpoint.generation == 1
+        assert "sha256" in report.skipped[0][1]
+
+    def test_bad_magic_detected(self, tmp_path):
+        self._manager_with_history(tmp_path)
+        newest = tmp_path / _checkpoint_name(2)
+        newest.write_bytes(b"NOTACKPT" + newest.read_bytes()[8:])
+        report = CheckpointManager(tmp_path).recover()
+        assert report.checkpoint.generation == 1
+        assert "magic" in report.skipped[0][1]
+
+    def test_corrupt_header_detected(self, tmp_path):
+        self._manager_with_history(tmp_path)
+        newest = tmp_path / _checkpoint_name(2)
+        blob = newest.read_bytes()
+        damaged = blob[: len(b"REPTCKPT1\n")] + b"{not json" + blob[20:]
+        newest.write_bytes(damaged)
+        report = CheckpointManager(tmp_path).recover()
+        assert report.checkpoint.generation == 1
+
+    def test_every_generation_damaged_recovers_fresh(self, tmp_path):
+        manager = self._manager_with_history(tmp_path)
+        for generation in manager.generations():
+            corrupt_file(tmp_path / _checkpoint_name(generation), seed=generation)
+        report = CheckpointManager(tmp_path).recover()
+        assert report.checkpoint is None
+        assert report.examined == 3
+        with pytest.raises(RecoveryError):
+            CheckpointManager(tmp_path).recover(strict=True)
+
+    def test_stale_tmp_files_are_ignored(self, tmp_path):
+        manager = self._manager_with_history(tmp_path)
+        (tmp_path / ".ckpt-stale.tmp").write_bytes(b"half a checkpoint")
+        report = manager.recover()
+        assert report.checkpoint.generation == 2
+        assert report.examined == 1

@@ -1,0 +1,159 @@
+"""Tests for campaign task retries and the ``campaign-task`` fault site."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.campaign import campaign_spec_from_mapping, run_campaign
+from repro.experiments.spec import CampaignSpec, StageSpec
+from repro.testing.faults import FaultPlan, FaultSpec, arm
+
+DATASET = "youtube-sim"
+
+
+def _mapping(task_retries=0, workers=1):
+    return {
+        "campaign": {
+            "name": "retry-unit",
+            "workers": workers,
+            "task_retries": task_retries,
+        },
+        "defaults": {"max_edges": 800, "num_trials": 2, "datasets": [DATASET]},
+        "stages": {
+            "prep": {"kind": "dataset-stats"},
+            "figure4": {
+                "kind": "accuracy-figure",
+                "depends_on": ["prep"],
+                "c_values": [2],
+            },
+        },
+    }
+
+
+def _statuses(report):
+    return {task.task_id: task.status for task in report.tasks}
+
+
+class TestSpecField:
+    def test_loader_parses_task_retries(self):
+        spec = campaign_spec_from_mapping(_mapping(task_retries=2))
+        assert spec.task_retries == 2
+
+    def test_default_is_fail_fast(self):
+        spec = campaign_spec_from_mapping(_mapping())
+        assert spec.task_retries == 0
+
+    def test_negative_task_retries_rejected(self):
+        with pytest.raises(ExperimentError, match="task_retries"):
+            CampaignSpec(
+                name="bad",
+                stages=(StageSpec(name="s", kind="dataset-stats"),),
+                task_retries=-1,
+            )
+
+    def test_non_integer_task_retries_rejected(self):
+        mapping = _mapping()
+        mapping["campaign"]["task_retries"] = "two"
+        with pytest.raises(ExperimentError, match="task_retries"):
+            campaign_spec_from_mapping(mapping)
+
+
+class TestSerialRetries:
+    def test_transient_fault_is_retried_to_success(self, tmp_path):
+        spec = campaign_spec_from_mapping(_mapping(task_retries=2))
+        plan = FaultPlan(
+            faults=(FaultSpec(site="campaign-task", match={"task": "prep/youtube-sim"}),)
+        )
+        with arm(plan):
+            report = run_campaign(spec, tmp_path / "store")
+        assert all(status == "computed" for status in _statuses(report).values())
+
+    def test_fail_fast_without_retries(self, tmp_path):
+        spec = campaign_spec_from_mapping(_mapping(task_retries=0))
+        plan = FaultPlan(
+            faults=(FaultSpec(site="campaign-task", match={"task": "prep/youtube-sim"}),)
+        )
+        with arm(plan):
+            with pytest.raises(ExperimentError, match="prep/youtube-sim"):
+                run_campaign(spec, tmp_path / "store")
+
+    def test_persistent_fault_exhausts_the_budget(self, tmp_path):
+        spec = campaign_spec_from_mapping(_mapping(task_retries=2))
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="campaign-task",
+                    match={"task": "prep/youtube-sim"},
+                    times=100,
+                ),
+            )
+        )
+        with arm(plan):
+            with pytest.raises(ExperimentError, match="prep/youtube-sim"):
+                run_campaign(spec, tmp_path / "store")
+
+    def test_experiment_error_is_never_retried(self, tmp_path, monkeypatch):
+        from repro.experiments.campaign import engine as engine_module
+
+        calls = []
+        real_execute = engine_module._execute_task
+
+        def deterministic_failure(kind_name, config, inputs):
+            if kind_name == "dataset-stats":
+                calls.append(1)
+                raise ExperimentError("bad config")
+            return real_execute(kind_name, config, inputs)
+
+        monkeypatch.setattr(engine_module, "_execute_task", deterministic_failure)
+        spec = campaign_spec_from_mapping(_mapping(task_retries=5))
+        with pytest.raises(ExperimentError, match="bad config"):
+            run_campaign(spec, tmp_path / "store")
+        assert len(calls) == 1
+
+    def test_resume_after_exhausted_retries(self, tmp_path):
+        """Retries exhausted on a later task: earlier results stay cached."""
+        spec = campaign_spec_from_mapping(_mapping(task_retries=1))
+        store = tmp_path / "store"
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="campaign-task",
+                    match={"task": "figure4"},
+                    times=100,
+                ),
+            )
+        )
+        with arm(plan):
+            with pytest.raises(ExperimentError):
+                run_campaign(spec, store)
+        report = run_campaign(spec, store)
+        statuses = _statuses(report)
+        assert statuses["prep/youtube-sim"] == "cached"
+        assert statuses["figure4"] == "computed"
+
+
+class TestParallelRetries:
+    def test_transient_fault_is_retried_under_workers(self, tmp_path):
+        spec = campaign_spec_from_mapping(_mapping(task_retries=2, workers=2))
+        plan = FaultPlan(
+            faults=(FaultSpec(site="campaign-task", match={"task": "prep/youtube-sim"}),)
+        )
+        with arm(plan):
+            report = run_campaign(spec, tmp_path / "store")
+        assert all(status == "computed" for status in _statuses(report).values())
+
+    def test_worker_death_is_retried_under_workers(self, tmp_path):
+        spec = campaign_spec_from_mapping(_mapping(task_retries=1, workers=2))
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="campaign-task",
+                    match={"task": "prep/youtube-sim"},
+                    action="exit",
+                ),
+            )
+        )
+        with arm(plan):
+            report = run_campaign(spec, tmp_path / "store")
+        assert all(status == "computed" for status in _statuses(report).values())

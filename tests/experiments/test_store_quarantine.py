@@ -1,0 +1,99 @@
+"""Tests for ResultStore validation and quarantine of damaged cache records."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.exceptions import ExperimentError
+from repro.experiments.results import ResultStore, _STORE_VERSION
+from repro.testing.faults import corrupt_file, truncate_file
+
+FP = "ab" + "0" * 62
+
+
+@pytest.fixture
+def store(tmp_path):
+    store = ResultStore(tmp_path / "store")
+    store.save(FP, "stage/task", "kind", {"value": 1})
+    return store
+
+
+class TestVerify:
+    def test_valid_record_verifies(self, store):
+        assert store.verify(FP)
+        assert store.has(FP)
+
+    def test_missing_record_is_a_plain_miss(self, store):
+        assert not store.verify("cd" + "1" * 62)
+
+    def test_torn_json_is_quarantined(self, store):
+        path = store.path_for(FP)
+        truncate_file(path, path.stat().st_size // 2)
+        assert not store.verify(FP)
+        assert not store.has(FP)
+        assert path.with_name(path.name + ".corrupt").is_file()
+
+    def test_bitrot_fingerprint_mismatch_is_quarantined(self, store):
+        path = store.path_for(FP)
+        record = json.loads(path.read_text())
+        record["fingerprint"] = "f" * 64
+        path.write_text(json.dumps(record))
+        assert not store.verify(FP)
+        assert path.with_name(path.name + ".corrupt").is_file()
+
+    def test_missing_payload_key_is_quarantined(self, store):
+        path = store.path_for(FP)
+        path.write_text(json.dumps({"fingerprint": FP}))
+        assert not store.verify(FP)
+        assert path.with_name(path.name + ".corrupt").is_file()
+
+    def test_foreign_store_version_is_a_miss_but_not_quarantined(self, store):
+        path = store.path_for(FP)
+        record = json.loads(path.read_text())
+        record["store_version"] = _STORE_VERSION + 1
+        path.write_text(json.dumps(record))
+        assert not store.verify(FP)
+        assert path.is_file()  # untouched: an older build may still read it
+        assert not path.with_name(path.name + ".corrupt").exists()
+
+    def test_recompute_after_quarantine_round_trips(self, store):
+        path = store.path_for(FP)
+        corrupt_file(path, seed=1, num_bytes=16)
+        if store.verify(FP):  # corruption may land only in whitespace
+            pytest.skip("corruption did not damage the record")
+        store.save(FP, "stage/task", "kind", {"value": 2})
+        assert store.verify(FP)
+        assert store.load(FP) == {"value": 2}
+        # the damaged bytes are preserved for post-mortem inspection
+        assert path.with_name(path.name + ".corrupt").is_file()
+
+
+class TestLoad:
+    def test_load_quarantines_torn_json(self, store):
+        path = store.path_for(FP)
+        truncate_file(path, 10)
+        with pytest.raises(ExperimentError, match="quarantined"):
+            store.load(FP)
+        assert path.with_name(path.name + ".corrupt").is_file()
+        with pytest.raises(ExperimentError, match="no record"):
+            store.load(FP)
+
+    def test_load_quarantines_fingerprint_mismatch(self, store):
+        path = store.path_for(FP)
+        record = json.loads(path.read_text())
+        record["fingerprint"] = "f" * 64
+        path.write_text(json.dumps(record))
+        with pytest.raises(ExperimentError, match="quarantined"):
+            store.load(FP)
+        assert path.with_name(path.name + ".corrupt").is_file()
+
+    def test_load_reports_foreign_version_without_quarantine(self, store):
+        path = store.path_for(FP)
+        record = json.loads(path.read_text())
+        record["store_version"] = _STORE_VERSION + 1
+        path.write_text(json.dumps(record))
+        with pytest.raises(ExperimentError, match="store version"):
+            store.load(FP)
+        assert path.is_file()

@@ -1,0 +1,119 @@
+"""Regression tests for the readers' damaged-input policies."""
+
+from __future__ import annotations
+
+import gzip
+
+import pytest
+
+from repro.exceptions import StreamFormatError
+from repro.streaming.readers import (
+    BAD_RECORD_POLICIES,
+    BadRecordLog,
+    iter_edge_lines,
+    read_edge_list,
+)
+from repro.testing.faults import truncate_file
+
+CLEAN = "# comment\n1 2\n2 3\n\n3 4\n"
+DAMAGED = "1 2\ngarbage\n2 3\nlonely\n% comment\n3 4\n"
+
+
+def _write(tmp_path, text, name="edges.txt"):
+    path = tmp_path / name
+    path.write_text(text, encoding="utf-8")
+    return path
+
+
+class TestRaisePolicy:
+    def test_default_raises_on_garbage(self, tmp_path):
+        path = _write(tmp_path, DAMAGED)
+        with pytest.raises(StreamFormatError, match="garbage"):
+            list(iter_edge_lines(path))
+
+    def test_clean_file_unaffected(self, tmp_path):
+        path = _write(tmp_path, CLEAN)
+        stream = read_edge_list(path)
+        assert list(stream) == [(1, 2), (2, 3), (3, 4)]
+        assert stream.bad_records.skipped == 0
+        assert stream.bad_records.quarantined == 0
+
+    def test_unknown_policy_rejected(self, tmp_path):
+        path = _write(tmp_path, CLEAN)
+        with pytest.raises(ValueError, match="on_bad_record"):
+            list(iter_edge_lines(path, on_bad_record="ignore"))
+        assert "skip" in BAD_RECORD_POLICIES
+
+
+class TestSkipPolicy:
+    def test_garbage_lines_are_dropped_and_counted(self, tmp_path):
+        path = _write(tmp_path, DAMAGED)
+        stream = read_edge_list(path, on_bad_record="skip")
+        assert list(stream) == [(1, 2), (2, 3), (3, 4)]
+        assert stream.bad_records.skipped == 2
+        assert stream.bad_records.quarantined == 0
+        assert stream.bad_records.quarantine_path is None
+
+    def test_truncated_last_line(self, tmp_path):
+        path = _write(tmp_path, "10 20\n30 40\n50 6")
+        truncate_file(path, len("10 20\n30 40\n5"))
+        stream = read_edge_list(path, on_bad_record="skip")
+        assert list(stream) == [(10, 20), (30, 40)]
+        assert stream.bad_records.skipped == 1
+
+    def test_binary_garbage_survives_decoding(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_bytes(b"1 2\n\xff\xfe\x00\n3 4\n")
+        stream = read_edge_list(path, on_bad_record="skip")
+        assert list(stream) == [(1, 2), (3, 4)]
+        assert stream.bad_records.skipped == 1
+
+    def test_strict_decoding_under_raise(self, tmp_path):
+        path = tmp_path / "edges.txt"
+        path.write_bytes(b"1 2\n\xff\xfe\n3 4\n")
+        with pytest.raises((StreamFormatError, UnicodeDecodeError)):
+            list(iter_edge_lines(path))
+
+    def test_comments_and_blanks_are_never_bad(self, tmp_path):
+        path = _write(tmp_path, "# a\n\n% b\n// c\n1 2\n")
+        log = BadRecordLog()
+        edges = list(iter_edge_lines(path, on_bad_record="skip", bad_record_log=log))
+        assert edges == [(1, 2)]
+        assert log.skipped == 0
+
+
+class TestQuarantinePolicy:
+    def test_sidecar_receives_raw_lines(self, tmp_path):
+        path = _write(tmp_path, DAMAGED)
+        stream = read_edge_list(path, on_bad_record="quarantine")
+        assert list(stream) == [(1, 2), (2, 3), (3, 4)]
+        assert stream.bad_records.skipped == 2
+        assert stream.bad_records.quarantined == 2
+        sidecar = stream.bad_records.quarantine_path
+        assert sidecar == path.parent / "edges.txt.quarantine"
+        assert sidecar.read_text() == "garbage\nlonely\n"
+
+    def test_explicit_sidecar_path(self, tmp_path):
+        path = _write(tmp_path, DAMAGED)
+        sidecar = tmp_path / "bad-lines.log"
+        stream = read_edge_list(
+            path, on_bad_record="quarantine", quarantine_path=sidecar
+        )
+        list(stream)
+        assert stream.bad_records.quarantine_path == sidecar
+        assert sidecar.read_text() == "garbage\nlonely\n"
+
+    def test_no_sidecar_created_for_clean_input(self, tmp_path):
+        path = _write(tmp_path, CLEAN)
+        stream = read_edge_list(path, on_bad_record="quarantine")
+        list(stream)
+        assert stream.bad_records.quarantine_path is None
+        assert not (tmp_path / "edges.txt.quarantine").exists()
+
+    def test_gzip_input(self, tmp_path):
+        path = tmp_path / "edges.txt.gz"
+        with gzip.open(path, "wt", encoding="utf-8") as handle:
+            handle.write(DAMAGED)
+        stream = read_edge_list(path, on_bad_record="quarantine")
+        assert list(stream) == [(1, 2), (2, 3), (3, 4)]
+        assert stream.bad_records.quarantined == 2

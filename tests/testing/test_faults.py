@@ -1,0 +1,197 @@
+"""Tests for the deterministic fault-injection harness."""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.testing.faults import (
+    EXIT_STATUS,
+    PLAN_ENV,
+    PLAN_FILE,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    arm,
+    corrupt_file,
+    maybe_fail,
+    truncate_file,
+)
+
+
+class TestSpecValidation:
+    def test_unknown_action_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault action"):
+            FaultSpec(site="x", action="explode")
+
+    def test_negative_skip_rejected(self):
+        with pytest.raises(ValueError, match="skip"):
+            FaultSpec(site="x", skip=-1)
+
+    def test_zero_times_rejected(self):
+        with pytest.raises(ValueError, match="times"):
+            FaultSpec(site="x", times=0)
+
+    def test_plan_json_round_trip(self):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="a", action="io-error", match={"k": 1}, skip=2),
+                FaultSpec(site="b", action="hang", delay_seconds=0.5),
+            ),
+            seed=42,
+        )
+        assert FaultPlan.from_json(plan.to_json()) == plan
+
+
+class TestMaybeFail:
+    def test_noop_when_unarmed(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV, raising=False)
+        maybe_fail("anything", chunk=3)  # must not raise
+
+    def test_raise_action_fires_once(self):
+        plan = FaultPlan(faults=(FaultSpec(site="s", action="raise"),))
+        with arm(plan):
+            with pytest.raises(InjectedFault):
+                maybe_fail("s")
+            maybe_fail("s")  # times=1 exhausted: passes
+
+    def test_io_error_action(self):
+        plan = FaultPlan(faults=(FaultSpec(site="s", action="io-error"),))
+        with arm(plan):
+            with pytest.raises(OSError):
+                maybe_fail("s")
+
+    def test_skip_counts_matching_calls(self):
+        plan = FaultPlan(faults=(FaultSpec(site="s", skip=2),))
+        with arm(plan):
+            maybe_fail("s")
+            maybe_fail("s")
+            with pytest.raises(InjectedFault):
+                maybe_fail("s")
+
+    def test_times_fires_a_window_of_calls(self):
+        plan = FaultPlan(faults=(FaultSpec(site="s", skip=1, times=2),))
+        with arm(plan):
+            maybe_fail("s")
+            with pytest.raises(InjectedFault):
+                maybe_fail("s")
+            with pytest.raises(InjectedFault):
+                maybe_fail("s")
+            maybe_fail("s")
+
+    def test_match_filters_by_key(self):
+        plan = FaultPlan(
+            faults=(FaultSpec(site="s", match={"chunk": 2, "group": 0}),)
+        )
+        with arm(plan):
+            maybe_fail("s", chunk=1, group=0)  # wrong chunk
+            maybe_fail("s", chunk=2, group=1)  # wrong group
+            maybe_fail("s", chunk=2)  # missing group key
+            with pytest.raises(InjectedFault):
+                maybe_fail("s", chunk=2, group=0)
+
+    def test_other_sites_never_fire(self):
+        plan = FaultPlan(faults=(FaultSpec(site="s"),))
+        with arm(plan):
+            maybe_fail("other")
+            with pytest.raises(InjectedFault):
+                maybe_fail("s")
+
+    def test_deterministic_across_reruns(self, tmp_path):
+        plan = FaultPlan(faults=(FaultSpec(site="s", skip=1),))
+        outcomes = []
+        for run in range(2):
+            directory = tmp_path / f"run{run}"
+            fired = []
+            with arm(plan, directory=directory):
+                for _ in range(4):
+                    try:
+                        maybe_fail("s")
+                        fired.append(False)
+                    except InjectedFault:
+                        fired.append(True)
+            outcomes.append(fired)
+        assert outcomes[0] == outcomes[1] == [False, True, False, False]
+
+
+class TestArm:
+    def test_env_is_set_and_restored(self, monkeypatch):
+        monkeypatch.delenv(PLAN_ENV, raising=False)
+        plan = FaultPlan()
+        with arm(plan) as directory:
+            assert os.environ[PLAN_ENV] == str(directory)
+            assert (directory / PLAN_FILE).is_file()
+        assert PLAN_ENV not in os.environ
+
+    def test_previous_env_value_restored(self, monkeypatch):
+        monkeypatch.setenv(PLAN_ENV, "/previous/plan")
+        with arm(FaultPlan()):
+            pass
+        assert os.environ[PLAN_ENV] == "/previous/plan"
+
+    def test_tokens_persist_in_explicit_directory(self, tmp_path):
+        """Re-arming the same directory does not re-fire claimed faults."""
+        plan = FaultPlan(faults=(FaultSpec(site="s"),))
+        directory = tmp_path / "plan"
+        with arm(plan, directory=directory):
+            with pytest.raises(InjectedFault):
+                maybe_fail("s")
+        tokens = [p.name for p in directory.iterdir() if p.name != PLAN_FILE]
+        assert tokens  # the claimed ordinal survives the block
+        with arm(plan, directory=directory):
+            maybe_fail("s")  # ordinal 0 already claimed: passes
+
+    def test_cross_process_single_firing(self, tmp_path):
+        """A fault claimed by a subprocess is not re-fired by the parent."""
+        plan = FaultPlan(faults=(FaultSpec(site="s", action="exit"),))
+        directory = tmp_path / "plan"
+        plan.write(directory)
+        env = dict(os.environ, **{PLAN_ENV: str(directory)})
+        env["PYTHONPATH"] = str(Path(__file__).resolve().parents[2] / "src")
+        child = subprocess.run(
+            [sys.executable, "-c",
+             "from repro.testing.faults import maybe_fail; maybe_fail('s')"],
+            env=env,
+        )
+        assert child.returncode == EXIT_STATUS
+        with arm(plan, directory=directory):
+            maybe_fail("s")  # already claimed by the child
+
+
+class TestCorruptionHelpers:
+    def test_truncate_file(self, tmp_path):
+        path = tmp_path / "blob"
+        path.write_bytes(b"0123456789")
+        truncate_file(path, 4)
+        assert path.read_bytes() == b"0123"
+        truncate_file(path, -1)
+        assert path.read_bytes() == b""
+
+    def test_corrupt_file_is_deterministic(self, tmp_path):
+        original = bytes(range(64))
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(original)
+        b.write_bytes(original)
+        corrupt_file(a, seed=7)
+        corrupt_file(b, seed=7)
+        assert a.read_bytes() == b.read_bytes() != original
+
+    def test_corrupt_file_other_seed_differs(self, tmp_path):
+        original = bytes(range(64))
+        a, b = tmp_path / "a", tmp_path / "b"
+        a.write_bytes(original)
+        b.write_bytes(original)
+        corrupt_file(a, seed=7)
+        corrupt_file(b, seed=8)
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_corrupt_file_leaves_empty_files(self, tmp_path):
+        path = tmp_path / "empty"
+        path.write_bytes(b"")
+        corrupt_file(path)
+        assert path.read_bytes() == b""
