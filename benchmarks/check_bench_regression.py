@@ -1,10 +1,19 @@
 #!/usr/bin/env python
-"""CI throughput-regression gate for the ingest benchmark.
+"""CI throughput-regression gate for the ingest and service benchmarks.
 
-Diffs a fresh ``BENCH_ingest.json`` (written by
-``benchmarks/test_bench_ingest_throughput.py``) against the baseline
-committed in the repository and fails if any cell's **batch throughput**
-regressed by more than a configurable tolerance (default 20%).
+Diffs a fresh benchmark payload against the baseline committed in the
+repository and fails on regressions beyond a configurable tolerance
+(default 20%).  Two payload kinds are understood (auto-detected from the
+file, or forced with ``--kind``):
+
+* **ingest** — ``BENCH_ingest.json`` (written by
+  ``benchmarks/test_bench_ingest_throughput.py``): every cell's **batch
+  throughput** is gated, calibrated by the per-edge reference path;
+* **service** — ``BENCH_service.json`` (written by
+  ``benchmarks/test_bench_service.py``): the multi-tenant
+  **aggregate delivered eps** of the estimation service is gated,
+  calibrated by ``calibration_eps`` (raw single-threaded estimator
+  ingest on the same engine shape).
 
 Cross-machine calibration
 -------------------------
@@ -32,7 +41,9 @@ Environment overrides (also available as flags):
 * ``REPRO_BENCH_REGRESSION_CALIBRATE`` — ``0`` disables calibration;
 * ``REPRO_BENCH_REGRESSION_METRIC`` — ``batch_eps`` (default) gates
   calibrated batch throughput, ``speedup`` gates the machine-independent
-  batch/per-edge ratio instead.
+  batch/per-edge ratio instead (ingest payloads only);
+* ``REPRO_BENCH_REGRESSION_KIND`` — ``auto`` (default), ``ingest`` or
+  ``service``.
 
 Exit codes: 0 pass, 1 regression detected, 2 malformed/unmatched input.
 Standalone by design — no imports from the package, runnable without
@@ -55,6 +66,29 @@ DEFAULT_TOLERANCE = 0.20
 CALIBRATION_BAND = (0.2, 5.0)
 
 CellKey = Tuple[int, int, str, float]
+
+
+def _read_payload(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        raise SystemExit(f"error: cannot read benchmark payload {path}: {error}")
+    if not isinstance(payload, dict):
+        raise SystemExit(f"error: benchmark payload {path} is not a JSON object")
+    return payload
+
+
+def _detect_kind(payload: dict, path: Path) -> str:
+    """Classify a payload as ``ingest`` (cell grid) or ``service`` (report)."""
+    if "cells" in payload:
+        return "ingest"
+    if "aggregate_eps" in payload:
+        return "service"
+    raise SystemExit(
+        f"error: cannot detect benchmark kind of {path}: expected an "
+        "ingest payload (with 'cells') or a service payload (with "
+        "'aggregate_eps')"
+    )
 
 
 def _load_cells(path: Path) -> Dict[CellKey, dict]:
@@ -169,6 +203,80 @@ def check_regression(
     return 0
 
 
+def check_service_regression(
+    baseline: dict,
+    fresh: dict,
+    tolerance: float,
+    calibrate: bool = True,
+    out=sys.stdout,
+) -> int:
+    """Gate the service loadgen's aggregate delivered throughput.
+
+    The committed baseline and a CI runner rarely share hardware, so the
+    baseline's ``aggregate_eps`` is rescaled by the ratio of fresh vs
+    baseline ``calibration_eps`` — raw single-threaded estimator ingest,
+    which moves with the machine but not with the service stack.  A
+    regression in the estimator itself shows up in the factor, which is
+    bounded like the ingest gate's.
+    """
+    try:
+        base_eps = float(baseline["aggregate_eps"])
+        fresh_eps = float(fresh["aggregate_eps"])
+    except (KeyError, TypeError, ValueError) as error:
+        print(f"error: service payload missing aggregate_eps: {error}", file=out)
+        return 2
+
+    factor = 1.0
+    if calibrate:
+        try:
+            base_cal = float(baseline["calibration_eps"])
+            fresh_cal = float(fresh["calibration_eps"])
+        except (KeyError, TypeError, ValueError):
+            base_cal = fresh_cal = 0.0
+        if base_cal > 0.0 and fresh_cal > 0.0:
+            factor = fresh_cal / base_cal
+        low, high = CALIBRATION_BAND
+        if not low <= factor <= high:
+            print(
+                f"error: service calibration factor {factor:.3f} is outside "
+                f"[{low}, {high}] — raw estimator ingest moved too much for "
+                "a trustworthy cross-machine comparison; refresh the "
+                "committed baseline or investigate the estimator hot path",
+                file=out,
+            )
+            return 2
+
+    expected = base_eps * factor
+    floor = expected * (1.0 - tolerance)
+    status = "ok" if fresh_eps >= floor else "REGRESSED"
+    print(
+        f"service-throughput regression gate: tolerance={tolerance:.0%}, "
+        f"calibration={factor:.3f}",
+        file=out,
+    )
+    print(
+        f"  aggregate_eps {fresh_eps:,.0f} vs expected {expected:,.0f} "
+        f"(floor {floor:,.0f}) {status}",
+        file=out,
+    )
+    shed = fresh.get("shed_frames")
+    if shed:
+        print(f"  note: fresh run shed {shed} frame(s)", file=out)
+    query = fresh.get("query") or {}
+    if query.get("p95_ms") is not None:
+        print(f"  query p95 {query['p95_ms']:.2f} ms (informational)", file=out)
+    if fresh_eps < floor:
+        print(
+            f"FAIL: aggregate throughput {fresh_eps:,.0f} eps is "
+            f"{1.0 - fresh_eps / expected:.1%} below the calibrated "
+            f"baseline (tolerance {tolerance:.0%})",
+            file=out,
+        )
+        return 1
+    print("PASS: aggregate throughput within tolerance", file=out)
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -196,7 +304,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         choices=("batch_eps", "speedup"),
         default=os.environ.get("REPRO_BENCH_REGRESSION_METRIC", "batch_eps"),
         help="what to gate: calibrated batch throughput (default) or the "
-        "machine-independent batch/per-edge speedup",
+        "machine-independent batch/per-edge speedup (ingest payloads only)",
+    )
+    parser.add_argument(
+        "--kind",
+        choices=("auto", "ingest", "service"),
+        default=os.environ.get("REPRO_BENCH_REGRESSION_KIND", "auto"),
+        help="payload kind; 'auto' (default) detects it from the files",
     )
     parser.add_argument(
         "--no-calibrate",
@@ -210,6 +324,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     calibrate = not args.no_calibrate and _env_flag(
         "REPRO_BENCH_REGRESSION_CALIBRATE", True
     )
+    baseline_payload = _read_payload(args.baseline)
+    fresh_payload = _read_payload(args.fresh)
+    kind = args.kind
+    if kind == "auto":
+        kind = _detect_kind(baseline_payload, args.baseline)
+        fresh_kind = _detect_kind(fresh_payload, args.fresh)
+        if fresh_kind != kind:
+            print(
+                f"error: baseline is a {kind} payload but fresh is "
+                f"{fresh_kind} — compare like with like"
+            )
+            return 2
+    if kind == "service":
+        return check_service_regression(
+            baseline_payload,
+            fresh_payload,
+            tolerance=args.tolerance,
+            calibrate=calibrate,
+        )
     return check_regression(
         _load_cells(args.baseline),
         _load_cells(args.fresh),

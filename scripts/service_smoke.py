@@ -1,0 +1,322 @@
+#!/usr/bin/env python
+"""End-to-end smoke of the estimation service: loadgen, SIGKILL, recover.
+
+Launches the real server (``rept-experiment serve``) as a subprocess,
+then asserts the full always-on contract from outside the process:
+
+1. **loadgen** — drive ``--tenants`` concurrent tenants at ``--rate``
+   eps each (with interleaved queries) against the live server; the
+   aggregate delivered throughput must clear ``--floor`` (env
+   ``REPRO_SERVICE_SMOKE_FLOOR``) and no frame may be shed under block
+   backpressure.
+2. **drill** — open a deterministic tenant, stream a fixed seeded
+   packet-flow prefix, take an explicit checkpoint, stream more frames
+   that will *not* be checkpointed, then ``SIGKILL`` the server — no
+   cleanup, no drain, OOM-kill semantics.
+3. **recover** — restart the server on the same ``--checkpoint-dir``;
+   reopening the drill tenant must report exactly the checkpointed
+   offset, and its global/local estimates must be **bit-identical** to a
+   fresh serial :class:`GroupStateSet` run over that delivered prefix.
+4. **drain** — a client ``shutdown`` must checkpoint every session and
+   exit the server cleanly (rc 0).
+
+Usage::
+
+    PYTHONPATH=src python scripts/service_smoke.py \\
+        --checkpoint-dir /tmp/service-smoke/ckpt
+
+Any assertion failure exits non-zero.  Unlike the pytest suites this
+crosses a real process boundary: the kill tests the on-disk checkpoint
+story, not an in-process simulation of it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import os
+import queue
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parents[1] / "src"))
+
+from repro.core.config import ReptConfig  # noqa: E402
+from repro.core.state import GroupStateSet  # noqa: E402
+from repro.generators.traffic import packet_flow_records  # noqa: E402
+from repro.service.artefacts import READY_PREFIX, service_loadgen  # noqa: E402
+from repro.service.client import TcpServiceClient  # noqa: E402
+
+DRILL_TENANT = "smoke-drill"
+DRILL_ENGINE = {"kind": "rept", "m": 16, "c": 32, "seed": 20260808}
+DRILL_RECORDS = 6000
+DRILL_FRAME = 500
+#: Frames delivered before the explicit checkpoint; the rest are streamed
+#: after it and must be lost to the SIGKILL.
+DRILL_CHECKPOINTED_FRAMES = 8
+
+
+class Server:
+    """A ``rept-experiment serve`` subprocess plus its announced endpoint."""
+
+    def __init__(self, checkpoint_dir: str, startup_timeout: float):
+        self.process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.experiments.cli",
+                "serve",
+                "--port",
+                "0",
+                "--checkpoint-dir",
+                checkpoint_dir,
+            ],
+            stdout=subprocess.PIPE,
+            text=True,
+        )
+        lines: "queue.Queue[str]" = queue.Queue()
+
+        def _pump():
+            for line in self.process.stdout:
+                lines.put(line)
+
+        self._reader = threading.Thread(target=_pump, daemon=True)
+        self._reader.start()
+        deadline = time.monotonic() + startup_timeout
+        self.host = self.port = None
+        while time.monotonic() < deadline:
+            try:
+                line = lines.get(timeout=0.2)
+            except queue.Empty:
+                if self.process.poll() is not None:
+                    raise SystemExit(
+                        f"[smoke] server exited rc={self.process.returncode} "
+                        "before announcing readiness"
+                    )
+                continue
+            if line.startswith(READY_PREFIX):
+                _, self.host, port = line.split()
+                self.port = int(port)
+                return
+        self.process.kill()
+        raise SystemExit(
+            f"[smoke] server did not announce {READY_PREFIX!r} within "
+            f"{startup_timeout}s"
+        )
+
+    def sigkill(self) -> None:
+        os.kill(self.process.pid, signal.SIGKILL)
+        self.process.wait()
+
+    def wait_clean_exit(self, timeout: float = 30.0) -> None:
+        rc = self.process.wait(timeout=timeout)
+        if rc != 0:
+            raise SystemExit(f"[smoke] server exited rc={rc} after shutdown")
+
+
+def _call(host, port, coroutine_factory):
+    """Run one client conversation on a fresh connection."""
+
+    async def _run():
+        client = await TcpServiceClient.connect(host, port)
+        try:
+            return await coroutine_factory(client)
+        finally:
+            await client.close()
+
+    return asyncio.run(_run())
+
+
+def drill_frames():
+    records = packet_flow_records(
+        DRILL_RECORDS, duration_seconds=600.0, seed=DRILL_ENGINE["seed"]
+    )
+    rows = [[record.u, record.v, record.time] for record in records]
+    return [rows[i : i + DRILL_FRAME] for i in range(0, len(rows), DRILL_FRAME)]
+
+
+def drill_reference(frames, num_frames):
+    """Serial GroupStateSet run over the first ``num_frames`` frames."""
+    state = GroupStateSet(
+        ReptConfig(m=DRILL_ENGINE["m"], c=DRILL_ENGINE["c"], seed=DRILL_ENGINE["seed"])
+    )
+    delivered = 0
+    for frame in frames[:num_frames]:
+        delivered += state.process_edges([(u, v) for u, v, _ in frame])
+    estimate = state.estimate(delivered)
+    nodes = sorted(estimate.local_counts)[:5]
+    return delivered, estimate, nodes
+
+
+def phase_loadgen(args, server) -> None:
+    result = service_loadgen(
+        host=server.host,
+        port=server.port,
+        tenants=args.tenants,
+        duration_seconds=args.duration,
+        rate_eps=args.rate,
+        frame_records=args.frame_records,
+        seed=7,
+        calibration_records=20_000,
+    )
+    report = result.metadata
+    print(
+        f"[smoke] loadgen: {report['aggregate_eps']:,.0f} eps aggregate over "
+        f"{args.tenants} tenant(s), {report['shed_frames']} shed, "
+        f"query p95 {report['query']['p95_ms']:.1f} ms"
+    )
+    if report["shed_frames"] != 0:
+        raise SystemExit("[smoke] block backpressure shed frames")
+    if report["delivered_records"] != report["submitted_records"]:
+        raise SystemExit("[smoke] submitted frames were not all delivered")
+    if report["aggregate_eps"] < args.floor:
+        raise SystemExit(
+            f"[smoke] aggregate {report['aggregate_eps']:,.0f} eps below the "
+            f"{args.floor:,.0f} floor"
+        )
+
+
+def phase_drill_ingest(server, frames, expected_offset) -> None:
+    async def conversation(client):
+        await client.open(DRILL_TENANT, engine=DRILL_ENGINE)
+        for frame in frames[:DRILL_CHECKPOINTED_FRAMES]:
+            await client.ingest(DRILL_TENANT, frame, timestamped=True)
+        # Poll until the ingest loop has drained the queue, then pin the
+        # prefix with an explicit checkpoint.
+        while True:
+            stats = (await client.stats(DRILL_TENANT))["stats"]
+            if stats["delivered"] >= expected_offset:
+                break
+            await asyncio.sleep(0.01)
+        done = await client.checkpoint(DRILL_TENANT)
+        offset = done["checkpoints"][DRILL_TENANT]["stream_offset"]
+        if offset != expected_offset:
+            raise SystemExit(
+                f"[smoke] checkpoint landed at offset {offset}, "
+                f"expected {expected_offset}"
+            )
+        # Post-checkpoint frames: delivered in memory, never durable —
+        # the SIGKILL must erase exactly these.
+        for frame in frames[DRILL_CHECKPOINTED_FRAMES:]:
+            await client.ingest(DRILL_TENANT, frame, timestamped=True)
+
+    _call(server.host, server.port, conversation)
+    print(
+        f"[smoke] drill tenant checkpointed at offset {expected_offset}, "
+        f"{len(frames) - DRILL_CHECKPOINTED_FRAMES} un-checkpointed frame(s) "
+        "in flight"
+    )
+
+
+def phase_recover(server, frames, checkpoint_offset) -> None:
+    async def conversation(client):
+        # No engine spec: this only succeeds if the restarted server
+        # recovered the tenant from its checkpoints on start.
+        opened = await client.open(DRILL_TENANT)
+        if opened.get("created"):
+            raise SystemExit("[smoke] drill tenant came back empty, not recovered")
+        recovered_offset = opened["delivered"]
+        # Recovery must land on a frame-aligned prefix no older than the
+        # explicit checkpoint (the periodic checkpoint timer may have
+        # captured some of the in-flight post-checkpoint frames too).
+        if recovered_offset < checkpoint_offset:
+            raise SystemExit(
+                f"[smoke] recovered offset {recovered_offset} predates the "
+                f"explicit checkpoint at {checkpoint_offset}"
+            )
+        if recovered_offset % DRILL_FRAME:
+            raise SystemExit(
+                f"[smoke] recovered offset {recovered_offset} is not "
+                f"frame-aligned (frames hold {DRILL_FRAME} records)"
+            )
+        _, estimate, nodes = drill_reference(
+            frames, recovered_offset // DRILL_FRAME
+        )
+        result = await client.query_global(DRILL_TENANT)
+        if result["global_count"] != estimate.global_count:
+            raise SystemExit(
+                f"[smoke] post-recovery global count {result['global_count']} "
+                f"!= serial reference {estimate.global_count}"
+            )
+        if result["edges_processed"] != estimate.edges_processed:
+            raise SystemExit("[smoke] post-recovery edges_processed mismatch")
+        counts = (await client.query_local(DRILL_TENANT, nodes))["counts"]
+        for node, count in counts:
+            if count != estimate.local_count(node):
+                raise SystemExit(
+                    f"[smoke] post-recovery local count mismatch at node {node}"
+                )
+        return recovered_offset, result
+
+    recovered_offset, result = _call(server.host, server.port, conversation)
+    print(
+        f"[smoke] recovery verified: offset {recovered_offset}, global count "
+        f"{result['global_count']:.3f} bit-identical to the serial reference"
+    )
+
+
+def phase_shutdown(server) -> None:
+    async def conversation(client):
+        return await client.shutdown()
+
+    drained = _call(server.host, server.port, conversation)
+    server.wait_clean_exit()
+    print(
+        f"[smoke] graceful shutdown drained {len(drained['drained'])} "
+        "session(s), server exited rc=0"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0], allow_abbrev=False
+    )
+    parser.add_argument("--checkpoint-dir", required=True)
+    parser.add_argument("--tenants", type=int, default=3)
+    parser.add_argument("--duration", type=float, default=2.0)
+    parser.add_argument("--rate", type=float, default=20_000.0)
+    parser.add_argument("--frame-records", type=int, default=1000)
+    parser.add_argument(
+        "--floor",
+        type=float,
+        default=float(os.environ.get("REPRO_SERVICE_SMOKE_FLOOR", "10000")),
+        help="minimum aggregate delivered eps for the loadgen phase",
+    )
+    parser.add_argument("--startup-timeout", type=float, default=30.0)
+    args = parser.parse_args(argv)
+    Path(args.checkpoint_dir).mkdir(parents=True, exist_ok=True)
+
+    frames = drill_frames()
+    checkpoint_offset = DRILL_CHECKPOINTED_FRAMES * DRILL_FRAME
+
+    server = Server(args.checkpoint_dir, args.startup_timeout)
+    print(f"[smoke] server ready on {server.host}:{server.port}")
+    try:
+        phase_loadgen(args, server)
+        phase_drill_ingest(server, frames, checkpoint_offset)
+        server.sigkill()
+        print("[smoke] SIGKILL delivered — restarting on the same checkpoints")
+    finally:
+        if server.process.poll() is None:
+            server.process.kill()
+            server.process.wait()
+
+    server = Server(args.checkpoint_dir, args.startup_timeout)
+    try:
+        phase_recover(server, frames, checkpoint_offset)
+        phase_shutdown(server)
+    finally:
+        if server.process.poll() is None:
+            server.process.kill()
+            server.process.wait()
+
+    print("[smoke] service smoke passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,6 +66,27 @@ class WorkerFailedError(ReproError):
     """
 
 
+class ServiceError(ReproError):
+    """The estimation service could not satisfy a request.
+
+    Covers session-level failures surfaced through the service API: an
+    unknown tenant, an engine/spec mismatch on reopen, a session that has
+    exhausted its restart budget, or an operation issued against a session
+    that is draining or closed.  Transport-visible errors carry the message
+    in the response's ``error`` field rather than crossing the wire as an
+    exception.
+    """
+
+
+class ProtocolError(ServiceError):
+    """A service request or response violates the wire protocol.
+
+    Raised for undecodable frames (not JSON, not an object), missing or
+    unknown ``op`` fields, and protocol-version mismatches.  The server
+    answers with an error response where it can; the client raises.
+    """
+
+
 class RecoveryError(ReproError):
     """Recovery from checkpoints was requested but could not proceed.
 

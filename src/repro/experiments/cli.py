@@ -133,6 +133,59 @@ def _build_parser() -> argparse.ArgumentParser:
         "repro.testing.faults",
     )
 
+    service = parser.add_argument_group("service options (serve / loadgen)")
+    service.add_argument(
+        "--host",
+        default=None,
+        help="bind address for 'serve' / target address for 'loadgen' "
+        "(default: 127.0.0.1 / self-hosted loopback)",
+    )
+    service.add_argument(
+        "--port",
+        type=int,
+        default=None,
+        help="TCP port for 'serve' (0 = ephemeral) or the 'loadgen' target "
+        "(omitted: loadgen self-hosts a loopback server)",
+    )
+    service.add_argument(
+        "--tenants",
+        type=int,
+        default=None,
+        help="number of concurrent tenants for 'loadgen' (default: 3)",
+    )
+    service.add_argument(
+        "--rate",
+        type=float,
+        default=None,
+        help="target per-tenant ingest rate in edges/s for 'loadgen' "
+        "(default: 50000)",
+    )
+    service.add_argument(
+        "--frame-records",
+        type=int,
+        default=None,
+        help="records per ingest frame for 'loadgen' (default: 2000)",
+    )
+    service.add_argument(
+        "--queue-frames",
+        type=int,
+        default=None,
+        help="per-session ingest queue bound, in frames (default: 64)",
+    )
+    service.add_argument(
+        "--backpressure",
+        choices=("block", "shed"),
+        default=None,
+        help="queue-full policy: 'block' delays the ingest response, "
+        "'shed' drops the frame and counts it (default: block)",
+    )
+    service.add_argument(
+        "--bench-out",
+        default=None,
+        help="write the 'loadgen' report as a bench JSON file "
+        "(the BENCH_service.json payload)",
+    )
+
     campaign = parser.add_argument_group("campaign options")
     campaign.add_argument(
         "--spec",
@@ -237,6 +290,42 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
             kwargs["seed"] = args.seed
         if args.batch_size is not None:
             kwargs["batch_size"] = args.batch_size
+    elif name == "serve":
+        kwargs.pop("max_edges", None)
+        if args.host is not None:
+            kwargs["host"] = args.host
+        if args.port is not None:
+            kwargs["port"] = args.port
+        if args.checkpoint_dir is not None:
+            kwargs["checkpoint_dir"] = args.checkpoint_dir
+        if args.duration is not None:
+            kwargs["duration_seconds"] = args.duration
+        if args.queue_frames is not None:
+            kwargs["queue_frames"] = args.queue_frames
+        if args.backpressure is not None:
+            kwargs["backpressure"] = args.backpressure
+    elif name == "loadgen":
+        kwargs.pop("max_edges", None)
+        if args.host is not None:
+            kwargs["host"] = args.host
+        if args.port is not None:
+            kwargs["port"] = args.port
+        if args.tenants is not None:
+            kwargs["tenants"] = args.tenants
+        if args.duration is not None:
+            kwargs["duration_seconds"] = args.duration
+        if args.rate is not None:
+            kwargs["rate_eps"] = args.rate
+        if args.frame_records is not None:
+            kwargs["frame_records"] = args.frame_records
+        if args.queue_frames is not None:
+            kwargs["queue_frames"] = args.queue_frames
+        if args.backpressure is not None:
+            kwargs["backpressure"] = args.backpressure
+        if args.seed is not None:
+            kwargs["seed"] = args.seed
+        if args.bench_out is not None:
+            kwargs["bench_out"] = args.bench_out
     elif name == "monitor":
         kwargs.pop("max_edges", None)
         if args.seed is not None:
@@ -325,12 +414,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_campaign(args)
     with contextlib.ExitStack() as stack:
         if args.chaos:
-            if args.artefact == "monitor" and args.checkpoint_dir is None:
+            if args.artefact in ("monitor", "serve") and args.checkpoint_dir is None:
                 # Chaos without durability would simply crash the artefact;
                 # default to a throwaway checkpoint directory so recovery
                 # has somewhere to resume from.
                 args.checkpoint_dir = stack.enter_context(
-                    tempfile.TemporaryDirectory(prefix="repro-monitor-ckpt-")
+                    tempfile.TemporaryDirectory(prefix="repro-service-ckpt-")
                 )
             stack.enter_context(_chaos_context(args.chaos))
         result = _run_artefact(args.artefact, args)

@@ -20,6 +20,8 @@ from repro.experiments.spec import ExperimentResult
 _ARTEFACT_PATHS: Dict[str, str] = {
     "ingest": "repro.experiments.ingest:ingest_throughput",
     "monitor": "repro.experiments.monitoring:windowed_monitoring",
+    "serve": "repro.service.artefacts:serve",
+    "loadgen": "repro.service.artefacts:service_loadgen",
     "figure1": "repro.experiments.figures:figure1",
     "figure3": "repro.experiments.figures:figure3",
     "figure4": "repro.experiments.figures:figure4",

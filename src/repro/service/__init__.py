@@ -1,0 +1,65 @@
+"""Always-on estimation service: async ingest/query runtime.
+
+The batch experiment harness answers "what was the triangle count of this
+stream"; this package answers the *deployment* form of the paper's
+traffic-monitoring motivation — estimators and sliding-window monitors
+that stay resident, ingest edge frames from many tenants concurrently,
+and serve estimates while the stream is still arriving.
+
+Layers (bottom up):
+
+* :mod:`repro.service.protocol` — versioned NDJSON request/response
+  schema, transport-agnostic;
+* :mod:`repro.service.metrics` — per-session counters, rates and query
+  latency percentiles;
+* :mod:`repro.service.session` — engine facades over the estimators and
+  the monitor, plus the single-writer per-tenant ingest loop with bounded
+  queues, explicit backpressure, supervised restarts and durable
+  checkpoints;
+* :mod:`repro.service.server` — the session registry, request dispatch,
+  background timers and TCP/stdio transports;
+* :mod:`repro.service.client` — in-process and pipelined TCP clients;
+* :mod:`repro.service.loadgen` — the multi-tenant load generator behind
+  ``BENCH_service.json`` and the CI smoke job.
+"""
+
+from repro.service.client import InProcessClient, TcpServiceClient
+from repro.service.metrics import LatencyReservoir, RateMeter, SessionMetrics
+from repro.service.protocol import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    validate_request,
+)
+from repro.service.server import EstimationService
+from repro.service.session import (
+    BACKPRESSURE_POLICIES,
+    ENGINE_KINDS,
+    StreamSession,
+    build_engine,
+    validate_engine_spec,
+)
+
+__all__ = [
+    "EstimationService",
+    "StreamSession",
+    "InProcessClient",
+    "TcpServiceClient",
+    "SessionMetrics",
+    "LatencyReservoir",
+    "RateMeter",
+    "PROTOCOL_VERSION",
+    "OPERATIONS",
+    "ENGINE_KINDS",
+    "BACKPRESSURE_POLICIES",
+    "build_engine",
+    "validate_engine_spec",
+    "encode_line",
+    "decode_line",
+    "ok_response",
+    "error_response",
+    "validate_request",
+]

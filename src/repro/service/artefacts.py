@@ -1,0 +1,220 @@
+"""CLI artefacts wrapping the service: ``serve`` and ``loadgen``.
+
+``rept-experiment serve`` hosts the estimation service on a TCP port until
+a client sends ``shutdown`` (or ``--duration`` elapses), recovering every
+tenant found under ``--checkpoint-dir`` on start.  Under ``--chaos`` the
+armed fault plan reaches the ``service-ingest`` and ``service-checkpoint``
+sites, exercising supervised restarts and checkpoint-failure handling in a
+live server.
+
+``rept-experiment loadgen`` drives a multi-tenant load — against an
+external server (``--host``/``--port``) or, by default, a self-hosted
+in-process TCP loopback server — and reports delivered throughput plus
+query latency; ``--bench-out`` writes the ``BENCH_service.json`` payload
+the regression gate checks.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+from pathlib import Path
+from typing import Optional
+
+from repro.experiments.spec import ExperimentResult
+from repro.service.client import TcpServiceClient
+from repro.service.loadgen import (
+    DEFAULT_ENGINE,
+    measure_calibration_eps,
+    run_loadgen,
+)
+from repro.service.server import EstimationService
+
+#: Readiness line printed by ``serve`` once the socket is bound —
+#: supervisors (the smoke script, tests) parse the port from it.
+READY_PREFIX = "SERVICE-READY"
+
+
+def serve(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    checkpoint_dir: Optional[str] = None,
+    duration_seconds: Optional[float] = None,
+    checkpoint_interval_seconds: float = 1.0,
+    watermark_interval_seconds: float = 0.5,
+    queue_frames: int = 64,
+    backpressure: str = "block",
+    announce: bool = True,
+) -> ExperimentResult:
+    """Host the estimation service over TCP until shutdown (or timeout).
+
+    Prints ``SERVICE-READY <host> <port>`` once the listener is bound so a
+    parent process can connect; returns an :class:`ExperimentResult`
+    summarising the sessions served after shutdown.
+    """
+
+    async def _serve():
+        service = EstimationService(
+            checkpoint_root=checkpoint_dir,
+            queue_frames=queue_frames,
+            backpressure=backpressure,
+            checkpoint_interval_seconds=checkpoint_interval_seconds,
+            watermark_interval_seconds=watermark_interval_seconds,
+        )
+        recovered = service.recover_sessions()
+        bound_host, bound_port = await service.serve_tcp(host, port)
+        service.start_timers()
+        if announce:
+            print(f"{READY_PREFIX} {bound_host} {bound_port}", flush=True)
+        if duration_seconds is not None:
+            try:
+                await asyncio.wait_for(
+                    service.shutdown_complete.wait(), timeout=duration_seconds
+                )
+            except asyncio.TimeoutError:
+                await service.shutdown()
+        else:
+            await service.shutdown_complete.wait()
+        await service.wait_closed()
+        stats = {
+            tenant: session.stats() for tenant, session in service.sessions.items()
+        }
+        return recovered, (bound_host, bound_port), stats
+
+    recovered, bound, stats = asyncio.run(_serve())
+    rows = [
+        [
+            tenant,
+            s["engine"],
+            s["delivered"],
+            s["ingest_errors"],
+            s["restarts"],
+            s["checkpoints_written"],
+            s["checkpoint_failures"],
+        ]
+        for tenant, s in sorted(stats.items())
+    ]
+    headers = [
+        "tenant",
+        "engine",
+        "delivered",
+        "ingest_errors",
+        "restarts",
+        "checkpoints",
+        "ckpt_failures",
+    ]
+    lines = [
+        f"estimation service on {bound[0]}:{bound[1]} — "
+        f"{len(stats)} session(s), {len(recovered)} recovered on start",
+        "  ".join(headers),
+    ]
+    for row in rows:
+        lines.append("  ".join(str(cell) for cell in row))
+    return ExperimentResult(
+        experiment_id="serve",
+        description="always-on estimation service (TCP, drained)",
+        rows=rows,
+        headers=headers,
+        text="\n".join(lines),
+        metadata={
+            "host": bound[0],
+            "port": bound[1],
+            "checkpoint_dir": checkpoint_dir,
+            "recovered": recovered,
+            "backpressure": backpressure,
+        },
+    )
+
+
+def service_loadgen(
+    host: Optional[str] = None,
+    port: Optional[int] = None,
+    tenants: int = 3,
+    duration_seconds: float = 3.0,
+    rate_eps: float = 50_000.0,
+    frame_records: int = 2000,
+    queue_frames: int = 64,
+    backpressure: str = "block",
+    seed: int = 7,
+    bench_out: Optional[str] = None,
+    calibration_records: int = 100_000,
+) -> ExperimentResult:
+    """Drive the multi-tenant load generator; optionally write the bench file.
+
+    With no ``host``/``port`` a loopback server is hosted in-process (the
+    self-contained bench mode); otherwise the load targets the external
+    server — which must already be running.
+    """
+
+    async def _run():
+        service = None
+        if host is None or port is None:
+            service = EstimationService(
+                queue_frames=queue_frames, backpressure=backpressure
+            )
+            bound_host, bound_port = await service.serve_tcp()
+        else:
+            bound_host, bound_port = host, port
+
+        async def factory():
+            return await TcpServiceClient.connect(bound_host, bound_port)
+
+        report = await run_loadgen(
+            factory,
+            tenants=tenants,
+            duration_seconds=duration_seconds,
+            rate_eps=rate_eps,
+            frame_records=frame_records,
+            seed=seed,
+        )
+        if service is not None:
+            control = await factory()
+            await control.shutdown()
+            await control.close()
+            await service.wait_closed()
+        report["self_hosted"] = service is not None
+        return report
+
+    report = asyncio.run(_run())
+    report["benchmark"] = "service-loadgen"
+    report["calibration_eps"] = measure_calibration_eps(
+        num_records=calibration_records, engine=report["engine"], seed=seed
+    )
+    report["service_to_raw_ratio"] = report["aggregate_eps"] / max(
+        report["calibration_eps"], 1e-9
+    )
+    if bench_out:
+        Path(bench_out).write_text(
+            json.dumps(report, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {bench_out}", file=sys.stderr)
+
+    headers = ["metric", "value"]
+    rows = [
+        ["tenants", tenants],
+        ["duration_s", round(report["elapsed_seconds"], 3)],
+        ["submitted_records", report["submitted_records"]],
+        ["delivered_records", report["delivered_records"]],
+        ["aggregate_eps", round(report["aggregate_eps"], 1)],
+        ["calibration_eps", round(report["calibration_eps"], 1)],
+        ["service_to_raw_ratio", round(report["service_to_raw_ratio"], 4)],
+        ["shed_frames", report["shed_frames"]],
+        ["query_p50_ms", report["query"]["p50_ms"]],
+        ["query_p95_ms", report["query"]["p95_ms"]],
+    ]
+    lines = [
+        f"service loadgen: {tenants} tenant(s) × {rate_eps:.0f} eps target, "
+        f"{report['aggregate_eps']:.0f} eps delivered aggregate",
+        "  ".join(headers),
+    ]
+    for row in rows:
+        lines.append(f"{row[0]}  {row[1]}")
+    return ExperimentResult(
+        experiment_id="loadgen",
+        description="multi-tenant service load generation",
+        rows=rows,
+        headers=headers,
+        text="\n".join(lines),
+        metadata=report,
+    )

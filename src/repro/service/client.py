@@ -1,0 +1,156 @@
+"""Service clients: in-process (tests) and TCP (load generator, tools).
+
+Both clients expose the same surface — an async :meth:`call` taking an
+operation name plus fields and returning the response dict, with
+``ok: false`` responses raised as :class:`~repro.exceptions.ServiceError`
+(carrying the response's error ``code`` as ``exc.code``) — so tests
+written against the in-process client exercise exactly the semantics the
+TCP path serves.
+
+The TCP client pipelines: requests carry incrementing ids, a background
+reader task resolves the matching futures, so many coroutines can share
+one connection (each loadgen tenant typically still opens its own, which
+also gives per-tenant TCP backpressure under the ``block`` policy).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Dict, Optional
+
+from repro.exceptions import ProtocolError, ServiceError
+from repro.service.protocol import PROTOCOL_VERSION, decode_line, encode_line
+
+
+def _raise_on_error(response: Dict[str, object]) -> Dict[str, object]:
+    if not response.get("ok"):
+        error = ServiceError(str(response.get("error", "request failed")))
+        error.code = response.get("code", "internal")
+        raise error
+    return response
+
+
+class _BaseClient:
+    """Shared convenience wrappers over :meth:`call`."""
+
+    async def call(self, op: str, **fields: object) -> Dict[str, object]:
+        raise NotImplementedError
+
+    async def open(self, tenant: str, engine: Optional[dict] = None, **fields):
+        payload = dict(fields)
+        if engine is not None:
+            payload["engine"] = engine
+        return await self.call("open", tenant=tenant, **payload)
+
+    async def ingest(self, tenant: str, frame, timestamped: bool = False):
+        key = "records" if timestamped else "edges"
+        return await self.call("ingest", tenant=tenant, **{key: frame})
+
+    async def query_global(self, tenant: str):
+        return await self.call("query_global", tenant=tenant)
+
+    async def query_local(self, tenant: str, nodes):
+        return await self.call("query_local", tenant=tenant, nodes=list(nodes))
+
+    async def query_windows(self, tenant: str, since: int = 0):
+        return await self.call("query_windows", tenant=tenant, since=since)
+
+    async def advance_watermark(self, tenant: str, time: float):
+        return await self.call("advance_watermark", tenant=tenant, time=time)
+
+    async def stats(self, tenant: Optional[str] = None):
+        if tenant is None:
+            return await self.call("stats")
+        return await self.call("stats", tenant=tenant)
+
+    async def checkpoint(self, tenant: Optional[str] = None):
+        if tenant is None:
+            return await self.call("checkpoint")
+        return await self.call("checkpoint", tenant=tenant)
+
+    async def shutdown(self):
+        return await self.call("shutdown")
+
+
+class InProcessClient(_BaseClient):
+    """Client bound directly to an :class:`EstimationService` instance.
+
+    Skips serialisation but not validation: requests go through the same
+    :meth:`handle_request` dispatch (including protocol validation) as the
+    wire transports.
+    """
+
+    def __init__(self, service) -> None:
+        self.service = service
+
+    async def call(self, op: str, **fields: object) -> Dict[str, object]:
+        request = {"v": PROTOCOL_VERSION, "op": op}
+        request.update(fields)
+        return _raise_on_error(await self.service.handle_request(request))
+
+
+class TcpServiceClient(_BaseClient):
+    """Pipelined NDJSON client over one TCP connection."""
+
+    def __init__(self) -> None:
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._reader_task: Optional[asyncio.Task] = None
+
+    @classmethod
+    async def connect(cls, host: str, port: int) -> "TcpServiceClient":
+        client = cls()
+        client._reader, client._writer = await asyncio.open_connection(host, port)
+        client._reader_task = asyncio.get_running_loop().create_task(
+            client._read_loop(), name=f"service-client:{host}:{port}"
+        )
+        return client
+
+    async def _read_loop(self) -> None:
+        assert self._reader is not None
+        try:
+            while True:
+                line = await self._reader.readline()
+                if not line:
+                    break
+                try:
+                    response = decode_line(line)
+                except ProtocolError:
+                    continue  # unparseable server line; matching call times out
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        finally:
+            broken = ServiceError("connection closed by server")
+            broken.code = "session-closed"
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(broken)
+            self._pending.clear()
+
+    async def call(self, op: str, **fields: object) -> Dict[str, object]:
+        if self._writer is None:
+            raise ServiceError("client is not connected")
+        request_id = next(self._ids)
+        request = {"v": PROTOCOL_VERSION, "id": request_id, "op": op}
+        request.update(fields)
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        self._writer.write(encode_line(request))
+        await self._writer.drain()
+        return _raise_on_error(await future)
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError, OSError):
+                pass
+            self._writer = None
+        if self._reader_task is not None:
+            await self._reader_task
+            self._reader_task = None

@@ -1,0 +1,139 @@
+"""Per-session service metrics: counters, rates and latency percentiles.
+
+Everything here is cheap enough to update on the hot ingest path: counters
+are plain ints, the rate meter keeps a short deque of (time, count) events,
+and the latency reservoir keeps the most recent N observations (percentiles
+over a bounded recent window, not the full history — a service cares about
+*current* latency).  ``to_json`` renders the lot as the ``stats`` response
+payload.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+
+class LatencyReservoir:
+    """Bounded window of recent latency observations, in seconds.
+
+    Keeps the newest ``capacity`` samples; percentiles are computed over a
+    sorted copy on demand (the window is small, queries are rare relative
+    to observations).
+    """
+
+    def __init__(self, capacity: int = 512) -> None:
+        self._samples: Deque[float] = deque(maxlen=capacity)
+        self.count = 0
+
+    def observe(self, seconds: float) -> None:
+        self._samples.append(seconds)
+        self.count += 1
+
+    def percentile(self, q: float) -> Optional[float]:
+        """Return the ``q``-quantile (0..1) of the window, None when empty.
+
+        Nearest-rank on the sorted window — exact for the small windows
+        used here, and monotone in ``q``.
+        """
+        if not self._samples:
+            return None
+        ordered = sorted(self._samples)
+        rank = min(len(ordered) - 1, max(0, int(q * len(ordered))))
+        return ordered[rank]
+
+    def summary(self) -> Dict[str, Optional[float]]:
+        return {
+            "count": self.count,
+            "p50_ms": _to_ms(self.percentile(0.50)),
+            "p95_ms": _to_ms(self.percentile(0.95)),
+            "p99_ms": _to_ms(self.percentile(0.99)),
+        }
+
+
+def _to_ms(seconds: Optional[float]) -> Optional[float]:
+    return None if seconds is None else seconds * 1000.0
+
+
+class RateMeter:
+    """Sliding-window events-per-second meter.
+
+    ``tick(n)`` records ``n`` events now; :meth:`rate` averages over the
+    last ``window_seconds`` (and over the elapsed lifetime when shorter).
+    """
+
+    def __init__(self, window_seconds: float = 5.0) -> None:
+        self.window_seconds = float(window_seconds)
+        self._events: Deque[Tuple[float, int]] = deque()
+        self._started = time.monotonic()
+        self.total = 0
+
+    def tick(self, n: int = 1) -> None:
+        now = time.monotonic()
+        self._events.append((now, n))
+        self.total += n
+        horizon = now - self.window_seconds
+        events = self._events
+        while events and events[0][0] < horizon:
+            events.popleft()
+
+    def rate(self) -> float:
+        now = time.monotonic()
+        horizon = now - self.window_seconds
+        in_window = sum(n for t, n in self._events if t >= horizon)
+        span = min(self.window_seconds, max(now - self._started, 1e-9))
+        return in_window / span
+
+    def lifetime_rate(self) -> float:
+        elapsed = max(time.monotonic() - self._started, 1e-9)
+        return self.total / elapsed
+
+
+class SessionMetrics:
+    """The full per-session metric set surfaced by the ``stats`` op."""
+
+    def __init__(self) -> None:
+        self.ingested_records = 0
+        self.ingested_frames = 0
+        self.shed_frames = 0
+        self.shed_records = 0
+        self.dropped_frames = 0  # frames lost to ingest-loop faults
+        self.ingest_errors = 0
+        self.restarts = 0
+        self.queries = 0
+        self.checkpoints_written = 0
+        self.checkpoint_failures = 0
+        self.ingest_rate = RateMeter()
+        self.query_latency = LatencyReservoir()
+
+    def record_frame(self, records: int) -> None:
+        self.ingested_frames += 1
+        self.ingested_records += records
+        self.ingest_rate.tick(records)
+
+    def record_shed(self, records: int) -> None:
+        self.shed_frames += 1
+        self.shed_records += records
+
+    def record_query(self, seconds: float) -> None:
+        self.queries += 1
+        self.query_latency.observe(seconds)
+
+    def to_json(self, queue_depth: int) -> Dict[str, object]:
+        return {
+            "ingested_records": self.ingested_records,
+            "ingested_frames": self.ingested_frames,
+            "shed_frames": self.shed_frames,
+            "shed_records": self.shed_records,
+            "dropped_frames": self.dropped_frames,
+            "ingest_errors": self.ingest_errors,
+            "restarts": self.restarts,
+            "queries": self.queries,
+            "checkpoints_written": self.checkpoints_written,
+            "checkpoint_failures": self.checkpoint_failures,
+            "queue_depth": queue_depth,
+            "ingest_eps": self.ingest_rate.rate(),
+            "ingest_eps_lifetime": self.ingest_rate.lifetime_rate(),
+            "query_latency": self.query_latency.summary(),
+        }

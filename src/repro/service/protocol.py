@@ -1,0 +1,165 @@
+"""Wire protocol of the estimation service: versioned newline-delimited JSON.
+
+One request or response per line.  Requests are JSON objects::
+
+    {"v": 1, "id": 7, "op": "ingest", "tenant": "t0", "edges": [[1, 2], ...]}
+
+and every response echoes the request id::
+
+    {"v": 1, "id": 7, "ok": true, ...}
+    {"v": 1, "id": 7, "ok": false, "error": "...", "code": "unknown-tenant"}
+
+The protocol is deliberately transport-agnostic: the TCP and stdio
+transports frame lines, the in-process client skips serialisation entirely
+and hands the dict straight to
+:meth:`~repro.service.server.EstimationService.handle_request` — both paths
+go through the same validation, so tests against the in-process client
+cover the wire semantics.
+
+Operations
+----------
+``hello``
+    Server identification: name, protocol version, open session count.
+``open``
+    Create (or re-attach to) the session of ``tenant``; ``engine`` is the
+    engine spec (see :mod:`repro.service.session`).  Reopening an existing
+    tenant with a *different* engine spec is an error; reopening with the
+    same spec (or none) is idempotent and reports the session's delivered
+    offset — which is non-zero when the server recovered the session from
+    a checkpoint.
+``ingest``
+    Append one frame of ``edges`` ``[[u, v], ...]`` or timestamped
+    ``records`` ``[[u, v, t], ...]`` to the tenant's queue.  The response
+    reports the backpressure outcome: ``{"accepted": true, "queued": n}``
+    or — shed policy, full queue — ``{"accepted": false, "shed": true}``.
+    Under the ``block`` policy the response is simply delayed until the
+    queue has room, which propagates backpressure to the client.
+``query_global`` / ``query_local``
+    Current global estimate / per-node estimates for ``nodes`` of the
+    delivered prefix.  Served between frames of the single-writer ingest
+    loop, so every answer reflects a frame-aligned delivered prefix —
+    never a torn mid-frame state.
+``query_windows``
+    Sealed window results of a monitor session (``since`` filters by
+    window index).
+``advance_watermark``
+    Explicit event-time tick of a monitor session.
+``stats``
+    Per-session metrics (ingest rate, queue depth, shed/error counters,
+    query latency percentiles) or the all-sessions rollup.
+``checkpoint``
+    Force a durable checkpoint of one tenant (or every session).
+``shutdown``
+    Graceful drain: stop admitting frames, drain every queue, write final
+    checkpoints, then stop the server.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.exceptions import ProtocolError
+
+#: Protocol version spoken by this module (bumped on breaking changes).
+PROTOCOL_VERSION = 1
+
+#: Every operation the dispatcher accepts.
+OPERATIONS = (
+    "hello",
+    "open",
+    "ingest",
+    "query_global",
+    "query_local",
+    "query_windows",
+    "advance_watermark",
+    "stats",
+    "checkpoint",
+    "shutdown",
+)
+
+#: Machine-readable error codes carried in failed responses.
+ERROR_CODES = (
+    "bad-request",
+    "bad-version",
+    "unknown-op",
+    "unknown-tenant",
+    "engine-mismatch",
+    "session-closed",
+    "overloaded",
+    "checkpoint-failed",
+    "internal",
+)
+
+
+def encode_line(message: Dict[str, object]) -> bytes:
+    """Serialise one protocol message as a newline-terminated JSON line."""
+    return json.dumps(message, separators=(",", ":")).encode("utf-8") + b"\n"
+
+
+def decode_line(line: bytes) -> Dict[str, object]:
+    """Parse one wire line into a message dict.
+
+    Raises :class:`~repro.exceptions.ProtocolError` for anything that is
+    not a JSON object — the caller decides whether to answer with an error
+    response (server) or propagate (client).
+    """
+    try:
+        message = json.loads(line.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable protocol line: {exc}") from exc
+    if not isinstance(message, dict):
+        raise ProtocolError(
+            f"protocol messages are JSON objects, got {type(message).__name__}"
+        )
+    return message
+
+
+def validate_request(request: Dict[str, object]) -> str:
+    """Validate version and operation; returns the operation name.
+
+    Raises :class:`~repro.exceptions.ProtocolError` on violation.  The
+    ``id`` field is optional (the in-process client never sets one) but
+    must be int or string when present.
+    """
+    version = request.get("v", PROTOCOL_VERSION)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolError(
+            f"protocol version mismatch: server speaks {PROTOCOL_VERSION}, "
+            f"request carries {version!r}"
+        )
+    op = request.get("op")
+    if not isinstance(op, str):
+        raise ProtocolError("request is missing the 'op' field")
+    if op not in OPERATIONS:
+        raise ProtocolError(f"unknown op {op!r}; known: {', '.join(OPERATIONS)}")
+    request_id = request.get("id")
+    if request_id is not None and not isinstance(request_id, (int, str)):
+        raise ProtocolError("request 'id' must be an int or string")
+    return op
+
+
+def ok_response(request: Dict[str, object], **fields: object) -> Dict[str, object]:
+    """Build a success response echoing the request's id."""
+    response: Dict[str, object] = {"v": PROTOCOL_VERSION, "ok": True}
+    if request.get("id") is not None:
+        response["id"] = request["id"]
+    response.update(fields)
+    return response
+
+
+def error_response(
+    request: Optional[Dict[str, object]], code: str, message: str
+) -> Dict[str, object]:
+    """Build a failure response (``request=None`` for undecodable frames)."""
+    if code not in ERROR_CODES:
+        code = "internal"
+    response: Dict[str, object] = {
+        "v": PROTOCOL_VERSION,
+        "ok": False,
+        "code": code,
+        "error": message,
+    }
+    if request is not None and request.get("id") is not None:
+        response["id"] = request["id"]
+    return response

@@ -14,8 +14,13 @@ sequence, plus the plumbing a real deployment needs:
 """
 
 from repro.streaming.edge_stream import EdgeStream
-from repro.streaming.readers import read_edge_list, parse_edge_line
-from repro.streaming.writers import write_edge_list
+from repro.streaming.readers import (
+    iter_jsonl_records,
+    parse_edge_line,
+    read_edge_list,
+    read_jsonl_records,
+)
+from repro.streaming.writers import JsonlEdgeLogWriter, write_edge_list
 from repro.streaming.transforms import (
     deduplicate_edges,
     drop_self_loops,
@@ -37,6 +42,9 @@ __all__ = [
     "read_edge_list",
     "parse_edge_line",
     "write_edge_list",
+    "JsonlEdgeLogWriter",
+    "iter_jsonl_records",
+    "read_jsonl_records",
     "deduplicate_edges",
     "drop_self_loops",
     "relabel_nodes",

@@ -588,9 +588,13 @@ class WindowedTriangleMonitor:
             self._sealed_before = pane + 1
             last_of_window = pane - self._window_panes + 1
             if last_of_window >= 0 and last_of_window % self._slide_panes == 0:
-                closed.append(
-                    self._close_window(last_of_window // self._slide_panes, True)
-                )
+                window = last_of_window // self._slide_panes
+                # Closed is closed: flush() may already have emitted this
+                # window without advancing the pane seal, and a service
+                # timer may tick the watermark again afterwards — never
+                # emit the same window index twice.
+                if window >= self._next_close_index:
+                    closed.append(self._close_window(window, True))
         return closed
 
     def _close_window(self, window: int, complete: bool) -> MonitorWindowResult:

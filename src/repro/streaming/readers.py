@@ -24,9 +24,10 @@ skipped silently under every policy and never counted.
 from __future__ import annotations
 
 import gzip
+import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Iterator, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.exceptions import StreamFormatError
 from repro.streaming.edge_stream import EdgeStream
@@ -142,6 +143,101 @@ def iter_edge_lines(
     finally:
         if quarantine_handle is not None:
             quarantine_handle.close()
+
+
+def iter_jsonl_records(
+    path: PathLike,
+    on_bad_record: str = "raise",
+    bad_record_log: Optional[BadRecordLog] = None,
+    quarantine_path: Optional[PathLike] = None,
+) -> Iterator[Tuple]:
+    """Yield records from a JSONL edge log (see ``JsonlEdgeLogWriter``).
+
+    Each non-blank line must be a JSON array ``[u, v]`` or ``[u, v, t]``;
+    yields ``(u, v)`` / ``(u, v, t)`` tuples in file order.  Damage — most
+    commonly the torn final line an append-mode log is left with after a
+    crash — follows the same ``on_bad_record`` policy as the edge-list
+    readers: ``"raise"`` (default), ``"skip"`` (count in
+    ``bad_record_log``), or ``"quarantine"`` (count and append the raw line
+    to the sidecar).  Blank lines are format features, skipped silently.
+    """
+    if on_bad_record not in BAD_RECORD_POLICIES:
+        raise ValueError(
+            f"unknown on_bad_record policy {on_bad_record!r}; "
+            f"use one of {BAD_RECORD_POLICIES}"
+        )
+    path = Path(path)
+    log = bad_record_log if bad_record_log is not None else BadRecordLog()
+    quarantine_handle = None
+    opener = gzip.open if path.suffix == ".gz" else open
+    errors = "strict" if on_bad_record == "raise" else "replace"
+    try:
+        with opener(path, "rt", encoding="utf-8", errors=errors) as handle:  # type: ignore[operator]
+            for line in handle:
+                stripped = line.strip()
+                if not stripped:
+                    continue
+                try:
+                    record = json.loads(stripped)
+                    if (
+                        not isinstance(record, list)
+                        or not 2 <= len(record) <= 3
+                    ):
+                        raise StreamFormatError(
+                            f"JSONL record is not a [u, v(, t)] array: {stripped!r}"
+                        )
+                    if len(record) == 3:
+                        record[2] = float(record[2])
+                except (StreamFormatError, ValueError, TypeError) as exc:
+                    if on_bad_record == "raise":
+                        if isinstance(exc, StreamFormatError):
+                            raise
+                        raise StreamFormatError(
+                            f"cannot parse JSONL record from line: {line!r}"
+                        ) from exc
+                    log.skipped += 1
+                    if on_bad_record == "quarantine":
+                        if quarantine_handle is None:
+                            log.quarantine_path = Path(
+                                quarantine_path
+                                if quarantine_path is not None
+                                else str(path) + ".quarantine"
+                            )
+                            quarantine_handle = open(
+                                log.quarantine_path, "a", encoding="utf-8"
+                            )
+                        quarantine_handle.write(line.rstrip("\n") + "\n")
+                        log.quarantined += 1
+                    continue
+                yield tuple(record)
+    finally:
+        if quarantine_handle is not None:
+            quarantine_handle.close()
+
+
+def read_jsonl_records(
+    path: PathLike,
+    on_bad_record: str = "raise",
+    quarantine_path: Optional[PathLike] = None,
+) -> Tuple[List[Tuple], BadRecordLog]:
+    """Materialise a JSONL edge log; returns ``(records, bad_record_log)``.
+
+    The convenience wrapper the service's recovery and audit tooling uses:
+    ``records`` is the full list of ``(u, v)`` / ``(u, v, t)`` tuples and
+    the log carries the damage counters (a torn final line under
+    ``"skip"``/``"quarantine"`` shows up as ``skipped == 1`` with every
+    earlier record intact).
+    """
+    log = BadRecordLog()
+    records = list(
+        iter_jsonl_records(
+            path,
+            on_bad_record=on_bad_record,
+            bad_record_log=log,
+            quarantine_path=quarantine_path,
+        )
+    )
+    return records, log
 
 
 def read_edge_list(

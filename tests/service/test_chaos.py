@@ -1,0 +1,261 @@
+"""Fault-injection tests for the service's supervised failure handling.
+
+Armed :class:`~repro.testing.faults.FaultPlan` entries target the two
+service fault sites:
+
+* ``service-ingest`` fires at frame entry, *before* any engine mutation —
+  so a faulted frame is dropped whole and the post-fault estimate must
+  equal a reference run over exactly the delivered (non-faulted) frames;
+* ``service-checkpoint`` fires in the checkpoint path — failures must be
+  counted, survive, never damage earlier generations, and a later
+  checkpoint plus recovery must succeed.
+"""
+
+import asyncio
+
+import pytest
+
+from repro.core.config import ReptConfig
+from repro.core.state import GroupStateSet
+from repro.exceptions import ServiceError
+from repro.service import EstimationService, InProcessClient
+from repro.testing.faults import FaultPlan, FaultSpec, arm
+
+REPT = {"kind": "rept", "m": 8, "c": 16, "seed": 5}
+
+FRAMES = [
+    [[1, 2], [2, 3], [1, 3]],
+    [[3, 4], [2, 4], [1, 4]],
+    [[4, 5], [5, 6], [4, 6]],
+    [[1, 5], [2, 6], [3, 6]],
+]
+
+
+def reference_global(frames):
+    state = GroupStateSet(ReptConfig(m=8, c=16, seed=5))
+    delivered = 0
+    for frame in frames:
+        delivered += state.process_edges([tuple(e) for e in frame])
+    return state.estimate(delivered).global_count
+
+
+class TestIngestFaults:
+    def test_faulted_frame_drops_whole_session_restarts(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="service-ingest",
+                    action="raise",
+                    match={"tenant": "t"},
+                    skip=1,  # second frame faults
+                    times=1,
+                ),
+            )
+        )
+
+        async def scenario():
+            service = EstimationService(checkpoint_root=tmp_path / "ckpt")
+            client = InProcessClient(service)
+            await client.open("t", engine=REPT)
+            for frame in FRAMES:
+                await client.ingest("t", frame)
+            await service.sessions["t"].queue.join()
+            stats = (await client.stats("t"))["stats"]
+            result = await client.query_global("t")
+            return stats, result
+
+        with arm(plan, tmp_path / "faults"):
+            stats, result = asyncio.run(scenario())
+
+        assert stats["ingest_errors"] == 1
+        assert stats["dropped_frames"] == 1
+        assert stats["restarts"] == 1
+        assert stats["state"] == "running"
+        assert stats["delivered"] == 9
+        # No torn state: the estimate equals a run over the frames that
+        # were actually delivered (frame 1 dropped whole, never half-applied).
+        expected = reference_global([FRAMES[0], FRAMES[2], FRAMES[3]])
+        assert result["global_count"] == expected
+
+    def test_repeated_faults_degrade_to_failed_per_policy(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="service-ingest",
+                    action="raise",
+                    match={"tenant": "t"},
+                    times=10,  # every frame faults
+                ),
+            )
+        )
+
+        async def scenario():
+            service = EstimationService(
+                checkpoint_root=tmp_path / "ckpt", restart_limit=2
+            )
+            client = InProcessClient(service)
+            await client.open("t", engine=REPT)
+            for frame in FRAMES:
+                await client.ingest("t", frame)
+            await service.sessions["t"].queue.join()
+            stats = (await client.stats("t"))["stats"]
+            with pytest.raises(ServiceError, match="failed"):
+                await client.ingest("t", FRAMES[0])
+            # Queries still work over the delivered (empty) prefix.
+            result = await client.query_global("t")
+            return stats, result
+
+        with arm(plan, tmp_path / "faults"):
+            stats, result = asyncio.run(scenario())
+
+        assert stats["state"] == "failed"
+        assert stats["restarts"] == 2
+        assert stats["ingest_errors"] == 3  # budget + the frame that tipped it
+        assert result["edges_processed"] == 0
+
+    def test_faults_are_tenant_scoped(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="service-ingest",
+                    action="raise",
+                    match={"tenant": "victim"},
+                    times=10,
+                ),
+            )
+        )
+
+        async def scenario():
+            service = EstimationService()
+            client = InProcessClient(service)
+            await client.open("victim", engine=REPT)
+            await client.open("bystander", engine=REPT)
+            for frame in FRAMES[:2]:
+                await client.ingest("victim", frame)
+                await client.ingest("bystander", frame)
+            for session in service.sessions.values():
+                await session.queue.join()
+            return (
+                (await client.stats("victim"))["stats"],
+                (await client.stats("bystander"))["stats"],
+            )
+
+        with arm(plan, tmp_path / "faults"):
+            victim, bystander = asyncio.run(scenario())
+
+        assert victim["delivered"] == 0
+        assert victim["ingest_errors"] == 2
+        assert bystander["delivered"] == 6
+        assert bystander["ingest_errors"] == 0
+
+
+class TestCheckpointFaults:
+    def test_checkpoint_io_error_counted_and_survived(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="service-checkpoint",
+                    action="io-error",
+                    match={"tenant": "t"},
+                    times=1,
+                ),
+            )
+        )
+
+        async def scenario():
+            service = EstimationService(checkpoint_root=tmp_path / "ckpt")
+            client = InProcessClient(service)
+            await client.open("t", engine=REPT)
+            await client.ingest("t", FRAMES[0])
+            await service.sessions["t"].queue.join()
+            with pytest.raises(ServiceError) as excinfo:
+                await client.checkpoint("t")
+            assert excinfo.value.code == "checkpoint-failed"
+            stats_mid = (await client.stats("t"))["stats"]
+            # Ingestion continues and a later checkpoint succeeds.
+            await client.ingest("t", FRAMES[1])
+            await service.sessions["t"].queue.join()
+            done = await client.checkpoint("t")
+            return stats_mid, done
+
+        with arm(plan, tmp_path / "faults"):
+            stats_mid, done = asyncio.run(scenario())
+
+        assert stats_mid["checkpoint_failures"] == 1
+        assert stats_mid["state"] == "running"
+        assert done["failures"] == 0
+        assert done["checkpoints"]["t"]["stream_offset"] == 6
+
+    def test_failed_checkpoint_never_damages_earlier_generations(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="service-checkpoint",
+                    action="io-error",
+                    match={"tenant": "t"},
+                    skip=1,  # first checkpoint succeeds, second faults
+                    times=1,
+                ),
+            )
+        )
+        root = tmp_path / "ckpt"
+
+        async def first_life():
+            service = EstimationService(checkpoint_root=root)
+            client = InProcessClient(service)
+            await client.open("t", engine=REPT)
+            await client.ingest("t", FRAMES[0])
+            await service.sessions["t"].queue.join()
+            await client.checkpoint("t")  # generation 0, offset 3
+            await client.ingest("t", FRAMES[1])
+            await service.sessions["t"].queue.join()
+            with pytest.raises(ServiceError):
+                await client.checkpoint("t")  # injected io-error
+
+        async def second_life():
+            service = EstimationService(checkpoint_root=root)
+            recovered = service.recover_sessions()
+            client = InProcessClient(service)
+            result = await client.query_global("t")
+            return recovered, result
+
+        with arm(plan, tmp_path / "faults"):
+            asyncio.run(first_life())
+        recovered, result = asyncio.run(second_life())
+
+        # Recovery lands on the intact generation 0 (offset 3).
+        assert recovered == [("t", 3)]
+        assert result["global_count"] == reference_global([FRAMES[0]])
+        assert result["edges_processed"] == 3
+
+    def test_periodic_checkpoint_fault_does_not_kill_ingest_loop(self, tmp_path):
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="service-checkpoint",
+                    action="io-error",
+                    match={"tenant": "t"},
+                    times=100,
+                ),
+            )
+        )
+
+        async def scenario():
+            service = EstimationService(
+                checkpoint_root=tmp_path / "ckpt", checkpoint_every_frames=1
+            )
+            client = InProcessClient(service)
+            await client.open("t", engine=REPT)
+            for frame in FRAMES:
+                await client.ingest("t", frame)
+            await service.sessions["t"].queue.join()
+            return (await client.stats("t"))["stats"]
+
+        with arm(plan, tmp_path / "faults"):
+            stats = asyncio.run(scenario())
+
+        # Every periodic attempt failed, every frame still delivered.
+        assert stats["checkpoint_failures"] == 4
+        assert stats["ingest_errors"] == 0
+        assert stats["delivered"] == 12
+        assert stats["state"] == "running"

@@ -1,0 +1,81 @@
+"""Wire-protocol unit tests: framing, validation, response builders."""
+
+import pytest
+
+from repro.exceptions import ProtocolError
+from repro.service.protocol import (
+    OPERATIONS,
+    PROTOCOL_VERSION,
+    decode_line,
+    encode_line,
+    error_response,
+    ok_response,
+    validate_request,
+)
+
+
+class TestFraming:
+    def test_encode_decode_round_trip(self):
+        message = {"v": PROTOCOL_VERSION, "op": "ingest", "edges": [[1, 2], ["a", "b"]]}
+        line = encode_line(message)
+        assert line.endswith(b"\n")
+        assert b"\n" not in line[:-1]
+        assert decode_line(line) == message
+
+    def test_decode_rejects_non_json(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"{not json\n")
+
+    def test_decode_rejects_non_object(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"[1, 2, 3]\n")
+
+    def test_decode_rejects_undecodable_bytes(self):
+        with pytest.raises(ProtocolError):
+            decode_line(b"\xff\xfe\n")
+
+
+class TestValidation:
+    def test_every_listed_op_validates(self):
+        for op in OPERATIONS:
+            assert validate_request({"v": PROTOCOL_VERSION, "op": op}) == op
+
+    def test_version_defaults_to_current(self):
+        assert validate_request({"op": "hello"}) == "hello"
+
+    def test_version_mismatch_rejected(self):
+        with pytest.raises(ProtocolError, match="version"):
+            validate_request({"v": PROTOCOL_VERSION + 1, "op": "hello"})
+
+    def test_missing_op_rejected(self):
+        with pytest.raises(ProtocolError, match="op"):
+            validate_request({"v": PROTOCOL_VERSION})
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ProtocolError, match="unknown op"):
+            validate_request({"op": "explode"})
+
+    def test_bad_id_type_rejected(self):
+        with pytest.raises(ProtocolError, match="id"):
+            validate_request({"op": "hello", "id": [1]})
+
+
+class TestResponses:
+    def test_ok_echoes_id(self):
+        response = ok_response({"op": "hello", "id": 9}, server="x")
+        assert response == {"v": PROTOCOL_VERSION, "ok": True, "id": 9, "server": "x"}
+
+    def test_ok_without_id(self):
+        assert "id" not in ok_response({"op": "hello"})
+
+    def test_error_carries_code_and_message(self):
+        response = error_response({"op": "ingest", "id": "q1"}, "unknown-tenant", "nope")
+        assert response["ok"] is False
+        assert response["code"] == "unknown-tenant"
+        assert response["id"] == "q1"
+
+    def test_error_with_unknown_code_degrades_to_internal(self):
+        assert error_response(None, "made-up", "x")["code"] == "internal"
+
+    def test_error_for_undecodable_request_has_no_id(self):
+        assert "id" not in error_response(None, "bad-request", "x")

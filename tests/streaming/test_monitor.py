@@ -295,6 +295,65 @@ class TestSealingAndLateness:
         assert results[1].complete is False
 
 
+class TestServiceTimerIdempotency:
+    """The service layer ticks flush()/advance_watermark() on timers: both
+    must be re-entrant and idempotent when no new panes arrived."""
+
+    def test_double_flush_emits_nothing_new(self):
+        monitor = WindowedTriangleMonitor(10.0, config=CONFIG, origin=0.0)
+        monitor.ingest([(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+        first = monitor.flush()
+        assert [r.index for r in first] == [0]
+        emitted = len(monitor.results)
+        assert monitor.flush() == []
+        assert monitor.flush() == []
+        assert len(monitor.results) == emitted
+
+    def test_non_advancing_watermark_ticks_emit_nothing(self):
+        monitor = WindowedTriangleMonitor(10.0, config=CONFIG, origin=0.0)
+        monitor.ingest([(0, 1, 1.0), (1, 2, 2.0)])
+        closed = monitor.advance_watermark(10.0)
+        assert [r.index for r in closed] == [0]
+        emitted = len(monitor.results)
+        # Repeated identical (and stale) ticks: no duplicates, no movement.
+        for tick in (10.0, 10.0, 4.0, 10.0):
+            assert monitor.advance_watermark(tick) == []
+        assert monitor.watermark == 10.0
+        assert len(monitor.results) == emitted
+
+    def test_watermark_tick_after_flush_never_reemits(self):
+        monitor = WindowedTriangleMonitor(10.0, config=CONFIG, origin=0.0)
+        monitor.ingest([(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+        flushed = monitor.flush()
+        assert [r.index for r in flushed] == [0]
+        # flush() emitted window 0 without sealing its panes; a later timer
+        # tick walking the seal must not emit the same window index again.
+        assert monitor.advance_watermark(100.0) == []
+        assert [r.index for r in monitor.results] == [0]
+        assert monitor.flush() == []
+
+    def test_flush_tick_interleaving_with_sliding_windows(self):
+        monitor = WindowedTriangleMonitor(
+            20.0, slide_seconds=10.0, config=CONFIG, origin=0.0
+        )
+        monitor.ingest([(0, 1, 1.0), (1, 2, 12.0), (2, 0, 15.0)])
+        flushed = monitor.flush()
+        assert [r.index for r in flushed] == [0, 1]
+        assert monitor.advance_watermark(500.0) == []
+        assert monitor.flush() == []
+        assert [r.index for r in monitor.results] == [0, 1]
+
+    def test_factory_engine_flush_then_tick(self):
+        monitor = WindowedTriangleMonitor(
+            10.0, estimator_factory=lambda s: ExactStreamingCounter(), origin=0.0
+        )
+        monitor.ingest([(0, 1, 1.0), (1, 2, 2.0), (2, 0, 3.0)])
+        assert [r.index for r in monitor.flush()] == [0]
+        assert monitor.advance_watermark(50.0) == []
+        assert monitor.flush() == []
+        assert len(monitor.results) == 1
+
+
 class TestColumnarAndEngines:
     def test_ingest_columns_accepts_numpy(self):
         us = np.array([0, 1, 2, 0], dtype=np.int64)

@@ -70,3 +70,106 @@ class TestRoundTrip:
         path.write_text("# header\n1,2\n2,3\n")
         stream = read_edge_list(path, delimiter=",")
         assert stream.edges() == [(1, 2), (2, 3)]
+
+
+class TestJsonlEdgeLog:
+    """Append-mode JSONL replay/audit log: writer + reader round trips."""
+
+    def test_round_trip_edges_and_timestamped_records(self, tmp_path):
+        from repro.streaming.readers import read_jsonl_records
+        from repro.streaming.writers import JsonlEdgeLogWriter
+
+        path = tmp_path / "audit.jsonl"
+        with JsonlEdgeLogWriter(path) as writer:
+            writer.append(1, 2)
+            writer.append(2, 3, t=1.5)
+            writer.append("host-a", "host-b")
+            assert writer.append_batch([(5, 6), (6, 7, 2.25)]) == 2
+            assert writer.records_written == 5
+        records, log = read_jsonl_records(path)
+        assert records == [
+            (1, 2),
+            (2, 3, 1.5),
+            ("host-a", "host-b"),
+            (5, 6),
+            (6, 7, 2.25),
+        ]
+        assert log.skipped == 0
+
+    def test_append_mode_continues_existing_log(self, tmp_path):
+        from repro.streaming.readers import read_jsonl_records
+        from repro.streaming.writers import JsonlEdgeLogWriter
+
+        path = tmp_path / "audit.jsonl"
+        with JsonlEdgeLogWriter(path) as writer:
+            writer.append(1, 2)
+        with JsonlEdgeLogWriter(path) as writer:  # a recovered process
+            writer.append(3, 4)
+        records, _ = read_jsonl_records(path)
+        assert records == [(1, 2), (3, 4)]
+
+    def test_explicit_flush_and_fsync(self, tmp_path):
+        from repro.streaming.readers import read_jsonl_records
+        from repro.streaming.writers import JsonlEdgeLogWriter
+
+        path = tmp_path / "audit.jsonl"
+        writer = JsonlEdgeLogWriter(path)
+        try:
+            writer.append(1, 2)
+            writer.flush(sync=True)
+            # Durable before close: a second reader sees the record now.
+            records, _ = read_jsonl_records(path)
+            assert records == [(1, 2)]
+        finally:
+            writer.close()
+        with pytest.raises(ValueError, match="closed"):
+            writer.append(3, 4)
+
+    def test_torn_final_line_recovered_under_skip(self, tmp_path):
+        from repro.streaming.readers import read_jsonl_records
+        from repro.streaming.writers import JsonlEdgeLogWriter
+        from repro.testing.faults import truncate_file
+
+        path = tmp_path / "audit.jsonl"
+        with JsonlEdgeLogWriter(path) as writer:
+            for i in range(10):
+                writer.append(i, i + 1, t=float(i))
+        # Tear the final line mid-record, as a crash mid-append would.
+        truncate_file(path, path.stat().st_size - 7)
+        with pytest.raises(StreamFormatError):
+            read_jsonl_records(path)  # "raise" is loud by default
+        records, log = read_jsonl_records(path, on_bad_record="skip")
+        assert records == [(i, i + 1, float(i)) for i in range(9)]
+        assert log.skipped == 1
+        assert log.quarantined == 0
+
+    def test_quarantine_policy_keeps_damaged_lines(self, tmp_path):
+        from repro.streaming.readers import read_jsonl_records
+
+        path = tmp_path / "audit.jsonl"
+        path.write_text('[1, 2]\nnot json at all\n{"u": 1}\n[3, 4, 0.5]\n')
+        records, log = read_jsonl_records(path, on_bad_record="quarantine")
+        assert records == [(1, 2), (3, 4, 0.5)]
+        assert log.skipped == 2
+        assert log.quarantined == 2
+        assert log.quarantine_path is not None
+        quarantined = log.quarantine_path.read_text().splitlines()
+        assert quarantined == ["not json at all", '{"u": 1}']
+
+    def test_blank_lines_are_not_damage(self, tmp_path):
+        from repro.streaming.readers import read_jsonl_records
+
+        path = tmp_path / "audit.jsonl"
+        path.write_text("[1, 2]\n\n[2, 3]\n")
+        records, log = read_jsonl_records(path)
+        assert records == [(1, 2), (2, 3)]
+        assert log.skipped == 0
+
+    def test_wrong_arity_rejected(self, tmp_path):
+        from repro.streaming.readers import read_jsonl_records
+
+        path = tmp_path / "audit.jsonl"
+        path.write_text("[1]\n[1, 2, 3, 4]\n[1, 2]\n")
+        records, log = read_jsonl_records(path, on_bad_record="skip")
+        assert records == [(1, 2)]
+        assert log.skipped == 2

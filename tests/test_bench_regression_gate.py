@@ -189,3 +189,125 @@ class TestCommandLine:
             gate.main(
                 ["--baseline", str(base), "--fresh", str(base), "--tolerance", "1.5"]
             )
+
+
+def _service_report(aggregate_eps, calibration_eps, shed_frames=0):
+    return {
+        "benchmark": "service-loadgen",
+        "aggregate_eps": aggregate_eps,
+        "calibration_eps": calibration_eps,
+        "service_to_raw_ratio": round(aggregate_eps / calibration_eps, 4),
+        "shed_frames": shed_frames,
+        "query": {"queries": 40, "p50_ms": 0.5, "p95_ms": 1.2, "p99_ms": 2.0},
+    }
+
+
+SERVICE_BASELINE = _service_report(80_000.0, 160_000.0)
+
+
+def _run_service(baseline, fresh, **kwargs):
+    out = io.StringIO()
+    code = gate.check_service_regression(baseline, fresh, out=out, **kwargs)
+    return code, out.getvalue()
+
+
+class TestServiceGate:
+    def test_parity_passes(self):
+        code, text = _run_service(
+            SERVICE_BASELINE, _service_report(80_000.0, 160_000.0), tolerance=0.20
+        )
+        assert code == 0
+        assert "PASS" in text
+
+    def test_simulated_30pct_regression_fails(self):
+        code, text = _run_service(
+            SERVICE_BASELINE, _service_report(56_000.0, 160_000.0), tolerance=0.20
+        )
+        assert code == 1
+        assert "REGRESSED" in text
+
+    def test_within_tolerance_regression_passes(self):
+        code, _ = _run_service(
+            SERVICE_BASELINE, _service_report(68_000.0, 160_000.0), tolerance=0.20
+        )
+        assert code == 0
+
+    def test_uniform_hardware_slowdown_passes_with_calibration(self):
+        # A slower runner halves raw estimator ingest and service delivery
+        # alike; the calibration factor absorbs it.
+        code, text = _run_service(
+            SERVICE_BASELINE, _service_report(40_000.0, 80_000.0), tolerance=0.20
+        )
+        assert code == 0
+        assert "calibration=0.500" in text
+
+    def test_service_only_regression_not_masked_by_calibration(self):
+        # Raw ingest at parity, service delivery down 30%: a genuine
+        # regression in the service stack.
+        code, _ = _run_service(
+            SERVICE_BASELINE, _service_report(56_000.0, 160_000.0), tolerance=0.20
+        )
+        assert code == 1
+
+    def test_no_calibrate_gates_absolute_throughput(self):
+        fresh = _service_report(40_000.0, 80_000.0)
+        code, _ = _run_service(
+            SERVICE_BASELINE, fresh, tolerance=0.20, calibrate=False
+        )
+        assert code == 1
+
+    def test_absurd_calibration_factor_aborts(self):
+        fresh = _service_report(4_000.0, 8_000.0)
+        code, text = _run_service(SERVICE_BASELINE, fresh, tolerance=0.20)
+        assert code == 2
+        assert "calibration factor" in text
+
+    def test_missing_aggregate_eps_is_an_input_error(self):
+        code, text = _run_service(SERVICE_BASELINE, {"query": {}}, tolerance=0.20)
+        assert code == 2
+        assert "aggregate_eps" in text
+
+    def test_shed_frames_reported(self):
+        _, text = _run_service(
+            SERVICE_BASELINE,
+            _service_report(80_000.0, 160_000.0, shed_frames=3),
+            tolerance=0.20,
+        )
+        assert "shed 3 frame(s)" in text
+
+
+class TestServiceCommandLine:
+    def _write(self, tmp_path, name, payload):
+        path = tmp_path / name
+        path.write_text(json.dumps(payload))
+        return path
+
+    def test_main_autodetects_service_payloads(self, tmp_path):
+        base = self._write(tmp_path, "base.json", SERVICE_BASELINE)
+        same = self._write(
+            tmp_path, "same.json", _service_report(80_000.0, 160_000.0)
+        )
+        bad = self._write(
+            tmp_path, "bad.json", _service_report(56_000.0, 160_000.0)
+        )
+        assert gate.main(["--baseline", str(base), "--fresh", str(same)]) == 0
+        assert gate.main(["--baseline", str(base), "--fresh", str(bad)]) == 1
+
+    def test_explicit_kind_flag(self, tmp_path):
+        base = self._write(tmp_path, "base.json", SERVICE_BASELINE)
+        same = self._write(
+            tmp_path, "same.json", _service_report(80_000.0, 160_000.0)
+        )
+        command = ["--baseline", str(base), "--fresh", str(same)]
+        assert gate.main(command + ["--kind", "service"]) == 0
+
+    def test_mixed_payload_kinds_is_an_input_error(self, tmp_path):
+        ingest = self._write(tmp_path, "ingest.json", _payload(BASELINE))
+        service = self._write(tmp_path, "service.json", SERVICE_BASELINE)
+        assert gate.main(["--baseline", str(ingest), "--fresh", str(service)]) == 2
+
+    def test_undetectable_payload_is_an_input_error(self, tmp_path):
+        base = self._write(tmp_path, "base.json", SERVICE_BASELINE)
+        mystery = self._write(tmp_path, "mystery.json", {"what": "is this"})
+        with pytest.raises(SystemExit, match="cannot detect"):
+            gate.main(["--baseline", str(base), "--fresh", str(mystery)])
