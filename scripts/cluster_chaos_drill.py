@@ -1,0 +1,161 @@
+#!/usr/bin/env python
+"""Membership-change chaos drill for the elastic shard coordinator.
+
+The scripted version of the cluster's correctness contract: a worker
+process SIGKILLed mid-stream (no cleanup — real `kill -9` semantics) and
+a replacement joined a few batches later must leave the final estimate
+**bit-identical** to the serial driver, over an (m, c) grid that covers
+every group shape (single partial group, equal groups, ragged trailing
+group).  Recovery must also be *observable*: the drill fails if
+``worker_deaths``, ``worker_joins`` or ``shard_migrations`` stayed zero
+where the script demands them.
+
+Per (m, c) cell:
+
+1. stream the first ``--kill-at`` batches into a 2-worker coordinator;
+2. ``SIGKILL`` the worker owning the most shards (detected by the
+   coordinator on the next interaction, shards migrated from restore
+   points + WAL replay);
+3. stream until ``--join-at``, then admit a replacement worker (live
+   migration onto the joiner);
+4. stream the remainder, estimate, and compare against
+   ``run_rept(..., backend="serial")``: global count, local counts and
+   edges stored must match exactly — not approximately.
+
+Usage::
+
+    PYTHONPATH=src python scripts/cluster_chaos_drill.py
+    PYTHONPATH=src python scripts/cluster_chaos_drill.py \\
+        --edges 3000 --grid 4:3,8:24,16:40
+
+Exits non-zero on the first divergence or missing counter.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from repro.cluster import ElasticCoordinator
+from repro.core.config import ReptConfig
+from repro.core.parallel import run_rept
+
+#: Default (m, c) grid: c < m, c == m, c = k*m, and ragged shapes.
+DEFAULT_GRID = "4:3,4:4,4:12,8:24,8:30,16:40"
+
+#: Nodes probed for local-count bit-identity.
+PROBE_NODES = (0, 1, 2, 17, 42, 77)
+
+
+def make_edges(n: int, nodes: int, seed: int):
+    rng = random.Random(seed)
+    edges = []
+    while len(edges) < n:
+        u, v = rng.randrange(nodes), rng.randrange(nodes)
+        if u != v:
+            edges.append((u, v))
+    return edges
+
+
+def drill_cell(m: int, c: int, args: argparse.Namespace) -> dict:
+    config = ReptConfig(m=m, c=c, seed=args.seed + m * 100 + c, track_local=True)
+    edges = make_edges(args.edges, args.nodes, args.seed + m + c)
+    reference = run_rept(edges, config, backend="serial")
+
+    with ElasticCoordinator(
+        config,
+        num_workers=2,
+        snapshot_every=args.snapshot_every,
+        wal_capacity=args.wal_capacity,
+    ) as coord:
+        for index, start in enumerate(range(0, len(edges), args.batch)):
+            if index == args.kill_at:
+                loads = coord.shard_map.by_worker()
+                victim = max(loads, key=lambda w: (len(loads[w]), w))
+                coord.kill_worker(victim)
+            if index == args.join_at:
+                coord.add_worker()
+            coord.submit(edges[start : start + args.batch])
+        estimate = coord.estimate()
+        counters = dict(coord.counters)
+
+    failures = []
+    if estimate.global_count != reference.global_count:
+        failures.append(
+            f"global {estimate.global_count!r} != {reference.global_count!r}"
+        )
+    if estimate.edges_processed != reference.edges_processed:
+        failures.append("edges_processed diverged")
+    if estimate.edges_stored != reference.edges_stored:
+        failures.append("edges_stored diverged")
+    for node in PROBE_NODES:
+        if estimate.local_count(node) != reference.local_count(node):
+            failures.append(f"local_count({node}) diverged")
+    for counter in ("worker_deaths", "worker_joins"):
+        if counters[counter] < 1:
+            failures.append(f"{counter} stayed zero — drill did not bite")
+    if counters["shard_migrations"] < 1:
+        failures.append("shard_migrations stayed zero — no live migration")
+    return {
+        "m": m,
+        "c": c,
+        "estimate": estimate,
+        "counters": counters,
+        "failures": failures,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--edges", type=int, default=2000)
+    parser.add_argument("--nodes", type=int, default=120)
+    parser.add_argument("--batch", type=int, default=100)
+    parser.add_argument("--seed", type=int, default=2026)
+    parser.add_argument("--kill-at", type=int, default=6,
+                        help="batch index before which a worker is SIGKILLed")
+    parser.add_argument("--join-at", type=int, default=12,
+                        help="batch index before which a replacement joins")
+    parser.add_argument("--snapshot-every", type=int, default=4)
+    parser.add_argument("--wal-capacity", type=int, default=32)
+    parser.add_argument("--grid", default=DEFAULT_GRID,
+                        help="comma-separated m:c cells")
+    args = parser.parse_args(argv)
+
+    if args.join_at <= args.kill_at:
+        parser.error("--join-at must come after --kill-at")
+    if args.kill_at >= args.edges // args.batch:
+        parser.error("--kill-at is past the end of the stream")
+
+    cells = []
+    for token in args.grid.split(","):
+        m_text, _, c_text = token.strip().partition(":")
+        cells.append((int(m_text), int(c_text)))
+
+    print(f"[drill] {len(cells)} (m, c) cells, {args.edges} edges each, "
+          f"kill@batch {args.kill_at}, join@batch {args.join_at}")
+    bad = 0
+    for m, c in cells:
+        result = drill_cell(m, c, args)
+        counters = result["counters"]
+        status = "ok " if not result["failures"] else "FAIL"
+        print(
+            f"[drill] {status} m={m:<3} c={c:<3} "
+            f"global={result['estimate'].global_count:<14.4f} "
+            f"deaths={counters['worker_deaths']} "
+            f"joins={counters['worker_joins']} "
+            f"migrations={counters['shard_migrations']} "
+            f"epoch={int(result['estimate'].metadata['shard_map_epoch'])}"
+        )
+        for failure in result["failures"]:
+            bad += 1
+            print(f"[drill]     !! {failure}")
+    if bad:
+        print(f"[drill] FAILED: {bad} assertion(s) across the grid")
+        return 1
+    print("[drill] all cells bit-identical through kill + join — PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,149 @@
+"""Versioned shard-to-worker assignment with deterministic rebalancing.
+
+A *shard* is one processor group of a REPT configuration — the natural
+migration unit, because each group's counters are a deterministic function
+of (stream, group hash seed, group size) alone, independent of every other
+group.  The :class:`ShardMap` owns the pure bookkeeping: which worker owns
+which shard, under which *epoch* (a version number bumped on every
+membership change so stale routing decisions are detectable), and how the
+assignment changes when workers join or leave.
+
+Rebalancing is deterministic and minimal-movement:
+
+* the initial placement round-robins shard ids over sorted worker ids;
+* a **join** steals the highest-numbered shard from the currently
+  most-loaded worker (ties broken by smallest worker id) until the new
+  worker is within one shard of the donors — no shard moves between two
+  surviving workers;
+* a **leave** hands each orphaned shard (in shard-id order) to the
+  currently least-loaded survivor (ties broken by smallest worker id);
+  when the last worker leaves, shards become unowned (``owner`` is None)
+  and the coordinator degrades to inline execution.
+
+Every mutation returns the exact move list so the coordinator can migrate
+precisely the shards that changed hands, and nothing else.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.exceptions import MembershipError
+
+
+class ShardMap:
+    """Assignment of ``num_shards`` shard ids to a dynamic worker set."""
+
+    def __init__(self, num_shards: int, worker_ids: List[int]) -> None:
+        if num_shards < 1:
+            raise MembershipError(f"need at least one shard, got {num_shards}")
+        if len(set(worker_ids)) != len(worker_ids):
+            raise MembershipError(f"duplicate worker ids in {worker_ids}")
+        self.num_shards = num_shards
+        self.epoch = 1
+        self._workers = sorted(worker_ids)
+        self._assignment: Dict[int, Optional[int]] = {}
+        if self._workers:
+            for shard in range(num_shards):
+                self._assignment[shard] = self._workers[shard % len(self._workers)]
+        else:
+            for shard in range(num_shards):
+                self._assignment[shard] = None
+
+    # -- queries -------------------------------------------------------------
+
+    @property
+    def workers(self) -> List[int]:
+        """Live worker ids, sorted."""
+        return list(self._workers)
+
+    def owner(self, shard: int) -> Optional[int]:
+        """The worker owning ``shard`` (None = unowned, pool is empty)."""
+        try:
+            return self._assignment[shard]
+        except KeyError:
+            raise MembershipError(
+                f"unknown shard {shard} (map has {self.num_shards})"
+            ) from None
+
+    def shards_of(self, worker_id: int) -> List[int]:
+        """Shard ids owned by ``worker_id``, sorted."""
+        return sorted(
+            shard for shard, owner in self._assignment.items() if owner == worker_id
+        )
+
+    def assignment(self) -> Dict[int, Optional[int]]:
+        """A copy of the full shard → worker mapping."""
+        return dict(self._assignment)
+
+    def by_worker(self) -> Dict[int, List[int]]:
+        """Routing view: worker id → sorted shard ids (unowned excluded)."""
+        routes: Dict[int, List[int]] = {worker: [] for worker in self._workers}
+        for shard in range(self.num_shards):
+            owner = self._assignment[shard]
+            if owner is not None:
+                routes[owner].append(shard)
+        return routes
+
+    def _loads(self) -> Dict[int, int]:
+        loads = {worker: 0 for worker in self._workers}
+        for owner in self._assignment.values():
+            if owner in loads:
+                loads[owner] += 1
+        return loads
+
+    # -- membership changes --------------------------------------------------
+
+    def add_worker(self, worker_id: int) -> Dict[int, Tuple[Optional[int], int]]:
+        """Admit ``worker_id``; returns ``{shard: (donor, worker_id)}`` moves.
+
+        Donor is None for shards that were unowned (the pool was empty).
+        Bumps the epoch even when nothing moves — membership itself changed.
+        """
+        if worker_id in self._workers:
+            raise MembershipError(f"worker {worker_id} is already a member")
+        self._workers = sorted(self._workers + [worker_id])
+        moves: Dict[int, Tuple[Optional[int], int]] = {}
+        for shard in range(self.num_shards):
+            if self._assignment[shard] is None:
+                self._assignment[shard] = worker_id
+                moves[shard] = (None, worker_id)
+        while True:
+            loads = self._loads()
+            peak = max(loads.values())
+            if loads[worker_id] >= peak - 1:
+                break
+            donor = min(w for w, load in loads.items() if load == peak)
+            shard = max(self.shards_of(donor))
+            self._assignment[shard] = worker_id
+            moves[shard] = (donor, worker_id)
+        self.epoch += 1
+        return moves
+
+    def remove_worker(self, worker_id: int) -> Dict[int, Optional[int]]:
+        """Retire ``worker_id``; returns ``{orphan shard: new owner}``.
+
+        New owner is None when the last worker left — the coordinator is
+        then responsible for hosting the shards inline.
+        """
+        if worker_id not in self._workers:
+            raise MembershipError(f"worker {worker_id} is not a member")
+        orphans = self.shards_of(worker_id)
+        self._workers = [w for w in self._workers if w != worker_id]
+        for shard in orphans:
+            self._assignment[shard] = None
+        moves: Dict[int, Optional[int]] = {}
+        for shard in orphans:
+            if self._workers:
+                loads = self._loads()
+                # Orphans placed so far count toward load, levelling as we go.
+                trough = min(loads[w] for w in self._workers)
+                target: Optional[int] = min(
+                    w for w in self._workers if loads[w] == trough
+                )
+            else:
+                target = None
+            self._assignment[shard] = target
+            moves[shard] = target
+        self.epoch += 1
+        return moves

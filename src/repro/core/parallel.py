@@ -105,9 +105,16 @@ from repro.types import EdgeTuple, NodeId
 
 ParallelBackend = str
 """One of ``"serial"``, ``"thread"``, ``"process"``, ``"chunked-serial"``,
-``"chunked-process"``."""
+``"chunked-process"``, ``"chunked-elastic"``."""
 
-_BACKENDS = ("serial", "thread", "process", "chunked-serial", "chunked-process")
+_BACKENDS = (
+    "serial",
+    "thread",
+    "process",
+    "chunked-serial",
+    "chunked-process",
+    "chunked-elastic",
+)
 
 #: Smallest chunk the auto-tuner will produce; below this the per-task
 #: overhead (pickling, pool dispatch, snapshot seeding) dominates the work.
@@ -399,6 +406,21 @@ def _task_jitter_seed(base: int, key: Tuple[int, int]) -> int:
     return (base * 1000003 + key[0] * 8191 + key[1]) & 0x7FFFFFFF
 
 
+def task_retry_delays(
+    policy: SupervisionPolicy, key: Tuple[int, int]
+) -> List[float]:
+    """The complete backoff schedule of one (group, chunk) task key.
+
+    A pure function of (policy, key) — deliberately independent of pool
+    lifetime, so a task retried after a pool rebuild sleeps exactly the
+    delay it would have slept had the pool survived.  Tests pin both the
+    same-pool and the post-rebuild retry path against this schedule.
+    """
+    return policy.retry.reseeded(
+        _task_jitter_seed(policy.retry.seed, key)
+    ).delays()
+
+
 def _supervised_phase(
     make_pool: Callable[[], ProcessPoolExecutor],
     tasks: Dict[Tuple[int, int], Tuple[Callable, Tuple]],
@@ -427,12 +449,10 @@ def _supervised_phase(
     results: Dict[Tuple[int, int], object] = {}
     pending = set(tasks)
     attempts = {key: 0 for key in tasks}
-    delays = {
-        key: policy.retry.reseeded(
-            _task_jitter_seed(policy.retry.seed, key)
-        ).delays()
-        for key in tasks
-    }
+    # Computed once per phase, never per pool: a rebuild resubmits pending
+    # tasks but their attempt counters and backoff schedules carry over,
+    # so retry timing is a function of the task key alone.
+    delays = {key: task_retry_delays(policy, key) for key in tasks}
 
     def run_inline(key: Tuple[int, int], cause: Optional[BaseException]) -> None:
         if not policy.allow_inline_fallback:
@@ -804,6 +824,50 @@ def advance_state_chunked(
 # -- public driver -----------------------------------------------------------
 
 
+def _run_elastic(
+    edge_list: List[EdgeTuple],
+    config: ReptConfig,
+    max_workers: Optional[int],
+    chunk_size: Optional[int],
+    supervision: Optional[SupervisionPolicy],
+) -> TriangleEstimate:
+    """Drive the stream through the elastic shard coordinator.
+
+    Shards (one per processor group) live on long-running worker processes
+    and survive worker death/hang via snapshot restore + WAL replay (see
+    :mod:`repro.cluster.coordinator`); the supervision policy supplies the
+    retry/backoff and hang-detection budgets.  ``allow_inline_fallback``
+    governs the end state: when every worker died and shards finished the
+    stream hosted inline, ``False`` turns that degraded-but-correct result
+    into :class:`~repro.exceptions.WorkerFailedError`.
+    """
+    # Local import: repro.cluster builds on core + durability; importing it
+    # lazily keeps the core layer import-light and cycle-proof.
+    from repro.cluster import ElasticCoordinator
+
+    policy = supervision if supervision is not None else DEFAULT_SUPERVISION
+    num_groups = len(config.group_sizes())
+    workers = max_workers or min(num_groups, os.cpu_count() or 1)
+    size = chunk_size or auto_chunk_size(len(edge_list), workers, num_groups)
+    timeout = policy.worker_timeout if policy.worker_timeout is not None else 30.0
+    with ElasticCoordinator(
+        config,
+        num_workers=workers,
+        worker_timeout=timeout,
+        retry=policy.retry,
+    ) as coordinator:
+        for start in range(0, len(edge_list), size):
+            coordinator.submit(edge_list[start : start + size])
+        estimate = coordinator.estimate()
+    if estimate.metadata.get("degraded") and not policy.allow_inline_fallback:
+        raise WorkerFailedError(
+            "elastic pool died entirely and inline fallback is disabled "
+            f"(worker_deaths={estimate.metadata.get('worker_deaths')})"
+        )
+    estimate.metadata["chunk_size"] = float(size)
+    return estimate
+
+
 def run_rept(
     edges: Iterable[EdgeTuple],
     config: ReptConfig,
@@ -823,8 +887,10 @@ def run_rept(
     config:
         REPT parameters.
     backend:
-        ``"serial"``, ``"thread"``, ``"process"``, ``"chunked-serial"`` or
-        ``"chunked-process"``.
+        ``"serial"``, ``"thread"``, ``"process"``, ``"chunked-serial"``,
+        ``"chunked-process"`` or ``"chunked-elastic"`` (long-running shard
+        workers with failure-aware live migration — see
+        :mod:`repro.cluster`).
     max_workers:
         Worker cap for the pooled backends (default: number of groups for
         the per-group backends, CPU count for the chunked backends).
@@ -855,6 +921,9 @@ def run_rept(
     track_local = config.track_local
     track_eta = bool(config.track_eta)
     chunk_info: Dict[str, float] = {}
+
+    if backend == "chunked-elastic":
+        return _run_elastic(edge_list, config, max_workers, chunk_size, supervision)
 
     if backend in ("chunked-serial", "chunked-process"):
         summaries, chunk_info = _run_chunked(

@@ -79,6 +79,19 @@ def _checkpoint_name(generation: int) -> str:
     return f"ckpt-{generation:08d}.ckpt"
 
 
+def shard_checkpoint_dir(base: PathLike, shard_id: int) -> Path:
+    """Checkpoint directory for one processor-group shard.
+
+    The elastic coordinator keeps one generation sequence per shard —
+    ``<base>/shard-0007/ckpt-*.ckpt`` — so shard migrations restore from a
+    directory whose name is derived from the stable group index, never from
+    the (epoch-dependent) worker that happened to write the snapshot.
+    """
+    if shard_id < 0:
+        raise CheckpointError(f"shard id must be >= 0, got {shard_id}")
+    return Path(base) / f"shard-{shard_id:04d}"
+
+
 class CheckpointManager:
     """Write, prune, and recover generation-numbered checkpoints.
 
@@ -89,8 +102,11 @@ class CheckpointManager:
     keep:
         Retention: how many newest generations survive pruning.
 
-    The manager is crash-safe but not concurrency-safe: one writer per
-    directory.  Recovery is read-only and may run anywhere.
+    The manager is crash-safe *and* concurrency-safe: generation numbers
+    are claimed atomically (``os.link`` refuses to overwrite, so two
+    processes saving into one directory can never interleave into a torn
+    "newest" generation — the loser rescans and takes the next number).
+    Recovery is read-only and may run anywhere.
     """
 
     def __init__(self, directory: PathLike, keep: int = 3) -> None:
@@ -128,36 +144,45 @@ class CheckpointManager:
             raise CheckpointError(
                 f"checkpoint payload is not picklable: {exc}"
             ) from exc
-        header = {
-            "generation": generation,
-            "stream_offset": int(stream_offset),
-            "payload_bytes": len(body),
-            "payload_sha256": hashlib.sha256(body).hexdigest(),
-            "meta": meta,
-        }
-        path = self.directory / _checkpoint_name(generation)
         try:
-            maybe_fail("checkpoint-write", generation=generation)
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fd, temp_name = tempfile.mkstemp(
-                dir=self.directory, prefix=".ckpt-", suffix=".tmp"
-            )
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    handle.write(_MAGIC)
-                    handle.write(
-                        json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
-                    )
-                    handle.write(body)
-                    handle.flush()
-                    os.fsync(handle.fileno())
-                os.replace(temp_name, path)
-            except BaseException:
+            while True:
+                maybe_fail("checkpoint-write", generation=generation)
+                self.directory.mkdir(parents=True, exist_ok=True)
+                header = {
+                    "generation": generation,
+                    "stream_offset": int(stream_offset),
+                    "payload_bytes": len(body),
+                    "payload_sha256": hashlib.sha256(body).hexdigest(),
+                    "meta": meta,
+                }
+                path = self.directory / _checkpoint_name(generation)
+                fd, temp_name = tempfile.mkstemp(
+                    dir=self.directory, prefix=".ckpt-", suffix=".tmp"
+                )
                 try:
-                    os.unlink(temp_name)
-                except OSError:
-                    pass
-                raise
+                    with os.fdopen(fd, "wb") as handle:
+                        handle.write(_MAGIC)
+                        handle.write(
+                            json.dumps(header, sort_keys=True).encode("utf-8") + b"\n"
+                        )
+                        handle.write(body)
+                        handle.flush()
+                        os.fsync(handle.fileno())
+                    published = self._publish(temp_name, path)
+                except BaseException:
+                    try:
+                        os.unlink(temp_name)
+                    except OSError:
+                        pass
+                    raise
+                if published:
+                    break
+                # Lost the claim race: a concurrent writer owns this
+                # generation number.  Rescan the directory and take the next
+                # free one — the header embeds the generation, so the file
+                # is restaged from scratch rather than renamed.
+                self._next_generation = None
+                generation = self._claim_generation()
         except CheckpointError:
             raise
         except OSError as exc:
@@ -174,6 +199,28 @@ class CheckpointManager:
             meta=meta,
             path=path,
         )
+
+    def _publish(self, temp_name: str, path: Path) -> bool:
+        """Atomically claim ``path`` for the staged file; False = lost race.
+
+        ``os.link`` refuses to overwrite an existing name (the O_EXCL idiom
+        the fault harness uses for its once-only tokens), so two processes
+        checkpointing the same directory can never both win one generation
+        number — the loser restages under the next free number.  Exotic
+        filesystems without hard links fall back to ``os.replace``
+        (crash-safe, last-writer-wins — the historical single-writer
+        behaviour).
+        """
+        try:
+            os.link(temp_name, path)
+        except FileExistsError:
+            os.unlink(temp_name)
+            return False
+        except OSError:
+            os.replace(temp_name, path)
+            return True
+        os.unlink(temp_name)
+        return True
 
     def _claim_generation(self) -> int:
         if self._next_generation is None:

@@ -1,0 +1,108 @@
+"""Bounded write-ahead log of stream batches for shard replay.
+
+The elastic shard coordinator (:mod:`repro.cluster`) assigns every
+processor-group shard a *restore point* — the newest portable snapshot it
+holds for that shard, in memory or on disk — and keeps here the suffix of
+stream batches that some restore point does not yet cover.  When a worker
+dies, its shards are rebuilt on a healthy worker from their restore points
+and only the **unacked suffix** — the WAL entries newer than the restore
+point — is replayed, so recovery cost is bounded by the snapshot cadence,
+never by stream length.
+
+The log is sequence-numbered and append-only between truncations:
+
+* :meth:`BatchWAL.append` admits strictly increasing sequence numbers (a
+  routing bug that would replay out of order is caught at the log, not in
+  the counters);
+* :meth:`BatchWAL.entries_after` returns the replay suffix for one restore
+  point;
+* :meth:`BatchWAL.truncate_through` drops entries every restore point has
+  covered — the coordinator calls it with ``min`` over the per-shard
+  snapshot offsets after each snapshot round.
+
+Boundedness is cooperative: the WAL never refuses an append (losing a
+batch would silently corrupt estimates — the one failure mode this layer
+exists to prevent), but :attr:`BatchWAL.over_capacity` turns True once the
+retained suffix exceeds ``capacity`` batches, which is the coordinator's
+signal to force a snapshot round and truncate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class WalEntry:
+    """One logged batch: its routing sequence number and its records."""
+
+    seq: int
+    batch: Sequence
+
+
+class BatchWAL:
+    """In-memory, bounded-by-contract log of ``(seq, batch)`` entries."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity < 1:
+            raise ValueError(f"WAL capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._entries: Deque[WalEntry] = deque()
+        self._last_seq = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def last_seq(self) -> int:
+        """Highest sequence number ever appended (0 = empty history)."""
+        return self._last_seq
+
+    @property
+    def over_capacity(self) -> bool:
+        """Whether the retained suffix exceeds the configured capacity."""
+        return len(self._entries) > self.capacity
+
+    def append(self, seq: int, batch: Sequence) -> None:
+        """Log one batch under ``seq`` (must exceed every earlier seq)."""
+        if seq <= self._last_seq:
+            raise ValueError(
+                f"WAL sequence numbers must be strictly increasing: "
+                f"got {seq} after {self._last_seq}"
+            )
+        self._entries.append(WalEntry(seq, batch))
+        self._last_seq = seq
+
+    def entries_after(self, seq: int) -> List[WalEntry]:
+        """The replay suffix for a restore point at ``seq``, oldest first.
+
+        Raises :class:`LookupError` when the suffix is not fully retained
+        (``seq`` predates the oldest logged entry minus one): replaying a
+        torn suffix would silently drop batches, so the caller must fall
+        back to a newer restore point — or fail loudly.
+        """
+        suffix = [entry for entry in self._entries if entry.seq > seq]
+        expected = self._last_seq - seq
+        if len(suffix) != expected:
+            raise LookupError(
+                f"WAL no longer retains the suffix after seq {seq}: "
+                f"{len(suffix)} of {expected} batches present"
+            )
+        return suffix
+
+    def truncate_through(self, seq: int) -> int:
+        """Drop entries with ``entry.seq <= seq``; returns how many."""
+        dropped = 0
+        entries = self._entries
+        while entries and entries[0].seq <= seq:
+            entries.popleft()
+            dropped += 1
+        return dropped
+
+    def spans(self) -> Tuple[int, int]:
+        """``(oldest_seq, newest_seq)`` of the retained entries (0, 0 if empty)."""
+        if not self._entries:
+            return (0, 0)
+        return (self._entries[0].seq, self._entries[-1].seq)

@@ -66,6 +66,30 @@ class WorkerFailedError(ReproError):
     """
 
 
+class MembershipError(ReproError):
+    """A cluster membership change could not be applied.
+
+    Raised by the elastic shard coordinator for invalid membership
+    operations: joining a worker id that is already a member, removing an
+    unknown worker, or gracefully removing the last live worker (which
+    would leave the shard map with no owner — worker *death* degrades to
+    inline execution instead, but an operator-requested removal of the
+    final worker is refused loudly).
+    """
+
+
+class ShardMigrationError(ReproError):
+    """A live shard could not be migrated to a healthy worker.
+
+    Raised when the elastic coordinator exhausts its retry budget moving a
+    shard: the restore point (in-memory snapshot or durable checkpoint)
+    cannot be materialised on any live worker, or replaying the unacked
+    WAL suffix keeps failing.  Migration failures during *worker death*
+    recovery degrade to inline execution instead when permitted; this
+    error surfaces only once every recovery path is exhausted.
+    """
+
+
 class ServiceError(ReproError):
     """The estimation service could not satisfy a request.
 

@@ -33,16 +33,22 @@ def backend_comparison(
     max_edges: Optional[int] = None,
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    elastic: bool = False,
 ) -> ExperimentResult:
     """Run one REPT configuration through every execution backend.
 
     Returns a table of wall-clock seconds, the estimate, and whether each
     backend's estimate is bit-identical to the first (reference) backend —
     which it must be; a mismatch raises :class:`ExperimentError` because it
-    indicates a broken merge, not a tuning problem.
+    indicates a broken merge, not a tuning problem.  ``elastic=True`` adds
+    the ``chunked-elastic`` shard-coordinator backend to the comparison
+    (the CLI's ``--elastic``, typically with ``--workers N`` and a
+    ``--chaos`` plan targeting the cluster fault sites).
     """
     if not backends:
         raise ExperimentError("at least one backend is required")
+    if elastic and "chunked-elastic" not in backends:
+        backends = tuple(backends) + ("chunked-elastic",)
     stream = load_dataset(dataset)
     if max_edges is not None and len(stream) > max_edges:
         stream = stream.prefix(max_edges)
@@ -84,12 +90,18 @@ def backend_comparison(
         retries = int(estimate.metadata.get("worker_retries", 0))
         restarts = int(estimate.metadata.get("pool_restarts", 0))
         degraded = estimate.metadata.get("degraded", 0.0) > 0
+        deaths = int(estimate.metadata.get("worker_deaths", 0))
+        migrations = int(estimate.metadata.get("shard_migrations", 0))
         supervision_events[backend] = {
             "worker_retries": retries,
             "pool_restarts": restarts,
             "degraded": degraded,
+            "worker_deaths": deaths,
+            "shard_migrations": migrations,
         }
-        if retries or restarts or degraded:
+        if deaths or migrations:
+            faults = f"{deaths}d/{migrations}m" + ("/degraded" if degraded else "")
+        elif retries or restarts or degraded:
             faults = f"{retries}r/{restarts}p" + ("/degraded" if degraded else "")
         else:
             faults = "-"

@@ -80,6 +80,13 @@ def _build_parser() -> argparse.ArgumentParser:
         help="edges per chunk for the chunked backends (default: auto-tuned)",
     )
     parser.add_argument(
+        "--elastic",
+        action="store_true",
+        help="include the 'chunked-elastic' shard-coordinator backend in "
+        "the 'backends' artefact (combine with --workers and --chaos for "
+        "membership-change chaos drills)",
+    )
+    parser.add_argument(
         "--batch-size",
         type=int,
         default=None,
@@ -208,7 +215,8 @@ def _build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=int,
         default=None,
-        help="worker processes for task fan-out (default: the spec's setting)",
+        help="worker processes: campaign task fan-out (default: the spec's "
+        "setting) or the 'backends' artefact's pool size",
     )
     campaign.add_argument(
         "--resume",
@@ -282,6 +290,10 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
             kwargs["backends"] = args.backends
         if args.chunk_size is not None:
             kwargs["chunk_size"] = args.chunk_size
+        if args.elastic:
+            kwargs["elastic"] = True
+        if args.workers is not None:
+            kwargs["max_workers"] = args.workers
     elif name == "ingest":
         kwargs.pop("max_edges", None)
         if args.max_edges is not None:

@@ -19,8 +19,18 @@ import asyncio
 import itertools
 from typing import Dict, Optional
 
+from repro.durability.retry import RetryPolicy
 from repro.exceptions import ProtocolError, ServiceError
 from repro.service.protocol import PROTOCOL_VERSION, decode_line, encode_line
+
+#: Operations safe to re-send transparently after a reconnect: pure reads.
+#: ``ingest`` is deliberately absent — re-sending a frame the server may
+#: already have applied would double-count edges, so ingest failures
+#: surface to the caller (who owns the delivery ledger) even though the
+#: client reconnects underneath.
+IDEMPOTENT_OPS = frozenset(
+    {"query_global", "query_local", "query_windows", "stats"}
+)
 
 
 def _raise_on_error(response: Dict[str, object]) -> Dict[str, object]:
@@ -91,23 +101,97 @@ class InProcessClient(_BaseClient):
 
 
 class TcpServiceClient(_BaseClient):
-    """Pipelined NDJSON client over one TCP connection."""
+    """Pipelined NDJSON client over one TCP connection, with reconnect.
 
-    def __init__(self) -> None:
+    A dropped connection is repaired transparently: the client redials
+    ``host:port`` under its :class:`~repro.durability.retry.RetryPolicy`
+    (exponential backoff, deterministic jitter).  Requests in flight when
+    the drop happened are completed according to idempotency — pure reads
+    (:data:`IDEMPOTENT_OPS`) are re-sent on the fresh connection and
+    answered as if nothing happened; mutating operations (``ingest``,
+    ``open``) raise a ``connection-dropped`` :class:`ServiceError`,
+    because the server may or may not have applied them and only the
+    caller can decide how to reconcile — but the client reconnects
+    underneath so the *next* call finds a healthy connection.
+    """
+
+    def __init__(self, retry: Optional[RetryPolicy] = None) -> None:
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
         self._pending: Dict[int, asyncio.Future] = {}
         self._ids = itertools.count(1)
         self._reader_task: Optional[asyncio.Task] = None
+        self._host: Optional[str] = None
+        self._port: Optional[int] = None
+        self._retry = retry if retry is not None else RetryPolicy()
+        self._dial_lock = asyncio.Lock()
+        self._closed = False
+        self.reconnects = 0
 
     @classmethod
-    async def connect(cls, host: str, port: int) -> "TcpServiceClient":
-        client = cls()
-        client._reader, client._writer = await asyncio.open_connection(host, port)
-        client._reader_task = asyncio.get_running_loop().create_task(
-            client._read_loop(), name=f"service-client:{host}:{port}"
-        )
+    async def connect(
+        cls, host: str, port: int, retry: Optional[RetryPolicy] = None
+    ) -> "TcpServiceClient":
+        client = cls(retry=retry)
+        client._host, client._port = host, port
+        await client._dial()
         return client
+
+    async def _dial(self) -> None:
+        assert self._host is not None and self._port is not None
+        self._reader, self._writer = await asyncio.open_connection(
+            self._host, self._port
+        )
+        self._reader_task = asyncio.get_running_loop().create_task(
+            self._read_loop(), name=f"service-client:{self._host}:{self._port}"
+        )
+
+    async def _drop_connection(self, broken: Optional[asyncio.StreamWriter]) -> None:
+        """Tear down the broken transport, failing whatever was pending.
+
+        ``broken`` is the writer the failed request used: when a concurrent
+        caller has already repaired the transport, the current one is left
+        alone.
+        """
+        if self._writer is not broken:
+            return
+        writer, self._writer = self._writer, None
+        reader_task, self._reader_task = self._reader_task, None
+        self._reader = None
+        if writer is not None:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        if reader_task is not None:
+            await reader_task
+
+    async def _reconnect(self) -> None:
+        """Redial under the retry policy; raises after the last attempt.
+
+        Serialised by a lock so pipelined callers that observe the same
+        drop repair the transport once, not once each.
+        """
+        async with self._dial_lock:
+            if self._writer is not None:
+                return  # a concurrent caller already reconnected
+            delays = self._retry.delays()
+            for attempt in range(self._retry.max_attempts):
+                try:
+                    await self._dial()
+                except (ConnectionError, OSError) as exc:
+                    if attempt >= len(delays):
+                        error = ServiceError(
+                            f"reconnect to {self._host}:{self._port} failed "
+                            f"after {self._retry.max_attempts} attempts: {exc}"
+                        )
+                        error.code = "connection-dropped"
+                        raise error from exc
+                    await asyncio.sleep(delays[attempt])
+                else:
+                    self.reconnects += 1
+                    return
 
     async def _read_loop(self) -> None:
         assert self._reader is not None
@@ -131,19 +215,62 @@ class TcpServiceClient(_BaseClient):
                     future.set_exception(broken)
             self._pending.clear()
 
-    async def call(self, op: str, **fields: object) -> Dict[str, object]:
-        if self._writer is None:
-            raise ServiceError("client is not connected")
+    async def _send_once(self, op: str, fields: Dict[str, object]):
         request_id = next(self._ids)
         request = {"v": PROTOCOL_VERSION, "id": request_id, "op": op}
         request.update(fields)
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
-        self._writer.write(encode_line(request))
-        await self._writer.drain()
-        return _raise_on_error(await future)
+        try:
+            assert self._writer is not None
+            self._writer.write(encode_line(request))
+            await self._writer.drain()
+            return await future
+        finally:
+            self._pending.pop(request_id, None)
+
+    @staticmethod
+    def _is_drop(exc: BaseException) -> bool:
+        if isinstance(exc, (ConnectionError, OSError)):
+            return True
+        return (
+            isinstance(exc, ServiceError)
+            and getattr(exc, "code", None) == "session-closed"
+        )
+
+    async def call(self, op: str, **fields: object) -> Dict[str, object]:
+        if self._closed or self._host is None:
+            raise ServiceError("client is not connected")
+        for resend in (False, True):
+            if self._writer is None:
+                await self._reconnect()
+            writer = self._writer
+            try:
+                response = await self._send_once(op, fields)
+            except BaseException as exc:
+                if not self._is_drop(exc):
+                    raise
+                await self._drop_connection(writer)
+                if not resend and op in IDEMPOTENT_OPS:
+                    continue
+                # Mutating op (or a second drop): repair the transport
+                # best-effort for the next caller, then surface the drop.
+                try:
+                    await self._reconnect()
+                except ServiceError:
+                    pass
+                error = ServiceError(
+                    f"connection dropped during {op!r}; not re-sent "
+                    f"({'already re-sent once' if resend else 'not idempotent'})"
+                )
+                error.code = "connection-dropped"
+                raise error from exc
+            else:
+                return _raise_on_error(response)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     async def close(self) -> None:
+        self._closed = True
         if self._writer is not None:
             self._writer.close()
             try:

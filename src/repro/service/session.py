@@ -50,7 +50,7 @@ from repro.streaming.writers import JsonlEdgeLogWriter
 from repro.testing.faults import maybe_fail
 
 #: Engine kinds accepted in engine specs.
-ENGINE_KINDS = ("rept", "exact", "triest", "monitor")
+ENGINE_KINDS = ("rept", "rept-elastic", "exact", "triest", "monitor")
 
 #: Backpressure policies of the ingest queue.
 BACKPRESSURE_POLICIES = ("block", "shed")
@@ -62,6 +62,7 @@ def validate_engine_spec(spec: object) -> Dict[str, object]:
     Specs are JSON-able dicts selected by ``kind``::
 
         {"kind": "rept", "m": 32, "c": 64, "seed": 7}
+        {"kind": "rept-elastic", "m": 32, "c": 64, "seed": 7, "workers": 3}
         {"kind": "exact"}
         {"kind": "triest", "budget": 5000, "seed": 7}
         {"kind": "monitor", "window_seconds": 60.0, "slide_seconds": 60.0,
@@ -80,6 +81,13 @@ def validate_engine_spec(spec: object) -> Dict[str, object]:
     normalised = dict(spec)
     if kind == "rept":
         _require_rept_params(normalised)
+    elif kind == "rept-elastic":
+        _require_rept_params(normalised)
+        workers = normalised.setdefault("workers", 2)
+        if not isinstance(workers, int) or workers < 0:
+            raise ServiceError(
+                "rept-elastic engine spec needs an integer 'workers' >= 0"
+            )
     elif kind == "triest":
         if not isinstance(normalised.get("budget"), int) or normalised["budget"] < 1:
             raise ServiceError("triest engine spec needs an integer 'budget' >= 1")
@@ -149,6 +157,10 @@ def build_engine(
     kind = spec["kind"]
     if kind == "rept":
         return ReptEngine(spec, interner=interner)
+    if kind == "rept-elastic":
+        # Shard workers are separate processes with their own interning
+        # tables; the shared arena does not apply.
+        return ElasticReptEngine(spec)
     if kind == "exact":
         return EstimatorEngine(spec, ExactStreamingCounter())
     if kind == "triest":
@@ -209,6 +221,9 @@ class SessionEngine:
     def restore(self, payload: object, stream_offset: int) -> None:
         raise NotImplementedError
 
+    def close(self) -> None:
+        """Release engine-held resources (worker processes, files)."""
+
 
 class ReptEngine(SessionEngine):
     """REPT estimator engine over a (possibly shared) interning arena.
@@ -256,6 +271,71 @@ class ReptEngine(SessionEngine):
         fresh.restore_portable(payload["portable"])
         self.state = fresh
         self.delivered = stream_offset
+
+
+class ElasticReptEngine(SessionEngine):
+    """REPT engine hosted on the elastic shard coordinator.
+
+    Functionally the same estimator as :class:`ReptEngine`, but the
+    processor groups live as shards on a pool of worker processes managed
+    by :class:`repro.cluster.ElasticCoordinator` — so the session keeps
+    answering bit-identical estimates through worker failures and
+    membership changes.  Checkpoints use the coordinator's portable state,
+    which is format-compatible with :class:`ReptEngine` checkpoints: a
+    session can be recovered onto either engine kind.
+    """
+
+    kind = "rept-elastic"
+
+    def __init__(self, spec: Dict[str, object]) -> None:
+        super().__init__(spec)
+        # Imported lazily so the service layer does not pay the cluster
+        # import (multiprocessing machinery) unless an elastic engine is
+        # actually built.
+        from repro.cluster import ElasticCoordinator
+
+        self.config = _rept_config(spec)
+        self.coordinator = ElasticCoordinator(
+            self.config, num_workers=int(spec.get("workers", 2))
+        )
+
+    def ingest_frame(self, frame: Sequence) -> int:
+        pairs = _frame_pairs(frame)
+        self.coordinator.submit(pairs)
+        self.delivered += len(pairs)
+        return len(pairs)
+
+    def query_global(self) -> Dict[str, object]:
+        estimate = self.coordinator.estimate()
+        return {
+            "global_count": estimate.global_count,
+            "edges_processed": estimate.edges_processed,
+            "edges_stored": estimate.edges_stored,
+            "workers": int(estimate.metadata.get("workers", 0)),
+            "worker_deaths": int(estimate.metadata.get("worker_deaths", 0)),
+            "shard_migrations": int(
+                estimate.metadata.get("shard_migrations", 0)
+            ),
+        }
+
+    def query_local(self, nodes: Sequence) -> Dict[str, object]:
+        estimate = self.coordinator.estimate()
+        return {
+            "counts": [[node, estimate.local_count(node)] for node in nodes],
+            "edges_processed": estimate.edges_processed,
+        }
+
+    def state_payload(self) -> object:
+        return {"portable": self.coordinator.portable_state()}
+
+    def restore(self, payload: object, stream_offset: int) -> None:
+        self.coordinator.restore_portable(
+            payload["portable"], edges_processed=stream_offset
+        )
+        self.delivered = stream_offset
+
+    def close(self) -> None:
+        self.coordinator.close()
 
 
 class EstimatorEngine(SessionEngine):
@@ -491,6 +571,7 @@ class StreamSession:
             self._task = None
         if self.audit_log is not None:
             self.audit_log.close()
+        self.engine.close()
         self.state = "closed"
 
     # -- ingestion -----------------------------------------------------------

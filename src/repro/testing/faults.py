@@ -28,6 +28,27 @@ Faults select their call two ways, combinable:
   scheduling order, the right tool under parallelism;
 * ``skip`` — fire on the (skip+1)-th *matching* call, counted across all
   processes via claimed ordinal tokens: the right tool in serial code.
+
+Instrumented sites (the ``site`` a spec targets):
+
+* ``storing-worker`` / ``counting-worker`` — pooled chunk tasks in the
+  chunked-process drivers (keys: ``group``, ``chunk``);
+* ``rept-segment`` / ``estimator-segment`` / ``monitor-segment`` —
+  durable-driver segment boundaries (key: ``offset``);
+* ``checkpoint-write`` — :meth:`CheckpointManager.save` staging (key:
+  ``generation``);
+* ``campaign-task`` — campaign engine task execution (key: ``task``);
+* ``service-ingest`` / ``service-checkpoint`` — session frame apply and
+  periodic checkpoint (key: ``tenant``);
+* ``cluster-worker-batch`` — shard-worker batch application (keys:
+  ``worker``, ``seq``): ``exit`` kills the worker mid-batch, ``hang``
+  trips the coordinator's ``worker_timeout``;
+* ``cluster-worker-snapshot`` — shard-worker snapshot command (key:
+  ``worker``);
+* ``cluster-route`` — the coordinator's batch send, inside its retry
+  loop (keys: ``worker``, ``seq``);
+* ``cluster-migrate`` — the coordinator's shard placement on a migration
+  target, inside its retry loop (key: ``worker``).
 """
 
 from __future__ import annotations

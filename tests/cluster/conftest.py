@@ -1,0 +1,46 @@
+"""Shared helpers for the elastic shard coordinator tests.
+
+Coordinator tests spawn real worker processes, so streams are kept small
+and pools narrow.  The serial reference for every bit-identity assertion
+is :func:`repro.core.parallel.run_rept` with ``backend="serial"``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Tuple
+
+import pytest
+
+from repro.core.config import ReptConfig
+from repro.core.parallel import run_rept
+
+
+def make_edges(n: int, nodes: int = 150, seed: int = 7) -> List[Tuple[int, int]]:
+    """A deterministic multigraph stream with repeats and self-avoidance."""
+    rng = random.Random(seed)
+    edges = []
+    while len(edges) < n:
+        u, v = rng.randrange(nodes), rng.randrange(nodes)
+        if u != v:
+            edges.append((u, v))
+    return edges
+
+
+def serial_estimate(edges, config: ReptConfig):
+    """The reference estimate the coordinator must match bit-for-bit."""
+    return run_rept(edges, config, backend="serial")
+
+
+def assert_bit_identical(estimate, reference, nodes=()):
+    """Global count, stored edges, processed edges — and local counts."""
+    assert estimate.global_count == reference.global_count
+    assert estimate.edges_processed == reference.edges_processed
+    assert estimate.edges_stored == reference.edges_stored
+    for node in nodes:
+        assert estimate.local_count(node) == reference.local_count(node), node
+
+
+@pytest.fixture
+def small_config() -> ReptConfig:
+    return ReptConfig(m=8, c=24, seed=31, track_local=True)

@@ -1,0 +1,171 @@
+"""Unit tests for the elastic shard coordinator's happy and failure paths."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ElasticCoordinator
+from repro.core.config import ReptConfig
+from repro.core.state import GroupStateSet
+from repro.exceptions import MembershipError
+
+from tests.cluster.conftest import assert_bit_identical, make_edges, serial_estimate
+
+PROBE_NODES = (0, 1, 2, 17, 42)
+
+
+def feed(coordinator, edges, batch=100):
+    for i in range(0, len(edges), batch):
+        coordinator.submit(edges[i : i + batch])
+
+
+class TestHappyPath:
+    def test_matches_serial_reference(self, small_config):
+        edges = make_edges(1200)
+        reference = serial_estimate(edges, small_config)
+        with ElasticCoordinator(small_config, num_workers=2) as coord:
+            feed(coord, edges)
+            estimate = coord.estimate()
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert estimate.metadata["worker_deaths"] == 0.0
+        assert estimate.metadata["degraded"] == 0.0
+        assert estimate.metadata["workers"] == 2.0
+
+    def test_zero_workers_runs_inline(self, small_config):
+        edges = make_edges(600)
+        reference = serial_estimate(edges, small_config)
+        with ElasticCoordinator(small_config, num_workers=0) as coord:
+            feed(coord, edges)
+            estimate = coord.estimate()
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert estimate.metadata["degraded"] == 1.0
+        assert estimate.metadata["inline_shards"] == float(
+            len(small_config.group_sizes())
+        )
+
+    def test_estimate_is_repeatable_and_resumable(self, small_config):
+        edges = make_edges(900)
+        with ElasticCoordinator(small_config, num_workers=2) as coord:
+            feed(coord, edges[:600])
+            first = coord.estimate()
+            again = coord.estimate()
+            assert first.global_count == again.global_count
+            feed(coord, edges[600:])
+            final = coord.estimate()
+        reference = serial_estimate(edges, small_config)
+        assert_bit_identical(final, reference, PROBE_NODES)
+
+
+class TestFailureRecovery:
+    def test_sigkill_mid_stream_is_bit_identical(self, small_config):
+        edges = make_edges(1500)
+        reference = serial_estimate(edges, small_config)
+        with ElasticCoordinator(small_config, num_workers=2) as coord:
+            feed(coord, edges[:700])
+            victim = coord.worker_ids()[0]
+            coord.kill_worker(victim)
+            feed(coord, edges[700:])
+            estimate = coord.estimate()
+            assert estimate.metadata["worker_deaths"] == 1.0
+            assert estimate.metadata["shard_migrations"] > 0
+            assert victim not in coord.worker_ids()
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+
+    def test_killing_every_worker_degrades_inline(self, small_config):
+        edges = make_edges(1000)
+        reference = serial_estimate(edges, small_config)
+        with ElasticCoordinator(small_config, num_workers=2) as coord:
+            feed(coord, edges[:400])
+            for victim in coord.worker_ids():
+                coord.kill_worker(victim)
+            feed(coord, edges[400:])
+            estimate = coord.estimate()
+            assert coord.worker_ids() == []
+            assert estimate.metadata["degraded"] == 1.0
+            assert estimate.metadata["worker_deaths"] == 2.0
+            # heal: a fresh worker takes the shards back off the inline host
+            coord.add_worker()
+            healed = coord.estimate()
+            assert healed.metadata["degraded"] == 0.0
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert_bit_identical(healed, reference, PROBE_NODES)
+
+
+class TestMembership:
+    def test_join_mid_stream_is_bit_identical(self, small_config):
+        edges = make_edges(1500)
+        reference = serial_estimate(edges, small_config)
+        with ElasticCoordinator(small_config, num_workers=1) as coord:
+            feed(coord, edges[:800])
+            epoch_before = coord.shard_map.epoch
+            new_id = coord.add_worker()
+            assert coord.shard_map.epoch > epoch_before
+            assert new_id in coord.worker_ids()
+            assert coord.shard_map.shards_of(new_id)
+            feed(coord, edges[800:])
+            estimate = coord.estimate()
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert estimate.metadata["worker_joins"] == 1.0
+        assert estimate.metadata["shard_migrations"] > 0
+
+    def test_graceful_remove_mid_stream(self, small_config):
+        edges = make_edges(1200)
+        reference = serial_estimate(edges, small_config)
+        with ElasticCoordinator(small_config, num_workers=3) as coord:
+            feed(coord, edges[:500])
+            coord.remove_worker(coord.worker_ids()[-1])
+            feed(coord, edges[500:])
+            estimate = coord.estimate()
+            assert len(coord.worker_ids()) == 2
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert estimate.metadata["worker_removals"] == 1.0
+        # a graceful removal is not a death
+        assert estimate.metadata["worker_deaths"] == 0.0
+
+    def test_cannot_remove_last_worker(self, small_config):
+        with ElasticCoordinator(small_config, num_workers=1) as coord:
+            (only,) = coord.worker_ids()
+            with pytest.raises(MembershipError, match="last live worker"):
+                coord.remove_worker(only)
+            assert coord.counters["membership_errors"] == 1
+
+    def test_remove_unknown_worker(self, small_config):
+        with ElasticCoordinator(small_config, num_workers=2) as coord:
+            with pytest.raises(MembershipError):
+                coord.remove_worker(999)
+
+
+class TestPortableState:
+    def test_round_trip_to_fresh_coordinator(self, small_config):
+        edges = make_edges(1000)
+        with ElasticCoordinator(small_config, num_workers=2) as coord:
+            feed(coord, edges)
+            want = coord.estimate()
+            state = coord.portable_state()
+        with ElasticCoordinator(small_config, num_workers=3) as fresh:
+            fresh.restore_portable(state, edges_processed=len(edges))
+            got = fresh.estimate()
+        assert_bit_identical(got, want, PROBE_NODES)
+
+    def test_state_is_serial_engine_compatible(self, small_config):
+        edges = make_edges(1000)
+        with ElasticCoordinator(small_config, num_workers=2) as coord:
+            feed(coord, edges)
+            want = coord.estimate()
+            state = coord.portable_state()
+        serial = GroupStateSet(small_config)
+        serial.restore_portable(state)
+        got = serial.estimate(len(edges))
+        assert_bit_identical(got, want, PROBE_NODES)
+
+    def test_restore_then_continue_streaming(self, small_config):
+        edges = make_edges(1400)
+        reference = serial_estimate(edges, small_config)
+        with ElasticCoordinator(small_config, num_workers=2) as coord:
+            feed(coord, edges[:700])
+            state = coord.portable_state()
+        with ElasticCoordinator(small_config, num_workers=2) as resumed:
+            resumed.restore_portable(state, edges_processed=700)
+            feed(resumed, edges[700:])
+            estimate = resumed.estimate()
+        assert_bit_identical(estimate, reference, PROBE_NODES)

@@ -1,0 +1,182 @@
+"""Chaos drills: injected faults at the cluster sites, bit-identity held.
+
+Each drill arms a :class:`~repro.testing.faults.FaultPlan` against one of
+the cluster fault sites — worker crash/hang mid-batch, flaky routing
+sends, failing migrations — streams through the coordinator, and asserts
+the estimate still matches the serial reference bit-for-bit while the
+relevant recovery counter moved.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ElasticCoordinator
+from repro.core.config import ReptConfig
+from repro.durability.retry import RetryPolicy
+from repro.exceptions import ShardMigrationError
+from repro.testing.faults import FaultPlan, FaultSpec, arm
+
+from tests.cluster.conftest import assert_bit_identical, make_edges, serial_estimate
+
+PROBE_NODES = (0, 5, 11, 33)
+
+
+@pytest.fixture
+def config():
+    return ReptConfig(m=8, c=24, seed=55, track_local=True)
+
+
+@pytest.fixture
+def edges():
+    return make_edges(1200, nodes=100, seed=12)
+
+
+def run_with_plan(plan, config, edges, *, num_workers=2, batch=100, **kwargs):
+    with arm(plan):
+        with ElasticCoordinator(config, num_workers=num_workers, **kwargs) as coord:
+            for start in range(0, len(edges), batch):
+                coord.submit(edges[start : start + batch])
+            return coord.estimate(), dict(coord.counters)
+
+
+class TestWorkerFaults:
+    def test_worker_crash_mid_batch(self, config, edges):
+        reference = serial_estimate(edges, config)
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="cluster-worker-batch",
+                    action="exit",
+                    match={"worker": 0, "seq": 5},
+                ),
+            )
+        )
+        estimate, counters = run_with_plan(plan, config, edges)
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert counters["worker_deaths"] == 1
+        assert counters["shard_migrations"] > 0
+
+    def test_worker_error_reply_is_a_death(self, config, edges):
+        # An exception inside the worker loop surfaces as an error reply;
+        # the coordinator must treat the worker as lost, not trust it.
+        reference = serial_estimate(edges, config)
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="cluster-worker-batch",
+                    action="raise",
+                    match={"worker": 1, "seq": 4},
+                ),
+            )
+        )
+        estimate, counters = run_with_plan(plan, config, edges)
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert counters["worker_deaths"] == 1
+
+    def test_worker_hang_detected_by_timeout(self, config, edges):
+        reference = serial_estimate(edges, config)
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="cluster-worker-batch",
+                    action="hang",
+                    match={"worker": 0, "seq": 3},
+                    delay_seconds=20.0,
+                ),
+            )
+        )
+        estimate, counters = run_with_plan(
+            plan, config, edges, worker_timeout=0.4
+        )
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert counters["worker_deaths"] == 1
+
+    def test_crash_during_snapshot_round(self, config, edges):
+        reference = serial_estimate(edges, config)
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="cluster-worker-snapshot",
+                    action="exit",
+                    match={"worker": 1},
+                ),
+            )
+        )
+        estimate, counters = run_with_plan(
+            plan, config, edges, snapshot_every=4
+        )
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert counters["worker_deaths"] == 1
+
+
+class TestCoordinatorFaults:
+    def test_flaky_routing_send_is_retried(self, config, edges):
+        reference = serial_estimate(edges, config)
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(site="cluster-route", action="io-error", times=2),
+            )
+        )
+        estimate, counters = run_with_plan(
+            plan,
+            config,
+            edges,
+            retry=RetryPolicy(max_attempts=4, base_delay=0.01, seed=9),
+        )
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert counters["routing_retries"] >= 2
+        # retries succeeded, so no deaths were necessary
+        assert counters["worker_deaths"] == 0
+
+    def test_migration_target_failure_cascades_safely(self, config, edges):
+        # The migration send itself keeps failing: the coordinator must
+        # exhaust retries, declare the target dead, and re-home the shards
+        # on whatever is left — here the inline host.
+        reference = serial_estimate(edges, config)
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="cluster-worker-batch",
+                    action="exit",
+                    match={"worker": 0, "seq": 4},
+                ),
+                FaultSpec(
+                    site="cluster-migrate",
+                    action="io-error",
+                    times=99,
+                ),
+            )
+        )
+        estimate, counters = run_with_plan(
+            plan,
+            config,
+            edges,
+            retry=RetryPolicy(max_attempts=2, base_delay=0.01, seed=9),
+        )
+        assert_bit_identical(estimate, reference, PROBE_NODES)
+        assert counters["worker_deaths"] >= 1
+        assert counters["migration_errors"] >= 1
+        assert estimate.metadata["degraded"] == 1.0
+
+
+class TestWalExhaustion:
+    def test_torn_wal_surfaces_typed_error(self, config):
+        # Force a restore point that predates the retained WAL suffix by
+        # truncating behind the coordinator's back: migration must raise
+        # ShardMigrationError, never silently drop batches.
+        edges = make_edges(600, nodes=80, seed=3)
+        with ElasticCoordinator(
+            config, num_workers=2, snapshot_every=10_000, wal_capacity=10_000
+        ) as coord:
+            for start in range(0, len(edges), 100):
+                coord.submit(edges[start : start + 100])
+            coord.wal.truncate_through(3)
+            coord.kill_worker(coord.worker_ids()[0])
+            with pytest.raises(ShardMigrationError):
+                # death surfaces on the next drain; with no restore point
+                # covering the truncated prefix, migration must fail loudly
+                coord.submit(edges[:100])
+                coord.flush()
+                coord.estimate()
+            assert coord.counters["migration_errors"] >= 1

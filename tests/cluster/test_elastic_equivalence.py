@@ -1,0 +1,105 @@
+"""Property tests: elastic execution ≡ serial, across the (m, c) grid.
+
+The ISSUE's correctness bar: for every REPT shape — single group, many
+equal groups, a partial trailing group — the coordinator's estimate after
+a *scripted* kill/join/rebalance sequence must be bit-identical to the
+serial driver on the same stream.  Shard counters are placement-
+independent (each shard sees the full stream through its own hash seed),
+so any divergence here is a lost or double-applied batch — exactly the
+corruption the WAL + restore-point machinery exists to prevent.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ElasticCoordinator
+from repro.core.config import ReptConfig
+from repro.core.parallel import run_rept
+
+from tests.cluster.conftest import assert_bit_identical, make_edges
+
+PROBE_NODES = (0, 3, 9, 27, 81)
+
+#: (m, c) grid spanning the group-shape regimes: c < m (single partial
+#: group), c == m (one full group), c = k*m (equal groups), and a ragged
+#: c that leaves a partial trailing group.
+GRID = [(4, 3), (4, 4), (4, 12), (8, 24), (8, 30), (16, 40)]
+
+#: Scripted membership scenarios: (name, num_workers, script) where the
+#: script maps a batch index to an action run *before* that batch.
+def _kill_first(coord):
+    coord.kill_worker(coord.worker_ids()[0])
+
+
+def _kill_last(coord):
+    coord.kill_worker(coord.worker_ids()[-1])
+
+
+def _join(coord):
+    coord.add_worker()
+
+
+def _leave(coord):
+    coord.remove_worker(coord.worker_ids()[0])
+
+
+SCENARIOS = [
+    ("kill-one", 2, {4: _kill_first}),
+    ("join-one", 1, {4: _join}),
+    ("rebalance", 2, {3: _join, 7: _leave}),
+    ("kill-then-join", 2, {2: _kill_last, 6: _join}),
+    ("churn", 3, {2: _kill_first, 4: _join, 6: _kill_last, 8: _join}),
+]
+
+
+def _run_scripted(config, edges, num_workers, script, batch=120):
+    with ElasticCoordinator(
+        config, num_workers=num_workers, snapshot_every=3, wal_capacity=16
+    ) as coord:
+        for index, start in enumerate(range(0, len(edges), batch)):
+            action = script.get(index)
+            if action is not None:
+                action(coord)
+            coord.submit(edges[start : start + batch])
+        return coord.estimate(), dict(coord.counters)
+
+
+@pytest.mark.parametrize("m,c", GRID)
+@pytest.mark.parametrize(
+    "name,num_workers,script", SCENARIOS, ids=[s[0] for s in SCENARIOS]
+)
+def test_scripted_membership_is_bit_identical(m, c, name, num_workers, script):
+    config = ReptConfig(m=m, c=c, seed=101 + m, track_local=True)
+    edges = make_edges(1200, nodes=90, seed=m * 1000 + c)
+    reference = run_rept(edges, config, backend="serial")
+    estimate, counters = _run_scripted(config, edges, num_workers, script)
+    assert_bit_identical(estimate, reference, PROBE_NODES)
+    # the script's membership events must actually have been observed
+    kills = sum(1 for a in script.values() if a in (_kill_first, _kill_last))
+    joins = sum(1 for a in script.values() if a is _join)
+    leaves = sum(1 for a in script.values() if a is _leave)
+    assert counters["worker_deaths"] == kills
+    assert counters["worker_joins"] == joins
+    assert counters["worker_removals"] == leaves
+    # Single-shard maps can see membership events that touch no owner (a
+    # shardless worker dying, a joiner with nothing to steal), so only
+    # multi-shard shapes guarantee observable migrations.
+    if (kills or joins or leaves) and len(config.group_sizes()) >= 2:
+        assert counters["shard_migrations"] > 0
+
+
+@pytest.mark.parametrize("m,c", [(4, 14), (8, 30)])
+def test_eta_tracking_survives_migration(m, c):
+    # A ragged c (partial trailing group) with track_eta exercises the η
+    # counter's merge path — and its eta_hat diagnostic — through a
+    # kill + join cycle.
+    config = ReptConfig(m=m, c=c, seed=404, track_local=True, track_eta=True)
+    edges = make_edges(1000, nodes=60, seed=77)
+    reference = run_rept(edges, config, backend="serial")
+    estimate, counters = _run_scripted(
+        config, edges, 2, {3: _kill_first, 6: _join}
+    )
+    assert_bit_identical(estimate, reference, PROBE_NODES)
+    assert estimate.metadata["eta_hat"] == reference.metadata["eta_hat"]
+    assert counters["worker_deaths"] == 1

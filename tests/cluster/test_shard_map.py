@@ -1,0 +1,155 @@
+"""Tests for the versioned shard map and its deterministic rebalancing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cluster import ShardMap
+from repro.exceptions import MembershipError
+
+
+class TestConstruction:
+    def test_round_robin_initial_assignment(self):
+        smap = ShardMap(5, [0, 1])
+        assert smap.assignment() == {0: 0, 1: 1, 2: 0, 3: 1, 4: 0}
+        assert smap.epoch == 1
+        assert smap.workers == [0, 1]
+
+    def test_unsorted_worker_ids_are_normalised(self):
+        smap = ShardMap(4, [3, 1])
+        assert smap.workers == [1, 3]
+        assert smap.assignment() == {0: 1, 1: 3, 2: 1, 3: 3}
+
+    def test_empty_pool_leaves_shards_unowned(self):
+        smap = ShardMap(3, [])
+        assert smap.assignment() == {0: None, 1: None, 2: None}
+        assert smap.by_worker() == {}
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(MembershipError):
+            ShardMap(0, [0])
+        with pytest.raises(MembershipError):
+            ShardMap(3, [1, 1])
+
+
+class TestQueries:
+    def test_owner_and_shards_of(self):
+        smap = ShardMap(4, [0, 1])
+        assert smap.owner(2) == 0
+        assert smap.shards_of(0) == [0, 2]
+        assert smap.shards_of(1) == [1, 3]
+        assert smap.shards_of(99) == []
+
+    def test_unknown_shard_raises(self):
+        smap = ShardMap(2, [0])
+        with pytest.raises(MembershipError):
+            smap.owner(5)
+
+    def test_by_worker_view(self):
+        smap = ShardMap(5, [0, 1])
+        assert smap.by_worker() == {0: [0, 2, 4], 1: [1, 3]}
+
+
+class TestJoin:
+    def test_join_steals_from_most_loaded(self):
+        smap = ShardMap(6, [0, 1])  # 0 -> {0,2,4}, 1 -> {1,3,5}
+        moves = smap.add_worker(2)
+        # Donors are the peak-loaded workers (ties -> smallest id), and the
+        # donated shard is the donor's highest shard id.
+        assert moves == {4: (0, 2), 5: (1, 2)}
+        assert smap.by_worker() == {0: [0, 2], 1: [1, 3], 2: [4, 5]}
+        assert smap.epoch == 2
+
+    def test_join_into_empty_pool_claims_everything(self):
+        smap = ShardMap(3, [])
+        moves = smap.add_worker(7)
+        assert moves == {0: (None, 7), 1: (None, 7), 2: (None, 7)}
+        assert smap.by_worker() == {7: [0, 1, 2]}
+
+    def test_join_is_minimal_movement(self):
+        smap = ShardMap(4, [0, 1])
+        before = smap.assignment()
+        moves = smap.add_worker(2)
+        # Only moved shards differ from the previous assignment.
+        after = smap.assignment()
+        changed = {s for s in range(4) if before[s] != after[s]}
+        assert changed == set(moves)
+        # Nothing moved between the two surviving workers.
+        for shard, (donor, target) in moves.items():
+            assert target == 2
+
+    def test_join_balances_within_one(self):
+        smap = ShardMap(9, [0, 1])
+        smap.add_worker(2)
+        loads = sorted(len(v) for v in smap.by_worker().values())
+        assert loads[-1] - loads[0] <= 1
+
+    def test_duplicate_join_rejected(self):
+        smap = ShardMap(2, [0])
+        with pytest.raises(MembershipError):
+            smap.add_worker(0)
+
+    def test_join_sequence_is_deterministic(self):
+        runs = []
+        for _ in range(2):
+            smap = ShardMap(7, [0, 1, 2])
+            moves = smap.add_worker(3)
+            runs.append((moves, smap.assignment(), smap.epoch))
+        assert runs[0] == runs[1]
+
+
+class TestLeave:
+    def test_leave_hands_orphans_to_least_loaded(self):
+        smap = ShardMap(6, [0, 1, 2])  # 0->{0,3}, 1->{1,4}, 2->{2,5}
+        moves = smap.remove_worker(1)
+        # Orphans 1 and 4 level across survivors in shard-id order.
+        assert moves == {1: 0, 4: 2}
+        assert smap.by_worker() == {0: [0, 1, 3], 2: [2, 4, 5]}
+        assert smap.epoch == 2
+
+    def test_last_leave_orphans_everything(self):
+        smap = ShardMap(3, [5])
+        moves = smap.remove_worker(5)
+        assert moves == {0: None, 1: None, 2: None}
+        assert smap.assignment() == {0: None, 1: None, 2: None}
+        assert smap.workers == []
+
+    def test_unknown_leave_rejected(self):
+        smap = ShardMap(2, [0])
+        with pytest.raises(MembershipError):
+            smap.remove_worker(9)
+
+    def test_leave_only_moves_orphans(self):
+        smap = ShardMap(8, [0, 1, 2])
+        before = smap.assignment()
+        moves = smap.remove_worker(2)
+        after = smap.assignment()
+        changed = {s for s in range(8) if before[s] != after[s]}
+        assert changed == set(moves)
+
+
+class TestChurn:
+    def test_epoch_monotonic_under_churn(self):
+        smap = ShardMap(5, [0])
+        epochs = [smap.epoch]
+        smap.add_worker(1)
+        epochs.append(smap.epoch)
+        smap.add_worker(2)
+        epochs.append(smap.epoch)
+        smap.remove_worker(0)
+        epochs.append(smap.epoch)
+        assert epochs == sorted(set(epochs))
+
+    def test_every_shard_always_accounted_for(self):
+        smap = ShardMap(10, [0, 1])
+        smap.add_worker(2)
+        smap.remove_worker(0)
+        smap.add_worker(3)
+        smap.remove_worker(1)
+        assignment = smap.assignment()
+        assert set(assignment) == set(range(10))
+        owned = [s for s, w in assignment.items() if w is not None]
+        assert sorted(owned) == list(range(10))
+        # by_worker partitions the shard set exactly
+        flat = sorted(s for shards in smap.by_worker().values() for s in shards)
+        assert flat == list(range(10))

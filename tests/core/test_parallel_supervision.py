@@ -12,10 +12,12 @@ import numpy as np
 import pytest
 
 from repro.core.config import ReptConfig
+import repro.core.parallel as parallel
 from repro.core.parallel import (
     DEFAULT_SUPERVISION,
     SupervisionPolicy,
     run_rept,
+    task_retry_delays,
 )
 from repro.durability.retry import RetryPolicy, call_with_retry
 from repro.exceptions import ConfigurationError, WorkerFailedError
@@ -238,6 +240,94 @@ class TestSupervisedExecution:
             )
         _assert_same(estimate, reference)
         assert estimate.metadata["pool_restarts"] >= 1.0
+
+
+class TestRetryJitterDeterminism:
+    """The backoff a retried task sleeps is a pure function of its key.
+
+    Pins both retry paths — a retry within one pool, and a retry after a
+    worker death forced a pool rebuild — against the published
+    :func:`task_retry_delays` schedule.  ``time.sleep`` is recorded (not
+    skipped: these delays are sub-millisecond only through the policy),
+    so the assertion is on the exact jittered values.
+    """
+
+    #: Distinctive, jittered schedule: wrong derivations can't collide.
+    PINNED_RETRY = RetryPolicy(
+        max_attempts=3, base_delay=0.001, backoff=3.0, jitter=0.25, seed=17
+    )
+
+    def _record_sleeps(self, monkeypatch):
+        slept = []
+        real_sleep = parallel.time.sleep
+
+        def recording_sleep(seconds):
+            slept.append(seconds)
+            real_sleep(0)  # yield, don't actually wait
+
+        monkeypatch.setattr(parallel.time, "sleep", recording_sleep)
+        return slept
+
+    def test_schedule_is_pure_and_per_key(self):
+        policy = SupervisionPolicy(retry=self.PINNED_RETRY)
+        assert task_retry_delays(policy, (0, 1)) == task_retry_delays(
+            policy, (0, 1)
+        )
+        assert task_retry_delays(policy, (0, 1)) != task_retry_delays(
+            policy, (1, 0)
+        )
+        assert len(task_retry_delays(policy, (0, 1))) == 2
+
+    def test_same_pool_retry_sleeps_the_pinned_delays(self, monkeypatch):
+        slept = self._record_sleeps(monkeypatch)
+        reference = _reference()
+        policy = SupervisionPolicy(retry=self.PINNED_RETRY)
+        plan = FaultPlan(
+            faults=(
+                FaultSpec(
+                    site="counting-worker", match={"group": 0, "chunk": 1},
+                    times=2,
+                ),
+            )
+        )
+        with arm(plan):
+            estimate = _chunked(policy)
+        _assert_same(estimate, reference)
+        expected = task_retry_delays(policy, (0, 1))
+        assert slept == expected
+
+    def test_post_rebuild_retry_resumes_the_same_schedule(self, monkeypatch):
+        """raise → sleep d0 → worker death (rebuild) → raise → sleep d1.
+
+        The rebuild itself must not sleep and must not restart the
+        schedule: the second retry sleeps d1 of the original per-key
+        derivation, exactly as if the pool had survived.
+        """
+        slept = self._record_sleeps(monkeypatch)
+        reference = _reference()
+        policy = SupervisionPolicy(retry=self.PINNED_RETRY)
+        # A firing spec short-circuits the later ones, so each spec only
+        # observes the calls its predecessors let through: the specs fire
+        # strictly in order, one per matching call.
+        match = {"group": 0, "chunk": 1}
+        plan = FaultPlan(
+            faults=(
+                # 1st call: ordinary failure -> retry after d0
+                FaultSpec(site="counting-worker", match=match, action="raise"),
+                # 2nd call (the same-pool retry): kill the worker -> pool
+                # rebuild resubmits the task, consuming no attempt
+                FaultSpec(site="counting-worker", match=match, action="exit"),
+                # 3rd call (post-rebuild): fail again -> the retry must
+                # sleep d1 of the original schedule
+                FaultSpec(site="counting-worker", match=match, action="raise"),
+            )
+        )
+        with arm(plan):
+            estimate = _chunked(policy)
+        _assert_same(estimate, reference)
+        assert estimate.metadata["pool_restarts"] >= 1.0
+        expected = task_retry_delays(policy, (0, 1))
+        assert slept == expected
 
 
 class TestDegradedBitIdentity:

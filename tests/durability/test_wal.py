@@ -1,0 +1,114 @@
+"""Tests for the bounded per-shard batch WAL."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.durability.wal import BatchWAL, WalEntry
+
+
+class TestAppend:
+    def test_appends_and_spans(self):
+        wal = BatchWAL(capacity=4)
+        wal.append(1, [(0, 1)])
+        wal.append(2, [(1, 2)])
+        assert wal.last_seq == 2
+        assert wal.spans() == (1, 2)
+        assert len(wal) == 2
+
+    def test_seq_must_strictly_increase(self):
+        wal = BatchWAL()
+        wal.append(3, [])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            wal.append(3, [])
+        with pytest.raises(ValueError, match="strictly increasing"):
+            wal.append(2, [])
+
+    def test_sparse_numbering_is_detected_on_replay(self):
+        # append only enforces monotonicity, but entries_after assumes the
+        # coordinator's dense numbering — a gap reads as a torn suffix.
+        wal = BatchWAL()
+        wal.append(1, ["a"])
+        wal.append(5, ["b"])
+        with pytest.raises(LookupError):
+            wal.entries_after(1)
+        assert [e.seq for e in wal.entries_after(4)] == [5]
+
+
+class TestEntriesAfter:
+    def test_suffix_from_midpoint(self):
+        wal = BatchWAL()
+        for seq in range(1, 6):
+            wal.append(seq, [seq])
+        suffix = wal.entries_after(2)
+        assert [e.seq for e in suffix] == [3, 4, 5]
+        assert all(isinstance(e, WalEntry) for e in suffix)
+
+    def test_suffix_from_last_is_empty(self):
+        wal = BatchWAL()
+        wal.append(1, [])
+        wal.append(2, [])
+        assert wal.entries_after(2) == []
+
+    def test_missing_prefix_raises(self):
+        wal = BatchWAL()
+        for seq in range(1, 6):
+            wal.append(seq, [seq])
+        wal.truncate_through(3)
+        # seq 2 was truncated away: replaying "after 1" would silently skip
+        # batches 2..3, so the WAL must refuse.
+        with pytest.raises(LookupError, match="no longer retains"):
+            wal.entries_after(1)
+        # but "after 3" is still fully retained
+        assert [e.seq for e in wal.entries_after(3)] == [4, 5]
+
+    def test_empty_wal_after_zero(self):
+        wal = BatchWAL()
+        assert wal.entries_after(0) == []
+
+
+class TestTruncate:
+    def test_truncate_through_drops_prefix(self):
+        wal = BatchWAL()
+        for seq in range(1, 6):
+            wal.append(seq, [seq])
+        wal.truncate_through(3)
+        assert wal.spans() == (4, 5)
+        wal.truncate_through(10)
+        assert len(wal) == 0
+        assert wal.spans() == (0, 0)
+
+    def test_truncate_is_idempotent(self):
+        wal = BatchWAL()
+        wal.append(1, [])
+        wal.truncate_through(1)
+        wal.truncate_through(1)
+        assert len(wal) == 0
+        # last_seq survives truncation so monotonicity is still enforced
+        assert wal.last_seq == 1
+        with pytest.raises(ValueError):
+            wal.append(1, [])
+
+
+class TestCapacity:
+    def test_over_capacity_flag(self):
+        wal = BatchWAL(capacity=3)
+        for seq in range(1, 4):
+            wal.append(seq, [])
+        assert not wal.over_capacity
+        wal.append(4, [])
+        assert wal.over_capacity
+        wal.truncate_through(1)
+        assert not wal.over_capacity
+
+    def test_capacity_is_soft_not_lossy(self):
+        # over_capacity is a signal to the coordinator to snapshot, never
+        # a silent drop: every appended entry stays replayable.
+        wal = BatchWAL(capacity=2)
+        for seq in range(1, 10):
+            wal.append(seq, [seq])
+        assert [e.seq for e in wal.entries_after(0)] == list(range(1, 10))
+
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            BatchWAL(capacity=0)

@@ -1,0 +1,168 @@
+"""Regression tests: TcpServiceClient reconnect on a dropped connection.
+
+The server here is a deliberately hostile NDJSON endpoint: it dispatches
+into a real :class:`EstimationService`, but can be scripted to slam the
+socket shut *before replying* to chosen operations.  The client must
+redial under its retry policy, transparently re-send pure reads, and
+refuse to re-send ingest — the one op where a blind re-send could
+double-count edges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.durability.retry import RetryPolicy
+from repro.exceptions import ServiceError
+from repro.service import EstimationService, TcpServiceClient
+from repro.service.client import IDEMPOTENT_OPS
+from repro.service.protocol import decode_line, encode_line
+
+REPT = {"kind": "rept", "m": 8, "c": 16, "seed": 5}
+FRAME = [[1, 2], [2, 3], [1, 3], [3, 4], [2, 4], [1, 4]]
+
+#: Fast retry policy so drop drills don't sleep for real.
+FAST_RETRY = RetryPolicy(max_attempts=4, base_delay=0.005, max_delay=0.02, seed=1)
+
+
+class DroppingServer:
+    """NDJSON endpoint that can kill the socket before replying."""
+
+    def __init__(self) -> None:
+        self.service = EstimationService()
+        self.connections = 0
+        self.seen_ops: list = []
+        self.drop_next: set = set()  # ops to drop (one-shot per op)
+        self._server = None
+
+    async def start(self):
+        self._server = await asyncio.start_server(self._handle, "127.0.0.1", 0)
+        return self._server.sockets[0].getsockname()[:2]
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+
+    async def _handle(self, reader, writer) -> None:
+        self.connections += 1
+        try:
+            while True:
+                line = await reader.readline()
+                if not line:
+                    return
+                request = decode_line(line)
+                self.seen_ops.append(request["op"])
+                if request["op"] in self.drop_next:
+                    # drop BEFORE dispatch: the request was never applied
+                    self.drop_next.discard(request["op"])
+                    return
+                response = await self.service.handle_request(request)
+                writer.write(encode_line(response))
+                await writer.drain()
+        finally:
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+
+async def drained_global(client, tenant, expected_edges):
+    for _ in range(200):
+        result = await client.query_global(tenant)
+        if result["edges_processed"] == expected_edges:
+            return result
+        await asyncio.sleep(0.005)
+    raise AssertionError("frames never drained")
+
+
+class TestIdempotentResend:
+    def test_dropped_query_is_resent_transparently(self):
+        async def scenario():
+            server = DroppingServer()
+            host, port = await server.start()
+            client = await TcpServiceClient.connect(host, port, retry=FAST_RETRY)
+            await client.open("t", engine=REPT)
+            await client.ingest("t", FRAME)
+            await drained_global(client, "t", len(FRAME))
+            server.drop_next.add("query_global")
+            # the drop is invisible to the caller
+            result = await client.query_global("t")
+            assert result["edges_processed"] == len(FRAME)
+            assert client.reconnects >= 1
+            assert server.connections >= 2
+            # the query really was sent twice: once dropped, once answered
+            assert server.seen_ops.count("query_global") >= 2
+            await client.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+    def test_ingest_ops_are_not_idempotent(self):
+        assert "ingest" not in IDEMPOTENT_OPS
+        assert "open" not in IDEMPOTENT_OPS
+        assert "query_global" in IDEMPOTENT_OPS
+        assert "query_local" in IDEMPOTENT_OPS
+
+
+class TestIngestNeverResent:
+    def test_dropped_ingest_raises_but_client_recovers(self):
+        async def scenario():
+            server = DroppingServer()
+            host, port = await server.start()
+            client = await TcpServiceClient.connect(host, port, retry=FAST_RETRY)
+            await client.open("t", engine=REPT)
+            await client.ingest("t", FRAME)
+            await drained_global(client, "t", len(FRAME))
+
+            server.drop_next.add("ingest")
+            with pytest.raises(ServiceError) as excinfo:
+                await client.ingest("t", FRAME)
+            assert excinfo.value.code == "connection-dropped"
+            # exactly two ingests reached the wire: the applied one and
+            # the dropped one — no silent third from an auto-resend
+            assert server.seen_ops.count("ingest") == 2
+
+            # the client reconnected underneath: the next calls just work
+            result = await client.query_global("t")
+            assert result["edges_processed"] == len(FRAME)
+            # the caller owns reconciliation: an explicit re-send applies
+            await client.ingest("t", FRAME)
+            await drained_global(client, "t", 2 * len(FRAME))
+            await client.close()
+            await server.stop()
+
+        asyncio.run(scenario())
+
+
+class TestReconnectExhaustion:
+    def test_server_gone_raises_after_backoff(self):
+        async def scenario():
+            server = DroppingServer()
+            host, port = await server.start()
+            client = await TcpServiceClient.connect(host, port, retry=FAST_RETRY)
+            await client.open("t", engine=REPT)
+            server.drop_next.add("query_global")
+            await server.stop()  # nothing is listening any more
+            with pytest.raises(ServiceError) as excinfo:
+                await client.query_global("t")
+            assert excinfo.value.code == "connection-dropped"
+            await client.close()
+
+        asyncio.run(scenario())
+
+    def test_closed_client_stays_closed(self):
+        async def scenario():
+            server = DroppingServer()
+            host, port = await server.start()
+            client = await TcpServiceClient.connect(host, port, retry=FAST_RETRY)
+            await client.close()
+            with pytest.raises(ServiceError, match="not connected"):
+                await client.call("hello")
+            await server.stop()
+
+        asyncio.run(scenario())

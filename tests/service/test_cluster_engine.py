@@ -1,0 +1,156 @@
+"""Tests for the ``rept-elastic`` service engine (cluster-hosted REPT)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.exceptions import ServiceError
+from repro.service.session import build_engine, validate_engine_spec
+
+ELASTIC_SPEC = {
+    "kind": "rept-elastic",
+    "m": 8,
+    "c": 24,
+    "seed": 19,
+    "workers": 2,
+    "track_local": True,
+}
+REPT_SPEC = {k: v for k, v in ELASTIC_SPEC.items() if k != "workers"}
+REPT_SPEC["kind"] = "rept"
+
+
+def frames(n_frames=8, per_frame=60, seed=4):
+    rng = random.Random(seed)
+    return [
+        [[rng.randrange(90), rng.randrange(90)] for _ in range(per_frame)]
+        for _ in range(n_frames)
+    ]
+
+
+class TestSpecValidation:
+    def test_defaults_workers(self):
+        spec = validate_engine_spec(
+            {"kind": "rept-elastic", "m": 4, "c": 8, "seed": 1}
+        )
+        assert spec["workers"] == 2
+
+    def test_requires_rept_params(self):
+        with pytest.raises(ServiceError):
+            validate_engine_spec({"kind": "rept-elastic", "workers": 2})
+
+    def test_rejects_bad_workers(self):
+        for workers in ("two", -1, 1.5):
+            with pytest.raises(ServiceError):
+                validate_engine_spec(
+                    {"kind": "rept-elastic", "m": 4, "c": 8, "seed": 1,
+                     "workers": workers}
+                )
+
+    def test_spec_json_round_trip(self):
+        import json
+
+        spec = validate_engine_spec(ELASTIC_SPEC)
+        assert json.loads(json.dumps(spec)) == spec
+
+
+class TestElasticEngine:
+    def test_matches_plain_rept_engine(self):
+        elastic = build_engine(validate_engine_spec(ELASTIC_SPEC))
+        plain = build_engine(validate_engine_spec(REPT_SPEC))
+        try:
+            for frame in frames():
+                assert elastic.ingest_frame(frame) == plain.ingest_frame(frame)
+            eg, pg = elastic.query_global(), plain.query_global()
+            assert eg["global_count"] == pg["global_count"]
+            assert eg["edges_processed"] == pg["edges_processed"]
+            assert eg["edges_stored"] == pg["edges_stored"]
+            nodes = [0, 1, 2, 50]
+            assert (
+                elastic.query_local(nodes)["counts"]
+                == plain.query_local(nodes)["counts"]
+            )
+        finally:
+            elastic.close()
+
+    def test_query_global_reports_cluster_health(self):
+        engine = build_engine(validate_engine_spec(ELASTIC_SPEC))
+        try:
+            engine.ingest_frame(frames(1)[0])
+            answer = engine.query_global()
+            assert answer["workers"] == 2
+            assert answer["worker_deaths"] == 0
+            assert answer["shard_migrations"] == 0
+        finally:
+            engine.close()
+
+    def test_survives_worker_kill_mid_session(self):
+        elastic = build_engine(validate_engine_spec(ELASTIC_SPEC))
+        plain = build_engine(validate_engine_spec(REPT_SPEC))
+        try:
+            batch = frames(10)
+            for frame in batch[:5]:
+                elastic.ingest_frame(frame)
+                plain.ingest_frame(frame)
+            victim = elastic.coordinator.worker_ids()[0]
+            elastic.coordinator.kill_worker(victim)
+            for frame in batch[5:]:
+                elastic.ingest_frame(frame)
+                plain.ingest_frame(frame)
+            eg, pg = elastic.query_global(), plain.query_global()
+            assert eg["global_count"] == pg["global_count"]
+            assert eg["worker_deaths"] == 1
+            assert eg["shard_migrations"] > 0
+        finally:
+            elastic.close()
+
+
+class TestCheckpointCompatibility:
+    def test_restore_onto_fresh_elastic_engine(self):
+        engine = build_engine(validate_engine_spec(ELASTIC_SPEC))
+        try:
+            for frame in frames():
+                engine.ingest_frame(frame)
+            payload = engine.state_payload()
+            want = engine.query_global()
+            delivered = engine.delivered
+        finally:
+            engine.close()
+        fresh = build_engine(validate_engine_spec(ELASTIC_SPEC))
+        try:
+            fresh.restore(payload, delivered)
+            assert fresh.delivered == delivered
+            assert fresh.query_global()["global_count"] == want["global_count"]
+        finally:
+            fresh.close()
+
+    def test_checkpoints_interchange_with_plain_rept(self):
+        # An elastic checkpoint restores onto a plain engine and vice
+        # versa: sessions can move between deployment modes.
+        elastic = build_engine(validate_engine_spec(ELASTIC_SPEC))
+        try:
+            for frame in frames():
+                elastic.ingest_frame(frame)
+            payload = elastic.state_payload()
+            want = elastic.query_global()
+            delivered = elastic.delivered
+        finally:
+            elastic.close()
+
+        plain = build_engine(validate_engine_spec(REPT_SPEC))
+        plain.restore(payload, delivered)
+        assert plain.query_global()["global_count"] == want["global_count"]
+
+        back = build_engine(validate_engine_spec(ELASTIC_SPEC))
+        try:
+            back.restore(plain.state_payload(), plain.delivered)
+            assert back.query_global()["global_count"] == want["global_count"]
+        finally:
+            back.close()
+
+    def test_close_is_idempotent(self):
+        engine = build_engine(validate_engine_spec(ELASTIC_SPEC))
+        engine.ingest_frame(frames(1)[0])
+        engine.close()
+        engine.close()

@@ -56,6 +56,9 @@ SUBPACKAGES = [
     "repro.experiments",
     "repro.applications",
     "repro.utils",
+    "repro.durability",
+    "repro.cluster",
+    "repro.service",
 ]
 
 
