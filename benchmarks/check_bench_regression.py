@@ -30,9 +30,17 @@ calibration factor itself, which is printed and bounded (a factor outside
 Disable with ``--no-calibrate`` (or ``REPRO_BENCH_REGRESSION_CALIBRATE=0``)
 when baseline and fresh run share hardware.
 
-Cells are matched on ``(m, c, hash, fraction-of-full-stream)`` so the gate
-works even when CI runs a reduced stream (``REPRO_BENCH_INGEST_EDGES``):
-the fraction each cell used of its run's full stream is scale-invariant.
+Cells are matched on ``(m, c, hash, kernel, fraction-of-full-stream)`` so
+the gate works even when CI runs a reduced stream
+(``REPRO_BENCH_INGEST_EDGES``): the fraction each cell used of its run's
+full stream is scale-invariant.  Cells written before the kernel dimension
+existed default to ``kernel="python"``; each kernel's cells carry their
+own floors, so a native-kernel regression cannot hide behind a python-path
+improvement (or vice versa).  The calibration factor is computed from
+python-kernel cells only — their per-edge path is the un-optimised
+reference loop, while a native cell's per-edge path goes through the
+compiled kernel and would fold kernel regressions into the hardware
+factor.
 
 Environment overrides (also available as flags):
 
@@ -65,7 +73,7 @@ DEFAULT_TOLERANCE = 0.20
 #: moved too much to trust a cross-machine comparison.
 CALIBRATION_BAND = (0.2, 5.0)
 
-CellKey = Tuple[int, int, str, float]
+CellKey = Tuple[int, int, str, str, float]
 
 
 def _read_payload(path: Path) -> dict:
@@ -105,6 +113,7 @@ def _load_cells(path: Path) -> Dict[CellKey, dict]:
             int(cell["m"]),
             int(cell["c"]),
             str(cell["hash"]),
+            str(cell.get("kernel", "python")),
             round(int(cell["num_records"]) / full, 3),
         )
         indexed[key] = cell
@@ -141,9 +150,16 @@ def check_regression(
 
     factor = 1.0
     if calibrate and metric == "batch_eps":
+        # Python-kernel cells only: their per-edge path is the un-optimised
+        # reference loop.  A native cell's per-edge path runs the compiled
+        # kernel, so including it would launder kernel regressions into the
+        # "hardware" factor.
+        calibration_keys = [key for key in matched if key[3] == "python"]
+        if not calibration_keys:
+            calibration_keys = matched
         ratios = [
             fresh[key]["per_edge_eps"] / baseline[key]["per_edge_eps"]
-            for key in matched
+            for key in calibration_keys
             if baseline[key].get("per_edge_eps")
         ]
         if ratios:
@@ -167,7 +183,7 @@ def check_regression(
     )
     failures: List[str] = []
     for key in matched:
-        m, c, hash_kind, fraction = key
+        m, c, hash_kind, kernel, fraction = key
         base_cell = baseline[key]
         fresh_cell = fresh[key]
         if metric == "speedup":
@@ -179,14 +195,14 @@ def check_regression(
         floor = expected * (1.0 - tolerance)
         status = "ok" if observed >= floor else "REGRESSED"
         print(
-            f"  m={m} c={c} hash={hash_kind} frac={fraction}: "
+            f"  m={m} c={c} hash={hash_kind} kernel={kernel} frac={fraction}: "
             f"{metric} {observed:,.2f} vs expected {expected:,.2f} "
             f"(floor {floor:,.2f}) {status}",
             file=out,
         )
         if observed < floor:
             failures.append(
-                f"m={m} c={c} hash={hash_kind} frac={fraction}: "
+                f"m={m} c={c} hash={hash_kind} kernel={kernel} frac={fraction}: "
                 f"{observed:,.2f} < {floor:,.2f} "
                 f"({1.0 - observed / expected:.1%} below baseline)"
             )

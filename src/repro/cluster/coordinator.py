@@ -668,6 +668,13 @@ class ElasticCoordinator:
         estimate.metadata["shard_map_epoch"] = float(self.shard_map.epoch)
         estimate.metadata["inline_shards"] = float(len(self._inline))
         estimate.metadata["degraded"] = 1.0 if self._inline else 0.0
+        # The coordinator's own resolution; remote hosts re-resolve locally
+        # but all kernels are bit-identical, so one label describes the run.
+        from repro.core.kernel import resolve_kernel
+
+        estimate.metadata["kernel"] = resolve_kernel(
+            getattr(self.config, "kernel", "auto"), max(self.config.group_sizes())
+        )
         return estimate
 
     # -- portable state (service engine) ---------------------------------------

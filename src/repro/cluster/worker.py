@@ -42,7 +42,7 @@ from typing import Dict, Optional, Sequence, Set, Tuple
 
 from repro.core.config import ReptConfig
 from repro.core.interning import NodeInterner
-from repro.core.state import ProcessorGroup, first_flags
+from repro.core.state import first_flags
 from repro.testing.faults import maybe_fail
 
 
@@ -83,13 +83,19 @@ class ShardState:
             buckets=config.m,
             seed=config.group_hash_seeds()[shard_id],
         )
-        self.group = ProcessorGroup(
+        # Kernel resolution happens here, in the hosting process: compiled
+        # handles do not travel, and all kernels are bit-identical, so a
+        # shard may migrate between differently-resolved hosts freely.
+        from repro.core.adjacency import make_processor_group
+
+        self.group = make_processor_group(
             hash_function=hash_function,
             group_size=sizes[shard_id],
             m=config.m,
             track_local=config.track_local,
             track_eta=bool(config.track_eta),
             interner=self.interner,
+            kernel=getattr(config, "kernel", "auto"),
         )
         #: First-occurrence scope.  Per-shard (not per-worker!) so the flags
         #: survive migration: a shard's ``seen`` travels in its portable

@@ -40,6 +40,15 @@ class ReptConfig:
         would silently plug ``η̂ = 0`` into the Graybill–Deal variances and
         corrupt the combined estimate.  Estimates record whether η was
         actually tracked in ``metadata["eta_tracked"]``.
+    kernel:
+        Ingestion-kernel request: ``"auto"`` (default — use a compiled
+        kernel when one is available and every group fits its slot-bitmask
+        limit, else the pure-Python path), ``"python"`` (force the dict/set
+        reference), ``"native"`` (require *some* compiled kernel; raises if
+        none is available), or a provider pin (``"cc"``/``"numba"``).  All
+        kernels are bit-identical; estimates record the resolved label in
+        ``metadata["kernel"]``.  The ``REPRO_KERNEL`` environment variable
+        constrains what "available" means (see :mod:`repro.core.kernel`).
     """
 
     m: int
@@ -48,8 +57,13 @@ class ReptConfig:
     hash_kind: str = "splitmix"
     track_local: bool = True
     track_eta: Optional[bool] = None
+    kernel: str = "auto"
 
     def __post_init__(self) -> None:
+        # Local import: repro.core.kernel depends only on repro.exceptions,
+        # but keeping it out of module scope avoids import-order coupling.
+        from repro.core.kernel import KERNEL_CHOICES
+
         if not isinstance(self.m, int) or self.m < 1:
             raise ConfigurationError(f"m must be a positive integer, got {self.m!r}")
         if not isinstance(self.c, int) or self.c < 1:
@@ -57,6 +71,10 @@ class ReptConfig:
         if self.hash_kind not in ("splitmix", "tabulation"):
             raise ConfigurationError(
                 f"hash_kind must be 'splitmix' or 'tabulation', got {self.hash_kind!r}"
+            )
+        if self.kernel not in KERNEL_CHOICES:
+            raise ConfigurationError(
+                f"kernel must be one of {KERNEL_CHOICES}, got {self.kernel!r}"
             )
         if self.seed is None:
             # Resolve the seed once so every driver backend (serial, thread,
@@ -126,5 +144,6 @@ class ReptConfig:
         algorithm = "Alg.2" if self.uses_groups else "Alg.1"
         return (
             f"REPT({algorithm}, p=1/{self.m}, c={self.c}, "
-            f"groups={self.group_sizes()}, hash={self.hash_kind})"
+            f"groups={self.group_sizes()}, hash={self.hash_kind}, "
+            f"kernel={self.kernel})"
         )

@@ -1,0 +1,654 @@
+"""Compiled ingestion kernels for the array-backed adjacency state.
+
+:mod:`repro.core.adjacency` refactors a processor group's hot state onto
+flat int64 columns; this module supplies the fused closure+store loop that
+advances those columns over one encoded batch.  Three interchangeable
+implementations exist, all bit-identical (the kernel-parity property suite
+asserts exact equality against the dict/set reference):
+
+``cc``
+    The batch loop as a small C source string, compiled once per machine
+    with the system C compiler into a cached shared object and called
+    through :mod:`ctypes`.  No third-party dependency; available wherever
+    a C compiler is (the usual case on CI and dev machines).
+``numba``
+    :func:`_ingest_batch` JIT-compiled with ``numba.njit``.  Gated behind
+    an import guard — numba is an *optional* dependency
+    (``requirements-optional.txt``); environments without it silently fall
+    back to ``cc`` or pure Python.
+``python``
+    No compiled kernel: the dict/set reference implementation in
+    :class:`~repro.core.state.ProcessorGroup` (this module's
+    :func:`_ingest_batch` run un-jitted is used only by tests).
+
+Selection is requested as ``kernel="auto"|"python"|"native"`` (plus the
+explicit provider names ``"cc"``/``"numba"`` for pinning) on
+:class:`~repro.core.config.ReptConfig` and resolved once per state set by
+:func:`resolve_kernel`.  The ``REPRO_KERNEL`` environment variable
+describes the *environment's* capability and overrides discovery:
+``REPRO_KERNEL=python`` disables native providers entirely (the CI
+no-native lane), ``REPRO_KERNEL=numba`` or ``=cc`` restricts discovery to
+that provider (the CI numba lane pins the JIT path even though a C
+compiler is present).
+
+The compiled loop never allocates: every capacity (node columns, half-edge
+pool, edge arrays) is ensured by the Python wrapper before the call, from
+vectorised counts of the batch's storable first occurrences.
+"""
+
+from __future__ import annotations
+
+import ctypes
+import hashlib
+import os
+import shutil
+import subprocess
+import tempfile
+from typing import List, Optional
+
+import numpy as np
+
+from repro.exceptions import ConfigurationError
+
+#: Values accepted by ``ReptConfig.kernel`` / ``GroupStateSet(kernel=...)``.
+KERNEL_CHOICES = ("auto", "python", "native", "cc", "numba")
+
+#: Native provider names in ``auto`` preference order: the C kernel is
+#: compiled once per machine and cached on disk, while numba pays a JIT
+#: compile in every fresh process — prefer ``cc`` when both are present.
+NATIVE_PROVIDERS = ("cc", "numba")
+
+#: Slot bitmasks live in one signed int64 per node, so a native group can
+#: address at most 63 slots; wider groups fall back to the Python kernel.
+MAX_NATIVE_GROUP_SIZE = 63
+
+
+# -- reference loop (numba-jittable, also runnable as pure Python) -----------
+
+
+def _ingest_batch(
+    n,
+    cu,
+    cv,
+    slots,
+    firsts,
+    group_size,
+    track_local,
+    track_eta,
+    node_bits,
+    heads,
+    pool_nbr,
+    pool_eid,
+    pool_nxt,
+    edge_u,
+    edge_v,
+    edge_slot,
+    edge_tri,
+    edge_seen,
+    tau,
+    eta,
+    edges_stored,
+    tau_local,
+    eta_local,
+    eta_mark,
+    mark,
+    mark_eid,
+    meta,
+):
+    """Advance one group's array state over an encoded batch.
+
+    Mirrors :meth:`repro.core.state.ProcessorGroup.process_encoded` (and
+    through it the paper's UpdateTriangleCNT / UpdateTrianglePairCNT) over
+    the flat columns of :class:`repro.core.adjacency.GroupArrays`; see that
+    class for the array layout.  All counters are exact integers, so the
+    result is bit-identical to the dict/set reference.  ``meta`` carries
+    the mutable scalars ``[n_half, n_edges, epoch]``.
+
+    The neighbourhood intersection uses the epoch-stamp trick: stamping
+    ``N_u`` costs O(deg u) and membership tests during the ``N_v`` walk are
+    one comparison, with no clearing pass between edges.
+    """
+    n_half = meta[0]
+    n_edges = meta[1]
+    epoch = meta[2]
+    for k in range(n):
+        iu = cu[k]
+        iv = cv[k]
+        slot = slots[k]
+        bits_u = node_bits[iu]
+        bits_v = node_bits[iv]
+        candidates = bits_u & bits_v
+        closing_at_store = 0
+        storeable = slot < group_size
+        while candidates != 0:
+            low = candidates & (-candidates)
+            candidates -= low
+            s = 0
+            low_bits = low
+            while low_bits > 1:
+                low_bits >>= 1
+                s += 1
+            # Stamp N_u(s): mark[w] names w a shared-neighbour candidate,
+            # mark_eid[w] remembers the stored edge (u, w) for the η reads.
+            epoch += 1
+            h = heads[s, iu]
+            while h != -1:
+                w = pool_nbr[h]
+                mark[w] = epoch
+                mark_eid[w] = pool_eid[h]
+                h = pool_nxt[h]
+            closed = 0
+            h = heads[s, iv]
+            while h != -1:
+                w = pool_nbr[h]
+                if mark[w] == epoch:
+                    closed += 1
+                    if track_local:
+                        tau_local[s, w] += 1
+                    if track_eta:
+                        e_uw = mark_eid[w]
+                        e_vw = pool_eid[h]
+                        count_uw = edge_tri[e_uw]
+                        count_vw = edge_tri[e_vw]
+                        eta[s] += count_uw + count_vw
+                        if track_local:
+                            eta_local[s, w] += count_uw + count_vw
+                            eta_local[s, iu] += count_uw
+                            eta_local[s, iv] += count_vw
+                            eta_mark[s, w] = 1
+                            eta_mark[s, iu] = 1
+                            eta_mark[s, iv] = 1
+                        edge_tri[e_uw] = count_uw + 1
+                        edge_tri[e_vw] = count_vw + 1
+                        edge_seen[e_uw] = 1
+                        edge_seen[e_vw] = 1
+                h = pool_nxt[h]
+            if closed != 0:
+                tau[s] += closed
+                if track_local:
+                    tau_local[s, iu] += closed
+                    tau_local[s, iv] += closed
+                if storeable and s == slot:
+                    closing_at_store = closed
+        if firsts[k] != 0 and storeable:
+            e = n_edges
+            n_edges += 1
+            if iu < iv:
+                edge_u[e] = iu
+                edge_v[e] = iv
+            else:
+                edge_u[e] = iv
+                edge_v[e] = iu
+            edge_slot[e] = slot
+            if track_eta:
+                edge_tri[e] = closing_at_store
+                edge_seen[e] = 1
+            else:
+                edge_tri[e] = 0
+            pool_nbr[n_half] = iv
+            pool_eid[n_half] = e
+            pool_nxt[n_half] = heads[slot, iu]
+            heads[slot, iu] = n_half
+            n_half += 1
+            pool_nbr[n_half] = iu
+            pool_eid[n_half] = e
+            pool_nxt[n_half] = heads[slot, iv]
+            heads[slot, iv] = n_half
+            n_half += 1
+            edges_stored[slot] += 1
+            bit = 1 << slot
+            node_bits[iu] = bits_u | bit
+            node_bits[iv] = bits_v | bit
+    meta[0] = n_half
+    meta[1] = n_edges
+    meta[2] = epoch
+    return 0
+
+
+# -- cc provider: C source compiled once per machine, loaded via ctypes ------
+
+_C_SOURCE = r"""
+#include <stdint.h>
+
+typedef int64_t i64;
+typedef uint8_t u8;
+
+/* The fused closure+store loop; a line-for-line transcription of the
+ * Python reference `_ingest_batch` in repro/core/kernel.py — keep the two
+ * in lockstep, the kernel-parity CI matrix asserts bit-identity. */
+int64_t rept_ingest_batch(
+    i64 n,
+    const i64 *cu, const i64 *cv, const i64 *slots, const u8 *firsts,
+    i64 group_size, i64 node_cap,
+    i64 track_local, i64 track_eta,
+    i64 *node_bits,
+    i64 *heads,
+    i64 *pool_nbr, i64 *pool_eid, i64 *pool_nxt,
+    i64 *edge_u, i64 *edge_v, i64 *edge_slot, i64 *edge_tri, u8 *edge_seen,
+    i64 *tau, i64 *eta, i64 *edges_stored,
+    i64 *tau_local, i64 *eta_local, u8 *eta_mark,
+    i64 *mark, i64 *mark_eid,
+    i64 *meta)
+{
+    i64 n_half = meta[0];
+    i64 n_edges = meta[1];
+    i64 epoch = meta[2];
+    for (i64 k = 0; k < n; k++) {
+        i64 iu = cu[k];
+        i64 iv = cv[k];
+        i64 slot = slots[k];
+        i64 bits_u = node_bits[iu];
+        i64 bits_v = node_bits[iv];
+        i64 candidates = bits_u & bits_v;
+        i64 closing_at_store = 0;
+        i64 storeable = slot < group_size;
+        while (candidates != 0) {
+            i64 low = candidates & (-candidates);
+            candidates -= low;
+            i64 s = 0;
+            i64 low_bits = low;
+            while (low_bits > 1) {
+                low_bits >>= 1;
+                s += 1;
+            }
+            i64 *hrow = heads + s * node_cap;
+            epoch += 1;
+            i64 h = hrow[iu];
+            while (h != -1) {
+                i64 w = pool_nbr[h];
+                mark[w] = epoch;
+                mark_eid[w] = pool_eid[h];
+                h = pool_nxt[h];
+            }
+            i64 closed = 0;
+            h = hrow[iv];
+            while (h != -1) {
+                i64 w = pool_nbr[h];
+                if (mark[w] == epoch) {
+                    closed += 1;
+                    if (track_local)
+                        tau_local[s * node_cap + w] += 1;
+                    if (track_eta) {
+                        i64 e_uw = mark_eid[w];
+                        i64 e_vw = pool_eid[h];
+                        i64 count_uw = edge_tri[e_uw];
+                        i64 count_vw = edge_tri[e_vw];
+                        eta[s] += count_uw + count_vw;
+                        if (track_local) {
+                            i64 *el = eta_local + s * node_cap;
+                            u8 *em = eta_mark + s * node_cap;
+                            el[w] += count_uw + count_vw;
+                            el[iu] += count_uw;
+                            el[iv] += count_vw;
+                            em[w] = 1;
+                            em[iu] = 1;
+                            em[iv] = 1;
+                        }
+                        edge_tri[e_uw] = count_uw + 1;
+                        edge_tri[e_vw] = count_vw + 1;
+                        edge_seen[e_uw] = 1;
+                        edge_seen[e_vw] = 1;
+                    }
+                }
+                h = pool_nxt[h];
+            }
+            if (closed != 0) {
+                tau[s] += closed;
+                if (track_local) {
+                    i64 *tl = tau_local + s * node_cap;
+                    tl[iu] += closed;
+                    tl[iv] += closed;
+                }
+                if (storeable && s == slot)
+                    closing_at_store = closed;
+            }
+        }
+        if (firsts[k] != 0 && storeable) {
+            i64 e = n_edges;
+            n_edges += 1;
+            if (iu < iv) {
+                edge_u[e] = iu;
+                edge_v[e] = iv;
+            } else {
+                edge_u[e] = iv;
+                edge_v[e] = iu;
+            }
+            edge_slot[e] = slot;
+            if (track_eta) {
+                edge_tri[e] = closing_at_store;
+                edge_seen[e] = 1;
+            } else {
+                edge_tri[e] = 0;
+            }
+            i64 *hrow = heads + slot * node_cap;
+            pool_nbr[n_half] = iv;
+            pool_eid[n_half] = e;
+            pool_nxt[n_half] = hrow[iu];
+            hrow[iu] = n_half;
+            n_half += 1;
+            pool_nbr[n_half] = iu;
+            pool_eid[n_half] = e;
+            pool_nxt[n_half] = hrow[iv];
+            hrow[iv] = n_half;
+            n_half += 1;
+            edges_stored[slot] += 1;
+            i64 bit = (i64)1 << slot;
+            node_bits[iu] = bits_u | bit;
+            node_bits[iv] = bits_v | bit;
+        }
+    }
+    meta[0] = n_half;
+    meta[1] = n_edges;
+    meta[2] = epoch;
+    return 0;
+}
+"""
+
+#: Memoised provider handles; ``False`` = probed and unavailable.
+_PROVIDERS: dict = {}
+
+
+def _kernel_cache_dir() -> str:
+    override = os.environ.get("REPRO_KERNEL_CACHE")
+    if override:
+        return override
+    return os.path.join(tempfile.gettempdir(), "repro-kernel-cache")
+
+
+def _build_cc():
+    """Compile (or load the cached) C kernel; raises on any failure."""
+    compiler = os.environ.get("CC") or shutil.which("cc") or shutil.which("gcc")
+    if compiler is None:
+        raise RuntimeError("no C compiler found")
+    digest = hashlib.sha256(_C_SOURCE.encode()).hexdigest()[:16]
+    cache_dir = _kernel_cache_dir()
+    so_path = os.path.join(cache_dir, f"rept_kernel_{digest}.so")
+    if not os.path.exists(so_path):
+        os.makedirs(cache_dir, exist_ok=True)
+        src_path = os.path.join(cache_dir, f"rept_kernel_{digest}.c")
+        tmp_path = f"{so_path}.{os.getpid()}.tmp"
+        with open(src_path, "w") as handle:
+            handle.write(_C_SOURCE)
+        subprocess.run(
+            [compiler, "-O3", "-fPIC", "-shared", "-o", tmp_path, src_path],
+            check=True,
+            capture_output=True,
+        )
+        # Atomic publish: concurrent builders race benignly.
+        os.replace(tmp_path, so_path)
+    lib = ctypes.CDLL(so_path)
+    fn = lib.rept_ingest_batch
+    fn.restype = ctypes.c_int64
+    ptr = ctypes.c_void_p
+    i64 = ctypes.c_int64
+    fn.argtypes = [
+        i64, ptr, ptr, ptr, ptr,          # n, cu, cv, slots, firsts
+        i64, i64, i64, i64,               # group_size, node_cap, track_local, track_eta
+        ptr, ptr,                         # node_bits, heads
+        ptr, ptr, ptr,                    # pool_nbr, pool_eid, pool_nxt
+        ptr, ptr, ptr, ptr, ptr,          # edge_u, edge_v, edge_slot, edge_tri, edge_seen
+        ptr, ptr, ptr,                    # tau, eta, edges_stored
+        ptr, ptr, ptr,                    # tau_local, eta_local, eta_mark
+        ptr, ptr, ptr,                    # mark, mark_eid, meta
+    ]
+    return fn
+
+
+def _build_numba():
+    """JIT-compile the reference loop with numba; raises when absent."""
+    import numba  # noqa: F401 — the import guard the CI matrix exercises
+
+    return numba.njit(cache=False, fastmath=False)(_ingest_batch)
+
+
+_BUILDERS = {"cc": _build_cc, "numba": _build_numba}
+
+
+def provider_available(name: str) -> bool:
+    """Probe (and memoise) whether a native provider can be built here."""
+    handle = _PROVIDERS.get(name)
+    if handle is None:
+        builder = _BUILDERS.get(name)
+        if builder is None:
+            return False
+        try:
+            handle = builder()
+        except Exception:
+            handle = False
+        _PROVIDERS[name] = handle
+    return handle is not False
+
+
+def reset_provider_cache() -> None:
+    """Drop memoised provider probes (test hook for env overrides)."""
+    _PROVIDERS.clear()
+
+
+def _env_override() -> Optional[str]:
+    value = os.environ.get("REPRO_KERNEL", "").strip().lower()
+    return value or None
+
+
+def available_native_providers() -> List[str]:
+    """Native providers usable in this environment, in preference order."""
+    env = _env_override()
+    if env == "python":
+        return []
+    if env in NATIVE_PROVIDERS:
+        return [env] if provider_available(env) else []
+    return [name for name in NATIVE_PROVIDERS if provider_available(name)]
+
+
+def resolve_kernel(requested: str, max_group_size: Optional[int] = None) -> str:
+    """Resolve a kernel request to ``"python"`` or a native provider name.
+
+    ``requested`` is one of :data:`KERNEL_CHOICES`; ``max_group_size``
+    gates native eligibility (signed-int64 slot bitmasks limit native
+    groups to :data:`MAX_NATIVE_GROUP_SIZE` slots — wider groups fall back
+    under ``auto`` and are rejected for explicit native requests).  The
+    ``REPRO_KERNEL`` environment override is honoured as described in the
+    module docstring.  Raises :class:`~repro.exceptions.ConfigurationError`
+    when an explicit native request cannot be satisfied.
+    """
+    if requested not in KERNEL_CHOICES:
+        raise ConfigurationError(
+            f"kernel must be one of {KERNEL_CHOICES}, got {requested!r}"
+        )
+    if requested == "python":
+        return "python"
+    fits = max_group_size is None or max_group_size <= MAX_NATIVE_GROUP_SIZE
+    env = _env_override()
+    if requested == "auto":
+        if not fits:
+            return "python"
+        candidates = available_native_providers()
+        return candidates[0] if candidates else "python"
+    # Explicit native request ("native", "cc" or "numba").
+    if not fits:
+        raise ConfigurationError(
+            f"kernel={requested!r} requires every group size <= "
+            f"{MAX_NATIVE_GROUP_SIZE} (got {max_group_size})"
+        )
+    if env == "python":
+        raise ConfigurationError(
+            f"kernel={requested!r} requested but REPRO_KERNEL=python disables "
+            "native kernels in this environment"
+        )
+    candidates = available_native_providers()
+    if requested == "native":
+        if not candidates:
+            raise ConfigurationError(
+                "kernel='native' requested but no native provider is available "
+                "(no C compiler and no numba; set kernel='auto' to fall back)"
+            )
+        return candidates[0]
+    if requested not in candidates:
+        raise ConfigurationError(
+            f"kernel={requested!r} requested but that provider is unavailable "
+            f"(available: {candidates or ['python']})"
+        )
+    return requested
+
+
+def _resolve_handle(provider: str):
+    handle = _PROVIDERS.get(provider)
+    if handle is None or handle is False:
+        if not provider_available(provider):
+            raise ConfigurationError(f"native kernel provider {provider!r} unavailable")
+        handle = _PROVIDERS[provider]
+    return handle
+
+
+def _cc_state_block(arrays):
+    """The cc call arguments from ``group_size`` onward, as a cached tuple.
+
+    Raw ``.ctypes.data`` pointers are only valid until a column is
+    reallocated; :class:`~repro.core.adjacency.GroupArrays` clears its
+    ``_call_cache`` on every growth (and drops it on pickle), so a cached
+    block can never outlive the arrays it points into.  Rebuilding 24
+    pointers costs ~25µs — caching is what makes scalar (n=1) kernel calls
+    viable.
+    """
+    block = arrays._call_cache.get("cc-state")
+    if block is None:
+        block = (
+            arrays.group_size,
+            arrays.node_cap,
+            1 if arrays.track_local else 0,
+            1 if arrays.track_eta else 0,
+            arrays.node_bits.ctypes.data,
+            arrays.heads.ctypes.data,
+            arrays.pool_nbr.ctypes.data,
+            arrays.pool_eid.ctypes.data,
+            arrays.pool_nxt.ctypes.data,
+            arrays.edge_u.ctypes.data,
+            arrays.edge_v.ctypes.data,
+            arrays.edge_slot.ctypes.data,
+            arrays.edge_tri.ctypes.data,
+            arrays.edge_seen.ctypes.data,
+            arrays.tau.ctypes.data,
+            arrays.eta.ctypes.data,
+            arrays.edges_stored.ctypes.data,
+            arrays.tau_local.ctypes.data,
+            arrays.eta_local.ctypes.data,
+            arrays.eta_mark.ctypes.data,
+            arrays.mark.ctypes.data,
+            arrays.mark_eid.ctypes.data,
+            arrays.meta.ctypes.data,
+        )
+        arrays._call_cache["cc-state"] = block
+    return block
+
+
+def run_batch(provider: str, n, cu, cv, slots, firsts, arrays) -> None:
+    """Dispatch one encoded batch to ``provider`` over ``arrays``.
+
+    ``arrays`` is a :class:`repro.core.adjacency.GroupArrays`; every
+    capacity must already be ensured (the kernels never grow storage).
+    """
+    handle = _resolve_handle(provider)
+    if provider == "cc":
+        handle(
+            n,
+            cu.ctypes.data,
+            cv.ctypes.data,
+            slots.ctypes.data,
+            firsts.ctypes.data,
+            *_cc_state_block(arrays),
+        )
+    else:
+        handle(
+            n,
+            cu,
+            cv,
+            slots,
+            firsts,
+            arrays.group_size,
+            arrays.track_local,
+            arrays.track_eta,
+            arrays.node_bits,
+            arrays.heads,
+            arrays.pool_nbr,
+            arrays.pool_eid,
+            arrays.pool_nxt,
+            arrays.edge_u,
+            arrays.edge_v,
+            arrays.edge_slot,
+            arrays.edge_tri,
+            arrays.edge_seen,
+            arrays.tau,
+            arrays.eta,
+            arrays.edges_stored,
+            arrays.tau_local,
+            arrays.eta_local,
+            arrays.eta_mark,
+            arrays.mark,
+            arrays.mark_eid,
+            arrays.meta,
+        )
+
+
+def run_scalar(provider: str, iu: int, iv: int, slot: int, first: int, arrays) -> None:
+    """Dispatch one interned edge to ``provider`` (the per-edge path).
+
+    Semantically ``run_batch`` with ``n = 1``, but the four input columns
+    are preallocated single-element buffers owned by ``arrays`` and the
+    whole argument tuple is cached alongside the state-pointer block, so a
+    call costs one write per operand plus the FFI dispatch (~3µs for cc)
+    instead of rebuilding ~28 arguments.  ``first`` must already encode the
+    store decision (0/1): the caller derives first-occurrence before the
+    call, exactly like the batch path's precomputed flags.
+    """
+    handle = _resolve_handle(provider)
+    entry = arrays._call_cache.get(("scalar", provider))
+    if entry is None:
+        cu = np.zeros(1, np.int64)
+        cv = np.zeros(1, np.int64)
+        slots = np.zeros(1, np.int64)
+        firsts = np.zeros(1, np.uint8)
+        if provider == "cc":
+            args = (
+                1,
+                cu.ctypes.data,
+                cv.ctypes.data,
+                slots.ctypes.data,
+                firsts.ctypes.data,
+            ) + _cc_state_block(arrays)
+        else:
+            args = (
+                1,
+                cu,
+                cv,
+                slots,
+                firsts,
+                arrays.group_size,
+                arrays.track_local,
+                arrays.track_eta,
+                arrays.node_bits,
+                arrays.heads,
+                arrays.pool_nbr,
+                arrays.pool_eid,
+                arrays.pool_nxt,
+                arrays.edge_u,
+                arrays.edge_v,
+                arrays.edge_slot,
+                arrays.edge_tri,
+                arrays.edge_seen,
+                arrays.tau,
+                arrays.eta,
+                arrays.edges_stored,
+                arrays.tau_local,
+                arrays.eta_local,
+                arrays.eta_mark,
+                arrays.mark,
+                arrays.mark_eid,
+                arrays.meta,
+            )
+        entry = (cu, cv, slots, firsts, args)
+        arrays._call_cache[("scalar", provider)] = entry
+    cu, cv, slots, firsts, args = entry
+    cu[0] = iu
+    cv[0] = iv
+    slots[0] = slot
+    firsts[0] = first
+    handle(*args)

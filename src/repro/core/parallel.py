@@ -149,13 +149,19 @@ def _make_group(
     m: int,
     track_local: bool,
     track_eta: bool,
+    kernel: str = "python",
 ) -> ProcessorGroup:
-    return ProcessorGroup(
+    # Local import: repro.core.adjacency imports this module's sibling
+    # (state); resolving lazily keeps the worker-unpickling path light.
+    from repro.core.adjacency import make_processor_group
+
+    return make_processor_group(
         hash_function=make_hash_function(hash_kind, buckets=m, seed=hash_seed),
         group_size=group_size,
         m=m,
         track_local=track_local,
         track_eta=track_eta,
+        kernel=kernel,
     )
 
 
@@ -178,14 +184,20 @@ def _group_worker(
     is_complete: bool,
     track_local: bool,
     track_eta: bool,
+    kernel: str = "python",
 ) -> GroupSummary:
     """Advance one processor group over the whole stream and summarise it.
 
     Module-level (not a closure) so it can be pickled by the process pool.
     Ingestion runs through the batched pipeline (bit-identical to the
     per-edge loop), with a persistent first-occurrence set across batches.
+    The kernel request is re-resolved in this process (compiled handles do
+    not pickle); all kernels are bit-identical, so mixed resolution across
+    workers cannot change the summary.
     """
-    group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
+    group = _make_group(
+        hash_kind, hash_seed, group_size, m, track_local, track_eta, kernel
+    )
     ingest_edge_batches(group, edges, seen=set(), batch_edges=_WORKER_BATCH_EDGES)
     return _summarise_group(group, is_complete)
 
@@ -278,13 +290,16 @@ def _chunk_counting_worker(
     m: int,
     track_local: bool,
     track_eta: bool,
+    kernel: str = "python",
     task_key: Optional[Tuple[int, int]] = None,
 ) -> GroupSnapshot:
     """Counting pass over one chunk for one group, seeded with the boundary
     adjacency, returning the chunk's counter deltas as a group snapshot."""
     if task_key is not None:
         maybe_fail("counting-worker", group=task_key[0], chunk=task_key[1])
-    group = _make_group(hash_kind, hash_seed, group_size, m, track_local, track_eta)
+    group = _make_group(
+        hash_kind, hash_seed, group_size, m, track_local, track_eta, kernel
+    )
     group.seed_adjacency(_resolve_stored(snapshot_ref))
     ingest_edge_batches(
         group, _resolve_edges(payload), batch_edges=_WORKER_BATCH_EDGES
@@ -633,6 +648,7 @@ def _chunked_phases_inline(
                 config.m,
                 track_local,
                 track_eta,
+                config.kernel,
                 (group_index, chunk_index),
             )
     return chunk_states
@@ -730,6 +746,7 @@ def _chunked_phases_pooled(
                     config.m,
                     track_local,
                     track_eta,
+                    config.kernel,
                     key,
                 ),
             )
@@ -743,6 +760,7 @@ def _chunked_phases_pooled(
                     config.m,
                     track_local,
                     track_eta,
+                    config.kernel,
                     k,
                 )
             )
@@ -952,6 +970,7 @@ def run_rept(
                     complete,
                     track_local,
                     track_eta,
+                    config.kernel,
                 )
                 for seed, size, complete in items
             ]
@@ -966,6 +985,13 @@ def run_rept(
         eta_tracked=track_eta,
     )
     estimate.metadata.update(chunk_info)
+    # Resolved in the driver; pool workers re-resolve per process, which is
+    # safe because every kernel is bit-identical (the label is descriptive).
+    from repro.core.kernel import resolve_kernel
+
+    estimate.metadata["kernel"] = resolve_kernel(
+        config.kernel, max(config.group_sizes())
+    )
     return estimate
 
 

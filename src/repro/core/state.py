@@ -78,6 +78,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
+import numpy as np
+
 from repro.core.combine import GroupSummary, combine_group_estimates
 from repro.core.config import ReptConfig
 from repro.core.interning import NodeInterner
@@ -275,6 +277,9 @@ class ProcessorGroup:
         ]
         # dense node id -> bitmask of slots where the node has a stored edge.
         self._node_bits: Dict[int, int] = {}
+        # Cached seen-pairs set handed to process_edges(seen=None) callers;
+        # see _stored_pairs for the maintenance contract.
+        self._pairs_cache: Optional[Set[Tuple[int, int]]] = None
 
     # -- per-edge update ----------------------------------------------------
 
@@ -321,6 +326,8 @@ class ProcessorGroup:
                 bit = 1 << slot
                 node_bits[iu] = bits_u | bit
                 node_bits[iv] = bits_v | bit
+                if self._pairs_cache is not None:
+                    self._pairs_cache.add((iu, iv) if iu < iv else (iv, iu))
 
     # -- batched update ------------------------------------------------------
 
@@ -352,6 +359,7 @@ class ProcessorGroup:
         # attribute chain on every probe and store.
         adjacencies = [processor.adjacency for processor in processors]
         stored_counts = [0] * group_size
+        pairs_cache = self._pairs_cache
         # ``slot < group_size`` can only fail for a partial group; complete
         # groups (group_size == m) take a branch-free specialisation.
         complete = group_size == self.m
@@ -402,6 +410,8 @@ class ProcessorGroup:
                 bit = 1 << slot
                 node_bits[iu] = bits_u | bit
                 node_bits[iv] = bits_v | bit
+                if pairs_cache is not None:
+                    pairs_cache.add((iu, iv) if iu < iv else (iv, iu))
         for slot, count in enumerate(stored_counts):
             if count:
                 processors[slot].edges_stored += count
@@ -431,7 +441,25 @@ class ProcessorGroup:
         self.process_encoded(cu, cv, slots, firsts)
 
     def _stored_pairs(self) -> Set[Tuple[int, int]]:
-        """Return the id-ordered interned pairs of every stored edge."""
+        """Return the cached seen-pairs set covering every stored edge.
+
+        The cache is derived once (O(stored edges)) and maintained
+        incrementally: every store adds its id-ordered pair, and the cold
+        mutators (restore/merge/seed) invalidate it.  Because callers use
+        the returned set as a live first-occurrence ``seen`` set, it may
+        also accumulate *unstoreable* seen pairs — harmless, since an
+        edge's slot is fixed by the hash, so unstoreable edges never
+        consult their flag and storeable edges are stored exactly on their
+        first arrival (making "stored" and "seen" coincide for them).
+        """
+        cache = self._pairs_cache
+        if cache is None:
+            cache = self._derive_stored_pairs()
+            self._pairs_cache = cache
+        return cache
+
+    def _derive_stored_pairs(self) -> Set[Tuple[int, int]]:
+        """Rebuild the id-ordered interned pairs of every stored edge."""
         seen: Set[Tuple[int, int]] = set()
         for processor in self.processors:
             for iu, neighbors in processor.adjacency.items():
@@ -521,6 +549,7 @@ class ProcessorGroup:
             _internalize_processor(entry, intern) for entry in snapshot["processors"]
         ]
         self._reindex_node_bits()
+        self._pairs_cache = None
 
     def seed_adjacency(self, stored_edges: Sequence[Tuple[int, NodeId, NodeId]]) -> None:
         """Pre-load the stored-edge index as it stood at a chunk boundary.
@@ -537,6 +566,7 @@ class ProcessorGroup:
         intern = self.interner.intern
         node_bits = self._node_bits
         group_size = self.group_size
+        pairs_cache = self._pairs_cache
         for slot, u, v in stored_edges:
             if not 0 <= slot < group_size:
                 raise ValueError(f"stored edge ({u!r}, {v!r}) names invalid slot {slot}")
@@ -556,6 +586,8 @@ class ProcessorGroup:
             bit = 1 << slot
             node_bits[iu] = node_bits.get(iu, 0) | bit
             node_bits[iv] = node_bits.get(iv, 0) | bit
+            if pairs_cache is not None:
+                pairs_cache.add((iu, iv) if iu < iv else (iv, iu))
 
     def merge(self, later: "ProcessorGroup") -> None:
         """Fold in a group advanced over the next chunk (see ProcessorCounters.merge).
@@ -589,6 +621,7 @@ class ProcessorGroup:
             bit = 1 << slot
             for node in later.adjacency:
                 node_bits[node] = node_bits.get(node, 0) | bit
+        self._pairs_cache = None
 
     # -- pane-delta protocol (windowed monitoring) ----------------------------
 
@@ -666,6 +699,7 @@ class ProcessorGroup:
             bit = 1 << slot
             for node in delta.adjacency:
                 node_bits[node] = node_bits.get(node, 0) | bit
+        self._pairs_cache = None
 
     def externalize_deltas(
         self, deltas: Sequence[ProcessorCounters]
@@ -883,6 +917,25 @@ class EncodedBatch:
     n_records: int
 
 
+def _native_batch_columns(batch: EncodedBatch):
+    """Memoised int64/uint8 column views of an encoded batch.
+
+    The monitor feeds one :class:`EncodedBatch` to many overlapping
+    windows; converting the shared columns once per batch (cached on the
+    batch object) keeps the native kernels from paying a list->array
+    round trip per window.
+    """
+    cached = getattr(batch, "_native_columns", None)
+    if cached is None:
+        cached = (
+            np.asarray(batch.cu, np.int64),
+            np.asarray(batch.cv, np.int64),
+            [np.asarray(slots, np.int64) for slots in batch.slots],
+        )
+        batch._native_columns = cached
+    return cached
+
+
 class GroupStateSet:
     """The complete mergeable counter state of one REPT configuration.
 
@@ -908,6 +961,12 @@ class GroupStateSet:
         Optional pre-built hash functions (one per group), letting many
         state sets of the same config share the table-backed functions
         instead of rebuilding them; must match the config's seeds.
+    kernel:
+        Optional override of the config's ingestion-kernel request
+        (``"auto"``/``"python"``/``"native"``/provider names).  The request
+        is resolved once here — :attr:`kernel` holds the resolved label
+        (``"python"``, ``"cc"`` or ``"numba"``), which is also recorded in
+        estimate metadata.
     """
 
     def __init__(
@@ -915,6 +974,7 @@ class GroupStateSet:
         config: ReptConfig,
         interner: Optional[NodeInterner] = None,
         hash_functions: Optional[Sequence[EdgeHashFunction]] = None,
+        kernel: Optional[str] = None,
     ) -> None:
         # Local import: the hashing package depends only on repro.hashing
         # internals, but importing it lazily keeps this module importable
@@ -935,17 +995,38 @@ class GroupStateSet:
             raise ValueError(
                 f"expected {len(sizes)} hash functions, got {len(hash_functions)}"
             )
-        self.groups: List[ProcessorGroup] = [
-            ProcessorGroup(
-                hash_function=hash_functions[index],
-                group_size=size,
-                m=config.m,
-                track_local=config.track_local,
-                track_eta=bool(config.track_eta),
-                interner=self.interner,
-            )
-            for index, size in enumerate(sizes)
-        ]
+        from repro.core.kernel import resolve_kernel
+
+        requested = kernel if kernel is not None else getattr(config, "kernel", "auto")
+        self.kernel: str = resolve_kernel(requested, max(sizes))
+        self._native = self.kernel != "python"
+        if self._native:
+            from repro.core.adjacency import NativeProcessorGroup
+
+            self.groups: List[ProcessorGroup] = [
+                NativeProcessorGroup(
+                    hash_function=hash_functions[index],
+                    group_size=size,
+                    m=config.m,
+                    track_local=config.track_local,
+                    track_eta=bool(config.track_eta),
+                    interner=self.interner,
+                    provider=self.kernel,
+                )
+                for index, size in enumerate(sizes)
+            ]
+        else:
+            self.groups = [
+                ProcessorGroup(
+                    hash_function=hash_functions[index],
+                    group_size=size,
+                    m=config.m,
+                    track_local=config.track_local,
+                    track_eta=bool(config.track_eta),
+                    interner=self.interner,
+                )
+                for index, size in enumerate(sizes)
+            ]
 
     # -- ingestion -----------------------------------------------------------
 
@@ -970,9 +1051,19 @@ class GroupStateSet:
         cu, cv, firsts, n_records = self.interner.encode_pairs(edges, self.seen)
         if cu:
             edge_keys = self.interner.edge_key_array(cu, cv)
-            for group in self.groups:
-                slots = group.hash_function.bucket_from_keys(edge_keys).tolist()
-                group.process_encoded(cu, cv, slots, firsts)
+            if self._native:
+                # One list->array conversion shared by every group; slot
+                # arrays go to the kernels without a tolist round trip.
+                cu = np.asarray(cu, np.int64)
+                cv = np.asarray(cv, np.int64)
+                firsts = np.asarray(firsts, np.uint8)
+                for group in self.groups:
+                    slots = group.hash_function.bucket_from_keys(edge_keys)
+                    group.process_encoded(cu, cv, slots, firsts)
+            else:
+                for group in self.groups:
+                    slots = group.hash_function.bucket_from_keys(edge_keys).tolist()
+                    group.process_encoded(cu, cv, slots, firsts)
         return n_records
 
     def ingest_stream(
@@ -1004,22 +1095,45 @@ class GroupStateSet:
         return EncodedBatch(cu, cv, slots, n_records)
 
     def ingest_encoded(
-        self, batch: EncodedBatch, collect_stored: bool = False
+        self,
+        batch: EncodedBatch,
+        collect_stored: bool = False,
+        firsts: Optional[Sequence[bool]] = None,
     ) -> Optional[List[List[Tuple[int, int, int]]]]:
         """Advance every group over a shared encoded batch.
 
         First-occurrence flags come from *this* state set's ``seen`` set, so
         several state sets can consume the same :class:`EncodedBatch` with
-        independent dedup scopes.  With ``collect_stored=True`` the per-group
-        ``(slot, iu, iv)`` records stored by this batch are returned — the
-        bookkeeping :meth:`ProcessorGroup.take_pane_deltas` needs.
+        independent dedup scopes.  A caller owning its own dedup scope (the
+        windowed monitor's shared arrival index) may pass precomputed
+        ``firsts`` instead — then ``seen`` is neither consulted nor updated.
+        With ``collect_stored=True`` the per-group ``(slot, iu, iv)``
+        records stored by this batch are returned — the bookkeeping
+        :meth:`ProcessorGroup.take_pane_deltas` needs.
         """
         if not batch.cu:
             return [[] for _ in self.groups] if collect_stored else None
-        firsts = first_flags(self.seen, batch.cu, batch.cv)
+        if firsts is None:
+            firsts = first_flags(self.seen, batch.cu, batch.cv)
         stored: Optional[List[List[Tuple[int, int, int]]]] = None
         if collect_stored:
             stored = []
+        if self._native:
+            cu_a, cv_a, slots_arrays = _native_batch_columns(batch)
+            firsts_a = np.asarray(firsts, np.uint8)
+            for group, slots_a in zip(self.groups, slots_arrays):
+                group.process_encoded(cu_a, cv_a, slots_a, firsts_a)
+                if stored is not None:
+                    idx = np.flatnonzero(
+                        (firsts_a != 0) & (slots_a < group.group_size)
+                    )
+                    stored.append(
+                        [
+                            (int(slots_a[i]), int(cu_a[i]), int(cv_a[i]))
+                            for i in idx
+                        ]
+                    )
+            return stored
         for group, slots in zip(self.groups, batch.slots):
             group.process_encoded(batch.cu, batch.cv, slots, firsts)
             if stored is not None:
@@ -1125,7 +1239,7 @@ class GroupStateSet:
     def estimate(self, edges_processed: int):
         """Combine the current counters into a TriangleEstimate."""
         config = self.config
-        return combine_group_estimates(
+        estimate = combine_group_estimates(
             self.summaries(),
             m=config.m,
             c=config.c,
@@ -1133,6 +1247,8 @@ class GroupStateSet:
             track_local=config.track_local,
             eta_tracked=bool(config.track_eta),
         )
+        estimate.metadata["kernel"] = self.kernel
+        return estimate
 
     def total_edges_stored(self) -> int:
         """Total edges currently stored across all groups."""

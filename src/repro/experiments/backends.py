@@ -34,6 +34,7 @@ def backend_comparison(
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
     elastic: bool = False,
+    kernel: str = "auto",
 ) -> ExperimentResult:
     """Run one REPT configuration through every execution backend.
 
@@ -53,7 +54,7 @@ def backend_comparison(
     if max_edges is not None and len(stream) > max_edges:
         stream = stream.prefix(max_edges)
     edges = stream.edges()
-    config = ReptConfig(m=m, c=c, seed=seed, track_local=False)
+    config = ReptConfig(m=m, c=c, seed=seed, track_local=False, kernel=kernel)
 
     headers = [
         "backend", "seconds", "global estimate", "edges stored", "chunks",

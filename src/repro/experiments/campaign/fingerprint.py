@@ -26,7 +26,7 @@ from repro.experiments.results import canonical_json
 
 #: Bump the suffix when the campaign/task-graph semantics change in a way
 #: that should invalidate every cached record.
-CODE_TAG = f"repro-{repro.__version__}/campaign-v1"
+CODE_TAG = f"repro-{repro.__version__}/campaign-v2"
 
 
 def task_fingerprint(

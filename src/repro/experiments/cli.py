@@ -130,6 +130,15 @@ def _build_parser() -> argparse.ArgumentParser:
         "when --chaos is given without one)",
     )
     parser.add_argument(
+        "--kernel",
+        choices=("auto", "python", "native", "cc", "numba"),
+        default=None,
+        help="ingestion-kernel selection for the 'ingest', 'backends' and "
+        "'monitor' artefacts: 'auto' (default) uses a compiled kernel when "
+        "available, 'python' forces the dict/set reference, 'native' "
+        "requires a compiled kernel, 'cc'/'numba' pin a provider",
+    )
+    parser.add_argument(
         "--chaos",
         default=None,
         metavar="PLAN",
@@ -294,6 +303,8 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
             kwargs["elastic"] = True
         if args.workers is not None:
             kwargs["max_workers"] = args.workers
+        if args.kernel is not None:
+            kwargs["kernel"] = args.kernel
     elif name == "ingest":
         kwargs.pop("max_edges", None)
         if args.max_edges is not None:
@@ -302,6 +313,8 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
             kwargs["seed"] = args.seed
         if args.batch_size is not None:
             kwargs["batch_size"] = args.batch_size
+        if args.kernel is not None:
+            kwargs["kernel"] = args.kernel
     elif name == "serve":
         kwargs.pop("max_edges", None)
         if args.host is not None:
@@ -352,6 +365,8 @@ def _run_artefact(name: str, args: argparse.Namespace) -> ExperimentResult:
             kwargs["panes_per_window"] = args.panes
         if args.duration is not None:
             kwargs["duration_seconds"] = args.duration
+        if args.kernel is not None:
+            kwargs["kernel"] = args.kernel
     else:  # ablations / predictions
         if args.datasets:
             kwargs["dataset"] = args.datasets[0]

@@ -52,13 +52,16 @@ def ingest_throughput(
     batch_size: int = 65_536,
     rounds: int = 2,
     track_local: bool = False,
+    kernel: str = "auto",
 ) -> ExperimentResult:
     """Measure per-edge vs batched ingestion throughput.
 
     Returns a table of edges/second per (hash kind, path) and the batch
     speedup.  A mismatch between the two paths' estimates raises
     :class:`ExperimentError` — the batch pipeline is exact, not
-    approximate, so divergence is a bug.
+    approximate, so divergence is a bug.  ``kernel`` selects the ingestion
+    kernel (see :class:`ReptConfig`); the resolved label is recorded in
+    the result metadata.
     """
     if num_edges < 1:
         raise ExperimentError("num_edges must be >= 1")
@@ -75,13 +78,20 @@ def ingest_throughput(
         "seed": seed,
         "batch_size": batch_size,
         "rounds": rounds,
+        "kernel": kernel,
         "speedups": {},
     }
+    resolved_kernel = None
     for hash_kind in hash_kinds:
         def make_estimator(_kind=hash_kind):
             return ReptEstimator(
                 ReptConfig(
-                    m=m, c=c, seed=seed, hash_kind=_kind, track_local=track_local
+                    m=m,
+                    c=c,
+                    seed=seed,
+                    hash_kind=_kind,
+                    track_local=track_local,
+                    kernel=kernel,
                 )
             )
 
@@ -94,6 +104,7 @@ def ingest_throughput(
             lambda est, e: est.process_stream(e, batch_size=batch_size),
             rounds,
         )
+        resolved_kernel = batch_estimate.metadata.get("kernel", "python")
         identical = (
             batch_estimate.global_count == per_edge_estimate.global_count
             and batch_estimate.local_counts == per_edge_estimate.local_counts
@@ -127,12 +138,14 @@ def ingest_throughput(
             ]
         )
 
+    metadata["resolved_kernel"] = resolved_kernel
     text = format_table(
         headers,
         rows,
         title=(
             f"Ingestion throughput on {stream.name} ({len(edges)} records, "
-            f"{stream.num_distinct_edges} distinct flows, m={m}, c={c})"
+            f"{stream.num_distinct_edges} distinct flows, m={m}, c={c}, "
+            f"kernel={resolved_kernel})"
         ),
     )
     return ExperimentResult(

@@ -58,6 +58,7 @@ def windowed_monitoring(
     triest_budget: int = 2000,
     seed: int = 2024,
     checkpoint_dir: Optional[str] = None,
+    kernel: str = "auto",
 ) -> ExperimentResult:
     """Per-interval triangle monitoring over a synthetic router trace.
 
@@ -107,7 +108,7 @@ def windowed_monitoring(
             **engine,
         )
 
-    config = ReptConfig(m=m, c=c, seed=seed, track_local=False)
+    config = ReptConfig(m=m, c=c, seed=seed, track_local=False, kernel=kernel)
     if checkpoint_dir is not None:
         def durable_run() -> List[MonitorWindowResult]:
             results, _ = run_monitor_durable(

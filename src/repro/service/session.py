@@ -103,6 +103,8 @@ def validate_engine_spec(spec: object) -> Dict[str, object]:
 
 
 def _require_rept_params(params: Dict[str, object]) -> None:
+    from repro.core.kernel import KERNEL_CHOICES
+
     for field in ("m", "c"):
         if not isinstance(params.get(field), int) or params[field] < 1:
             raise ServiceError(f"rept engine spec needs an integer {field!r} >= 1")
@@ -110,6 +112,11 @@ def _require_rept_params(params: Dict[str, object]) -> None:
     # breaking checkpoint/recovery bit-identity — force it explicit.
     if "seed" not in params:
         raise ServiceError("rept engine spec needs an explicit 'seed'")
+    kernel = params.get("kernel", "auto")
+    if kernel not in KERNEL_CHOICES:
+        raise ServiceError(
+            f"rept engine spec kernel must be one of {KERNEL_CHOICES}, got {kernel!r}"
+        )
 
 
 def _rept_config(params: Dict[str, object]) -> ReptConfig:
@@ -120,6 +127,7 @@ def _rept_config(params: Dict[str, object]) -> ReptConfig:
         hash_kind=params.get("hash_kind", "splitmix"),
         track_local=bool(params.get("track_local", True)),
         track_eta=params.get("track_eta"),
+        kernel=params.get("kernel", "auto"),
     )
 
 

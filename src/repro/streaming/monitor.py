@@ -207,13 +207,27 @@ class _MergeableReptChain:
             self.ring = []
 
     def ingest(
-        self, pane: int, batch: EncodedBatch, raw_edges: Sequence[EdgeTuple]
+        self,
+        pane: int,
+        batch: EncodedBatch,
+        raw_edges: Sequence[EdgeTuple],
+        firsts: Optional[Sequence[bool]] = None,
     ) -> None:
+        """Advance the window over one shared encoded pane bucket.
+
+        ``firsts`` carries the window-scoped first-occurrence flags the
+        monitor derives once per batch from its shared arrival index (see
+        :meth:`WindowedTriangleMonitor._record_arrivals`); the chain's own
+        ``live.seen`` set then stays empty.  ``None`` falls back to the
+        chain-local dedup scope (bit-identical, one set pass per chain).
+        """
         if self._pane_stored is None:
-            self.live.ingest_encoded(batch)
+            self.live.ingest_encoded(batch, firsts=firsts)
         else:
             self._roll_to(pane)
-            stored = self.live.ingest_encoded(batch, collect_stored=True)
+            stored = self.live.ingest_encoded(
+                batch, collect_stored=True, firsts=firsts
+            )
             if stored is not None:
                 for bucket, new in zip(self._pane_stored, stored):
                     bucket.extend(new)
@@ -394,6 +408,14 @@ class WindowedTriangleMonitor:
         self._next_close_index = 0  # windows close strictly in index order
         self._max_pane_seen = -1
         self._chains: Dict[int, object] = {}
+        #: Shared arrival index of the REPT engine: canonical interned edge
+        #: -> bitmask of the panes it has arrived in, rebased so bit 0 is
+        #: pane ``_dedup_base`` (the first pane an open window can cover).
+        #: One pass over each encoded batch updates it, and every
+        #: overlapping window derives its first-occurrence flags from the
+        #: recorded prior masks — the chains' own ``seen`` sets stay empty.
+        self._edge_panes: Dict[Tuple[int, int], int] = {}
+        self._dedup_base = 0
         if config is not None:
             # Template state: owns the interning table and the (possibly
             # table-backed) hash functions every chain of this monitor
@@ -507,13 +529,59 @@ class WindowedTriangleMonitor:
         if first_window < self._next_close_index:
             first_window = self._next_close_index
         last_window = pane // slide
+        if first_window > last_window:
+            # Every window covering this pane has already closed; the
+            # records feed nothing (and need no arrival-index entry — no
+            # remaining window's pane span can include this pane).
+            return
         if self._template is not None:
             batch = self._template.encode(edges)
+            priors = self._record_arrivals(pane, batch)
             for window in range(first_window, last_window + 1):
-                self._rept_chain(window).ingest(pane, batch, edges)
+                firsts = self._window_firsts(window, priors)
+                self._rept_chain(window).ingest(pane, batch, edges, firsts)
         else:
             for window in range(first_window, last_window + 1):
                 self._factory_chain(window).ingest(pane, edges)
+
+    def _record_arrivals(
+        self, pane: int, batch: EncodedBatch
+    ) -> Optional[List[int]]:
+        """Fold one encoded pane bucket into the shared arrival index.
+
+        Returns each record's *prior* pane mask — the panes the edge had
+        already arrived in before this record, captured before the current
+        pane's bit is set so in-batch duplicates are flagged non-first.
+        ``None`` for an empty batch (every record was a self-loop).
+        """
+        if not batch.cu:
+            return None
+        offset = pane - self._dedup_base
+        bit = 1 << offset
+        index = self._edge_panes
+        priors: List[int] = []
+        append = priors.append
+        for iu, iv in zip(batch.cu, batch.cv):
+            key = (iu, iv) if iu < iv else (iv, iu)
+            prior = index.get(key, 0)
+            append(prior)
+            index[key] = prior | bit
+        return priors
+
+    def _window_firsts(
+        self, window: int, priors: Optional[List[int]]
+    ) -> Optional[List[bool]]:
+        """Window-scoped first-occurrence flags from recorded prior masks.
+
+        A record is first-in-window exactly when no prior arrival fell in
+        any pane of the window's span — one mask test per record, shared
+        with every other window through the arrival index.
+        """
+        if priors is None:
+            return None
+        start = window * self._slide_panes
+        wmask = ((1 << self._window_panes) - 1) << (start - self._dedup_base)
+        return [(prior & wmask) == 0 for prior in priors]
 
     def _rept_chain(self, window: int) -> _MergeableReptChain:
         chain = self._chains.get(window)
@@ -638,7 +706,34 @@ class WindowedTriangleMonitor:
         )
         self.results.append(result)
         self._next_close_index = window + 1
+        self._rebase_arrival_index()
         return result
+
+    def _rebase_arrival_index(self) -> None:
+        """Shift the arrival index down to the earliest still-open window.
+
+        Panes below ``_next_close_index * _slide_panes`` can never fall in
+        an open window's span again, so their bits are shifted out and
+        fully-expired edges are dropped — the index stays bounded by the
+        open-window pane span regardless of stream length.
+        """
+        new_base = self._next_close_index * self._slide_panes
+        shift = new_base - self._dedup_base
+        if shift <= 0:
+            return
+        self._dedup_base = new_base
+        index = self._edge_panes
+        if not index:
+            return
+        expired = []
+        for key, mask in index.items():
+            mask >>= shift
+            if mask:
+                index[key] = mask
+            else:
+                expired.append(key)
+        for key in expired:
+            del index[key]
 
     def flush(self) -> List[MonitorWindowResult]:
         """Close every remaining window (stream end).

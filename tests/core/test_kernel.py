@@ -1,0 +1,320 @@
+"""Tests for the compiled ingestion kernel: resolution, guards, parity.
+
+The kernel contract (see :mod:`repro.core.kernel`) is strict bit-identity:
+every provider advances a group's array state exactly like the pure-Python
+:class:`~repro.core.state.ProcessorGroup`, so estimates, local counters,
+η metadata and stored-edge sets never depend on which kernel ran.  These
+tests cover the resolution rules (``auto`` fallback, explicit-request
+errors, the ``REPRO_KERNEL`` environment override), equality over an
+(m, c) grid that includes partial groups and η tracking, and the
+snapshot/merge paths crossing the kernel boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+
+import pytest
+
+from repro.core import kernel as kernel_mod
+from repro.core.config import ReptConfig
+from repro.core.kernel import (
+    KERNEL_CHOICES,
+    MAX_NATIVE_GROUP_SIZE,
+    available_native_providers,
+    provider_available,
+    reset_provider_cache,
+    resolve_kernel,
+)
+from repro.core.rept import ReptEstimator
+from repro.core.state import GroupStateSet
+from repro.exceptions import ConfigurationError
+
+SEED = 20240808
+
+#: The compiled-C provider must be buildable in CI (a C compiler is part of
+#: the test image); every parity test below rides on it.
+needs_cc = pytest.mark.skipif(
+    not provider_available("cc"), reason="no C compiler available"
+)
+
+
+def _stream(num_records=400, num_nodes=14, seed=SEED):
+    """Duplicate-heavy random stream including self-loops."""
+    rng = random.Random(seed)
+    return [
+        (rng.randrange(num_nodes), rng.randrange(num_nodes))
+        for _ in range(num_records)
+    ]
+
+
+@pytest.fixture
+def clean_env(monkeypatch):
+    """Clear REPRO_KERNEL and the provider memo around a test."""
+    monkeypatch.delenv("REPRO_KERNEL", raising=False)
+    reset_provider_cache()
+    yield monkeypatch
+    reset_provider_cache()
+
+
+class TestResolveKernel:
+    def test_rejects_unknown_choice(self):
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("fortran")
+
+    def test_python_is_passthrough(self):
+        assert resolve_kernel("python") == "python"
+        assert resolve_kernel("python", 1000) == "python"
+
+    def test_auto_falls_back_for_wide_groups(self, clean_env):
+        assert resolve_kernel("auto", MAX_NATIVE_GROUP_SIZE + 1) == "python"
+
+    @pytest.mark.parametrize("requested", ["native", "cc", "numba"])
+    def test_explicit_native_rejects_wide_groups(self, requested, clean_env):
+        with pytest.raises(ConfigurationError):
+            resolve_kernel(requested, MAX_NATIVE_GROUP_SIZE + 1)
+
+    @needs_cc
+    def test_auto_prefers_cc(self, clean_env):
+        assert resolve_kernel("auto", 8) == "cc"
+        assert resolve_kernel("native", 8) == "cc"
+        assert resolve_kernel("cc", 8) == "cc"
+
+    def test_env_python_disables_native(self, clean_env):
+        clean_env.setenv("REPRO_KERNEL", "python")
+        reset_provider_cache()
+        assert available_native_providers() == []
+        assert resolve_kernel("auto", 8) == "python"
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("native", 8)
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("cc", 8)
+
+    @needs_cc
+    def test_env_restricts_discovery_to_one_provider(self, clean_env):
+        clean_env.setenv("REPRO_KERNEL", "cc")
+        reset_provider_cache()
+        assert available_native_providers() == ["cc"]
+        assert resolve_kernel("auto", 8) == "cc"
+
+    def test_unavailable_provider_is_explicit_error(self, clean_env):
+        """An explicit request for a provider this environment cannot build
+        fails loudly instead of silently running the Python loop."""
+        clean_env.setenv("REPRO_KERNEL", "python")
+        reset_provider_cache()
+        with pytest.raises(ConfigurationError):
+            resolve_kernel("numba", 8)
+
+    def test_config_validates_kernel_choice(self):
+        with pytest.raises(Exception):
+            ReptConfig(m=4, c=8, seed=1, kernel="fortran")
+        for choice in KERNEL_CHOICES:
+            assert ReptConfig(m=4, c=8, seed=1, kernel=choice).kernel == choice
+
+
+class TestNumbaImpersonation:
+    """The numba provider slot accepts any batch-loop callable, so the
+    numba code path is testable without numba installed: the reference
+    loop has the exact signature the jitted function would."""
+
+    def test_reference_loop_as_numba_provider(self, clean_env):
+        clean_env.setitem(kernel_mod._PROVIDERS, "numba", kernel_mod._ingest_batch)
+        assert provider_available("numba")
+        assert resolve_kernel("numba", 8) == "numba"
+        edges = _stream()
+        config = ReptConfig(m=3, c=8, seed=SEED, track_local=True)
+        reference = GroupStateSet(config, kernel="python")
+        impersonated = GroupStateSet(config, kernel="numba")
+        n_ref = reference.process_edges(edges)
+        n_imp = impersonated.process_edges(edges)
+        assert impersonated.kernel == "numba"
+        assert n_ref == n_imp
+        _assert_identical(reference.estimate(n_ref), impersonated.estimate(n_imp))
+
+
+#: (m, c) grid: full single group, Algorithm 2 with an even split, a
+#: partial trailing group (forces η tracking), and a wide-m config.
+PARITY_GRID = [(1, 1), (4, 3), (3, 8), (4, 10), (8, 16), (2, 7)]
+
+
+def _estimates(config, edges, kernel, batch_size=None):
+    estimator = ReptEstimator(dataclasses.replace(config, kernel=kernel))
+    if batch_size is None:
+        estimator.process_stream(edges)
+    else:
+        estimator.process_stream(edges, batch_size=batch_size)
+    return estimator.estimate()
+
+
+def _assert_identical(left, right):
+    assert left.global_count == right.global_count
+    assert left.local_counts == right.local_counts
+    assert left.edges_stored == right.edges_stored
+    assert left.edges_processed == right.edges_processed
+    assert left.metadata.get("eta_hat") == right.metadata.get("eta_hat")
+
+
+@needs_cc
+class TestKernelParity:
+    @pytest.mark.parametrize("m,c", PARITY_GRID)
+    @pytest.mark.parametrize("track_local", [True, False])
+    def test_batched_ingestion_matches_python(self, m, c, track_local, clean_env):
+        config = ReptConfig(m=m, c=c, seed=SEED, track_local=track_local)
+        edges = _stream()
+        python = _estimates(config, edges, "python", batch_size=64)
+        native = _estimates(config, edges, "native", batch_size=64)
+        assert native.metadata["kernel"] == "cc"
+        assert python.metadata["kernel"] == "python"
+        _assert_identical(python, native)
+
+    @pytest.mark.parametrize("m,c", PARITY_GRID)
+    def test_per_edge_ingestion_matches_python(self, m, c, clean_env):
+        config = ReptConfig(m=m, c=c, seed=SEED, track_local=True)
+        edges = _stream(num_records=250)
+        python = _estimates(config, edges, "python")
+        native = _estimates(config, edges, "native")
+        _assert_identical(python, native)
+
+    def test_group_summaries_match(self, clean_env):
+        config = ReptConfig(m=3, c=8, seed=SEED, track_local=True)
+        edges = _stream()
+        python = GroupStateSet(config, kernel="python")
+        native = GroupStateSet(config, kernel="native")
+        python.process_edges(edges)
+        native.process_edges(edges)
+        assert python.summaries() == native.summaries()
+        for p_group, n_group in zip(python.groups, native.groups):
+            assert sorted(p_group.stored_edges()) == sorted(n_group.stored_edges())
+            assert p_group.tau_values() == n_group.tau_values()
+            assert p_group.eta_values() == n_group.eta_values()
+
+    def test_snapshot_roundtrip_across_kernels(self, clean_env):
+        """State snapshotted mid-stream under one kernel restores into the
+        other and finishes bit-identically — snapshots are portable."""
+        config = ReptConfig(m=3, c=8, seed=SEED, track_local=True)
+        edges = _stream()
+        half = len(edges) // 2
+        for first_kernel, second_kernel in [
+            ("python", "native"),
+            ("native", "python"),
+        ]:
+            first = GroupStateSet(config, kernel=first_kernel)
+            n_first = first.process_edges(edges[:half])
+            second = GroupStateSet(
+                config, interner=first.interner, kernel=second_kernel
+            )
+            for group, snapshot in zip(second.groups, first.snapshot()):
+                group.restore(snapshot)
+            second.seen = set(first.seen)
+            n_second = second.process_edges(edges[half:])
+            reference = GroupStateSet(config, kernel="python")
+            n_ref = reference.process_edges(edges)
+            _assert_identical(
+                reference.estimate(n_ref), second.estimate(n_first + n_second)
+            )
+
+    def test_merge_snapshots_across_kernels(self, clean_env):
+        """Chunked-style merge: a python-built snapshot folds into a
+        native accumulator exactly like into a python one."""
+        config = ReptConfig(m=4, c=10, seed=SEED, track_local=True)
+        edges = _stream()
+        half = len(edges) // 2
+        shared = GroupStateSet(config, kernel="python")
+        accum_native = GroupStateSet(
+            config, interner=shared.interner, kernel="native"
+        )
+        accum_python = GroupStateSet(
+            config, interner=shared.interner, kernel="python"
+        )
+        for chunk in (edges[:half], edges[half:]):
+            worker = GroupStateSet(
+                config, interner=shared.interner, kernel="python"
+            )
+            worker.seen = shared.seen
+            worker.process_edges(chunk)
+            snapshots = worker.snapshot()
+            accum_native.merge_snapshots(snapshots)
+            accum_python.merge_snapshots(snapshots)
+        assert accum_python.summaries() == accum_native.summaries()
+
+    def test_estimate_metadata_records_resolved_label(self, clean_env):
+        config = ReptConfig(m=3, c=8, seed=SEED, track_local=False, kernel="auto")
+        estimator = ReptEstimator(config)
+        estimator.process_edges(_stream(num_records=50))
+        assert estimator.estimate().metadata["kernel"] == "cc"
+
+
+class TestProviderParity:
+    """Parity of every *buildable* provider — in a numba-equipped
+    environment this exercises the jitted kernel, in a compiler-equipped
+    one the C kernel; CI's kernel-parity matrix covers both."""
+
+    @pytest.mark.parametrize("provider", ["cc", "numba"])
+    @pytest.mark.parametrize("m,c", [(3, 8), (4, 10), (8, 16)])
+    def test_provider_matches_python(self, provider, m, c, clean_env):
+        if not provider_available(provider):
+            pytest.skip(f"provider {provider!r} not buildable here")
+        config = ReptConfig(m=m, c=c, seed=SEED, track_local=True)
+        edges = _stream()
+        python = _estimates(config, edges, "python", batch_size=64)
+        native = _estimates(config, edges, provider, batch_size=64)
+        assert native.metadata["kernel"] == provider
+        _assert_identical(python, native)
+
+    @pytest.mark.parametrize("provider", ["cc", "numba"])
+    def test_provider_per_edge_matches_python(self, provider, clean_env):
+        if not provider_available(provider):
+            pytest.skip(f"provider {provider!r} not buildable here")
+        config = ReptConfig(m=3, c=8, seed=SEED, track_local=True)
+        edges = _stream(num_records=250)
+        _assert_identical(
+            _estimates(config, edges, "python"),
+            _estimates(config, edges, provider),
+        )
+
+
+class TestPairsCache:
+    """Regression: ``process_edges(seen=None)`` derives the stored-pairs
+    set at most once per group; later batches extend it incrementally."""
+
+    @pytest.mark.parametrize("kernel", ["python", "auto"])
+    def test_no_rederivation_on_later_batches(self, kernel, monkeypatch, clean_env):
+        config = ReptConfig(m=3, c=8, seed=SEED, track_local=False)
+        state = GroupStateSet(config, kernel=kernel)
+        calls = {"n": 0}
+        for group in state.groups:
+            original = group._derive_stored_pairs
+
+            def counted(_orig=original):
+                calls["n"] += 1
+                return _orig()
+
+            monkeypatch.setattr(group, "_derive_stored_pairs", counted)
+        edges = _stream(num_records=200)
+        for group in state.groups:
+            group.process_edges(edges[:100], seen=None)
+        first_round = calls["n"]
+        assert first_round <= len(state.groups)
+        for group in state.groups:
+            group.process_edges(edges[100:], seen=None)
+        assert calls["n"] == first_round
+
+    def test_cache_invalidated_by_restore(self, clean_env):
+        config = ReptConfig(m=3, c=8, seed=SEED, track_local=False)
+        state = GroupStateSet(config, kernel="python")
+        edges = _stream(num_records=120)
+        for group in state.groups:
+            group.process_edges(edges, seen=None)
+        snapshots = state.snapshot()
+        for group, snapshot in zip(state.groups, snapshots):
+            group.restore(snapshot)
+            assert group._pairs_cache is None
+            # The cache rebuilds lazily and matches the stored edges.
+            pairs = group._stored_pairs()
+            interner = group.interner
+            stored = set()
+            for _slot, u, v in group.stored_edges():
+                iu, iv = interner.id_of(u), interner.id_of(v)
+                stored.add((iu, iv) if iu < iv else (iv, iu))
+            assert pairs == stored

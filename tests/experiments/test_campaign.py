@@ -159,7 +159,9 @@ class TestFingerprints:
         assert task_fingerprint("artefact", 1, {"a": 1}, {"up": "00"}) != base
 
     def test_code_tag_embedded(self):
-        assert "campaign-v1" in CODE_TAG
+        # v2: estimate metadata gained the resolved-kernel label, which
+        # flows into cached artefact payloads.
+        assert "campaign-v2" in CODE_TAG
 
 
 class TestPlanner:

@@ -28,11 +28,12 @@ def _payload(cells):
     return {"benchmark": "ingest-throughput", "cells": cells}
 
 
-def _cell(m, c, hash_kind, num_records, per_edge_eps, batch_eps):
+def _cell(m, c, hash_kind, num_records, per_edge_eps, batch_eps, kernel="python"):
     return {
         "m": m,
         "c": c,
         "hash": hash_kind,
+        "kernel": kernel,
         "num_records": num_records,
         "per_edge_eps": per_edge_eps,
         "batch_eps": batch_eps,
@@ -46,6 +47,13 @@ BASELINE = [
     _cell(16, 16, "tabulation", 50_000, 90_000, 320_000),
 ]
 
+#: A kernel-keyed baseline: each shape carries a python cell and a native
+#: twin whose batch path is faster (the cc closure loop).
+KERNEL_BASELINE = BASELINE + [
+    _cell(16, 32, "tabulation", 250_000, 150_000, 360_000, kernel="cc"),
+    _cell(16, 32, "splitmix", 250_000, 170_000, 390_000, kernel="cc"),
+]
+
 
 def _index(cells):
     return {
@@ -53,21 +61,26 @@ def _index(cells):
             cell["m"],
             cell["c"],
             cell["hash"],
+            cell.get("kernel", "python"),
             round(cell["num_records"] / max(x["num_records"] for x in cells), 3),
         ): cell
         for cell in cells
     }
 
 
-def _scale(cells, per_edge=1.0, batch=1.0, records=1.0):
+def _scale(cells, per_edge=1.0, batch=1.0, records=1.0, kernel=None):
+    """Rescale cells; ``kernel`` restricts the scaling to one kernel's cells."""
     return [
         _cell(
             cell["m"],
             cell["c"],
             cell["hash"],
             int(cell["num_records"] * records),
-            cell["per_edge_eps"] * per_edge,
-            cell["batch_eps"] * batch,
+            cell["per_edge_eps"]
+            * (per_edge if kernel in (None, cell["kernel"]) else 1.0),
+            cell["batch_eps"]
+            * (batch if kernel in (None, cell["kernel"]) else 1.0),
+            kernel=cell["kernel"],
         )
         for cell in cells
     ]
@@ -149,6 +162,66 @@ class TestGateLogic:
         # Batch-only loss shows up as a speedup regression too.
         code, _ = _run(
             BASELINE, _scale(BASELINE, batch=0.7), tolerance=0.20, metric="speedup"
+        )
+        assert code == 1
+
+
+class TestKernelKeyedCells:
+    def test_kernel_cells_match_independently(self):
+        code, text = _run(KERNEL_BASELINE, _scale(KERNEL_BASELINE), tolerance=0.20)
+        assert code == 0
+        assert "5 matched cells" in text
+        assert "kernel=cc" in text
+        assert "kernel=python" in text
+
+    def test_simulated_native_kernel_regression_fails(self):
+        """A 30% native-batch loss fails even when python cells improved —
+        the native floor is keyed on the native cells, not the best cell."""
+        fresh = _scale(KERNEL_BASELINE, batch=1.1, kernel="python")
+        fresh = _scale(fresh, batch=0.70 / 1.0, kernel="cc")
+        code, text = _run(KERNEL_BASELINE, fresh, tolerance=0.20)
+        assert code == 1
+        assert text.count("REGRESSED") == 2
+        assert "kernel=cc" in text
+
+    def test_python_kernel_regression_not_masked_by_native_cells(self):
+        fresh = _scale(KERNEL_BASELINE, batch=0.70, kernel="python")
+        code, text = _run(KERNEL_BASELINE, fresh, tolerance=0.20)
+        assert code == 1
+        for line in text.splitlines():
+            if "REGRESSED" in line:
+                assert "kernel=python" in line
+
+    def test_calibration_uses_python_cells_only(self):
+        """Hardware drift is measured on the python per-edge reference; a
+        native per-edge slowdown must not rescale the python floors."""
+        # Same machine, but the native per-edge path lost 50%: the factor
+        # stays 1.0 (python cells at parity) and the native batch loss is
+        # judged unrescaled.
+        fresh = _scale(KERNEL_BASELINE, per_edge=0.5, batch=0.7, kernel="cc")
+        code, text = _run(KERNEL_BASELINE, fresh, tolerance=0.20)
+        assert "calibration=1.000" in text
+        assert code == 1
+
+    def test_uniform_slowdown_calibrates_across_kernels(self):
+        fresh = _scale(KERNEL_BASELINE, per_edge=0.6, batch=0.6)
+        code, text = _run(KERNEL_BASELINE, fresh, tolerance=0.20)
+        assert code == 0
+        assert "calibration=0.600" in text
+
+    def test_pre_kernel_baseline_matches_python_cells(self):
+        """Baselines written before the kernel dimension default to python
+        and keep gating a kernel-keyed fresh run's python cells."""
+        legacy = [
+            {k: v for k, v in cell.items() if k != "kernel"} for cell in BASELINE
+        ]
+        code, text = _run(legacy, _scale(KERNEL_BASELINE), tolerance=0.20)
+        assert code == 0
+        assert "3 matched cells" in text
+        code, _ = _run(
+            legacy,
+            _scale(KERNEL_BASELINE, batch=0.7, kernel="python"),
+            tolerance=0.20,
         )
         assert code == 1
 
